@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Section V-E ablation 3 — rule-based vs exhaustive PROV: the EDP
+ * search repeated for scenarios 3-5 on the main strategies with an
+ * exhaustive search over the node allocations N_i.
+ *
+ * Paper shape targets: exhaustive search refines the results but
+ * preserves the insights — Het-Sides stays superior on scenarios 4-5,
+ * Simba (NVD) stays superior on scenario 3.
+ */
+
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/table.h"
+#include "bench_util.h"
+
+using namespace scar;
+using namespace scar::bench;
+
+int
+main()
+{
+    std::cout << "=== Ablation: rule-based vs exhaustive provisioning "
+                 "(EDP search) ===\n\n";
+
+    CsvWriter csv(csvPath("ablation_provisioner"),
+                  {"scenario", "strategy", "rule_edp", "exhaustive_edp",
+                   "improvement_pct"});
+
+    std::map<int, std::map<std::string, double>> exhaustiveEdp;
+    std::map<int, std::map<std::string, double>> ruleEdp;
+    for (int idx : {3, 4, 5}) {
+        const Scenario sc = suite::datacenterScenario(idx);
+        std::cout << "--- " << sc.name << " ---\n";
+        TextTable table({"Strategy", "Rule EDP", "Exhaustive EDP",
+                         "Improvement"});
+        for (const Strategy& strategy : meshStrategies()) {
+            if (strategy.standalone)
+                continue;
+            const double rule =
+                runStrategy(strategy, sc, OptTarget::Edp,
+                            templates::kDatacenterPes)
+                    .metrics.edp();
+            ScarOptions opts;
+            opts.prov.mode = ProvisionerOptions::Mode::Exhaustive;
+            opts.prov.maxCandidates = 48;
+            const double exhaustive =
+                runStrategy(strategy, sc, OptTarget::Edp,
+                            templates::kDatacenterPes, opts)
+                    .metrics.edp();
+            exhaustiveEdp[idx][strategy.name] = exhaustive;
+            ruleEdp[idx][strategy.name] = rule;
+            const double pct = 100.0 * (1.0 - exhaustive / rule);
+            table.addRow({strategy.name, TextTable::num(rule, 3),
+                          TextTable::num(exhaustive, 3),
+                          TextTable::num(pct, 1) + "%"});
+            csv.addRow({sc.name, strategy.name, TextTable::num(rule, 6),
+                        TextTable::num(exhaustive, 6),
+                        TextTable::num(pct, 2)});
+        }
+        std::cout << table.render() << "\n";
+    }
+
+    // The transferable claim of the ablation: the added search effort
+    // refines numbers but does not change which strategy wins each
+    // scenario (the paper reports the same property for its results).
+    bool winnersConsistent = true;
+    for (int idx : {3, 4, 5}) {
+        std::string ruleWinner;
+        std::string exhWinner;
+        double ruleBest = 1e30;
+        double exhBest = 1e30;
+        for (const auto& [name, edp] : exhaustiveEdp[idx]) {
+            if (edp < exhBest) {
+                exhBest = edp;
+                exhWinner = name;
+            }
+        }
+        for (const auto& [name, edp] : ruleEdp[idx]) {
+            if (edp < ruleBest) {
+                ruleBest = edp;
+                ruleWinner = name;
+            }
+        }
+        if (ruleWinner != exhWinner)
+            winnersConsistent = false;
+    }
+    std::cout << "Shape check: per-scenario winning strategy unchanged "
+                 "under exhaustive PROV "
+              << (winnersConsistent ? "[OK]" : "[MISS]")
+              << " (the paper reports the same insight-preservation; "
+                 "note the heterogeneity crossover sits at Sc3 in this "
+                 "cost model — see EXPERIMENTS.md)\n";
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 2 — motivational study on a 2x2 MCM (3 NVDLA-like + 1
+ * Shi-diannao-like, 4096 PEs): three layers from the second ResNet-50
+ * block plus one GPT feed-forward layer.
+ *
+ * Reproduced configurations:
+ *   C1  single model (ResNet block), NN-baton on all-Shi 2x2
+ *   C2  single model, NN-baton on all-NVDLA 2x2
+ *   C3  single model, SCAR on the heterogeneous 2x2
+ *   C4  multi-model, NN-baton on the heterogeneous 2x2 (agnostic)
+ *   C5  multi-model, SCAR spatial (single window)
+ *   C6  multi-model, SCAR spatio-temporal (two windows)
+ *
+ * Paper ratios: C2 = 0.78x C1, C3 = 0.52x C1; C5 = 0.3x C4,
+ * C6 = 0.28x C4 (shape target, not absolute numbers).
+ */
+
+#include <iostream>
+
+#include "baselines/nn_baton.h"
+#include "common/table.h"
+#include "bench_util.h"
+
+using namespace scar;
+
+namespace
+{
+
+Mcm
+homogeneous2x2(Dataflow df)
+{
+    return templates::simbaMesh(2, 2, df, 4096);
+}
+
+ScarOptions
+scarOpts(int nsplits)
+{
+    ScarOptions opts;
+    opts.nsplits = nsplits;
+    return opts;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Figure 2: motivational 2x2 MCM study ===\n\n";
+
+    const Scenario multi = suite::motivational();
+    Scenario single;
+    single.name = "ResNet50-blk2-only";
+    single.models = {multi.models[0]};
+    single.finalize();
+
+    const Mcm het = templates::motivational2x2();
+
+    // Single-model cases.
+    const double c1 =
+        scheduleNnBaton(single, homogeneous2x2(Dataflow::ShiOS))
+            .metrics.edp();
+    const double c2 =
+        scheduleNnBaton(single, homogeneous2x2(Dataflow::NvdlaWS))
+            .metrics.edp();
+    Scar scarSingle(single, het, scarOpts(0));
+    const double c3 = scarSingle.run().metrics.edp();
+
+    // Multi-model cases.
+    const double c4 = scheduleNnBaton(multi, het).metrics.edp();
+    Scar scarSpatial(multi, het, scarOpts(0));
+    const double c5 = scarSpatial.run().metrics.edp();
+    Scar scarTemporal(multi, het, scarOpts(1));
+    const double c6 = scarTemporal.run().metrics.edp();
+
+    TextTable table({"Config", "Description", "EDP (J*s)", "Ratio",
+                     "Paper ratio"});
+    table.addRow({"C1", "single, NN-baton (Shi)", TextTable::num(c1, 6),
+                  "1.00x", "1.00x"});
+    table.addRow({"C2", "single, NN-baton (NVD)", TextTable::num(c2, 6),
+                  TextTable::num(c2 / c1, 2) + "x", "0.78x"});
+    table.addRow({"C3", "single, SCAR heterog.", TextTable::num(c3, 6),
+                  TextTable::num(c3 / c1, 2) + "x", "0.52x"});
+    table.addSeparator();
+    table.addRow({"C4", "multi, NN-baton", TextTable::num(c4, 6),
+                  "1.00x", "1.00x"});
+    table.addRow({"C5", "multi, SCAR spatial", TextTable::num(c5, 6),
+                  TextTable::num(c5 / c4, 2) + "x", "0.30x"});
+    table.addRow({"C6", "multi, SCAR spatio-temporal",
+                  TextTable::num(c6, 6),
+                  TextTable::num(c6 / c4, 2) + "x", "0.28x"});
+    std::cout << table.render() << "\n";
+
+    std::cout << "Shape checks: SCAR on the heterogeneous MCM matches "
+                 "or beats the best homogeneous chiplet "
+              << (c3 <= std::min(c1, c2) * 1.01 ? "[OK]" : "[MISS]")
+              << ",\n              SCAR beats NN-baton on the "
+                 "multi-model workload "
+              << (std::min(c5, c6) < c4 ? "[OK]" : "[MISS]") << "\n";
+    std::cout << "Note: the paper's C3 = 0.52x arises from MAESTRO "
+                 "per-layer affinities that differ within this block; "
+                 "under our cost model all three block layers are "
+                 "NVDLA-affine, so SCAR correctly converges to the "
+                 "all-NVDLA assignment (C3 == C2). See EXPERIMENTS.md.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 8 — Pareto results of the search across MCM strategies for
+ * scenarios 3 and 4 under the three search targets. Prints each
+ * strategy's Pareto front (energy vs latency) normalized by the
+ * standalone NVDLA point and dumps all candidate points as CSV.
+ */
+
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/table.h"
+#include "bench_util.h"
+
+using namespace scar;
+using namespace scar::bench;
+
+int
+main()
+{
+    std::cout << "=== Figure 8: Pareto fronts, scenarios 3 and 4 ===\n\n";
+
+    CsvWriter csv(csvPath("fig08_pareto"),
+                  {"scenario", "search", "strategy", "latency_s",
+                   "energy_j", "on_front"});
+
+    const std::vector<OptTarget> searches{
+        OptTarget::Latency, OptTarget::Energy, OptTarget::Edp};
+
+    for (int idx : {3, 4}) {
+        const Scenario sc = suite::datacenterScenario(idx);
+        const RunResult base = runStrategy(
+            standaloneNvd(), sc, OptTarget::Edp,
+            templates::kDatacenterPes);
+
+        for (OptTarget target : searches) {
+            std::cout << "--- " << sc.name << ", "
+                      << optTargetName(target) << " search ---\n";
+            TextTable table({"Strategy", "Front points",
+                             "Best lat (norm)", "Best energy (norm)"});
+            for (const Strategy& strategy : meshStrategies()) {
+                if (strategy.standalone)
+                    continue;
+                const RunResult r =
+                    runStrategy(strategy, sc, target,
+                                templates::kDatacenterPes);
+                const auto front = paretoFront(r.candidates);
+                double bestLat = 1e30;
+                double bestE = 1e30;
+                for (const Metrics& m : r.candidates) {
+                    bestLat = std::min(bestLat, m.latencySec);
+                    bestE = std::min(bestE, m.energyJ);
+                }
+                for (const Metrics& m : r.candidates) {
+                    const bool onFront =
+                        std::find_if(front.begin(), front.end(),
+                                     [&](const Metrics& f) {
+                                         return f.latencySec ==
+                                                    m.latencySec &&
+                                                f.energyJ == m.energyJ;
+                                     }) != front.end();
+                    csv.addRow({sc.name, optTargetName(target),
+                                strategy.name,
+                                TextTable::num(m.latencySec, 6),
+                                TextTable::num(m.energyJ, 6),
+                                onFront ? "1" : "0"});
+                }
+                table.addRow(
+                    {strategy.name, std::to_string(front.size()),
+                     TextTable::num(
+                         bestLat / base.metrics.latencySec, 3),
+                     TextTable::num(bestE / base.metrics.energyJ, 3)});
+            }
+            // Standalone reference points.
+            csv.addRow({sc.name, optTargetName(target), "Stand.(NVD)",
+                        TextTable::num(base.metrics.latencySec, 6),
+                        TextTable::num(base.metrics.energyJ, 6), "1"});
+            table.addRow({"Stand.(NVD) [ref]", "1", "1.000", "1.000"});
+            std::cout << table.render() << "\n";
+        }
+    }
+    std::cout << "Candidate clouds written to "
+              << csvPath("fig08_pareto") << "\n";
+    return 0;
+}

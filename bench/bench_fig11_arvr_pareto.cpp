@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 11 — Pareto-optimal results of the EDP search for the
+ * XRBench scenarios (AR Assistant, AR Gaming, Outdoors, VR Gaming),
+ * normalized by the standalone NVDLA point.
+ */
+
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/table.h"
+#include "bench_util.h"
+
+using namespace scar;
+using namespace scar::bench;
+
+int
+main()
+{
+    std::cout << "=== Figure 11: AR/VR Pareto fronts (EDP search) "
+                 "===\n\n";
+
+    CsvWriter csv(csvPath("fig11_arvr_pareto"),
+                  {"scenario", "strategy", "rel_latency", "rel_energy",
+                   "on_front"});
+
+    for (int idx : {6, 7, 8, 10}) {
+        const Scenario sc = suite::arvrScenario(idx);
+        const Metrics base = runStrategy(standaloneNvd(), sc,
+                                         OptTarget::Edp,
+                                         templates::kArvrPes)
+                                 .metrics;
+        std::cout << "--- " << suite::scenarioLabel(idx) << " ---\n";
+        TextTable table({"Strategy", "Front points", "Best rel lat",
+                         "Best rel energy"});
+        for (const Strategy& strategy : meshStrategies()) {
+            if (strategy.standalone)
+                continue;
+            const RunResult r = runStrategy(strategy, sc, OptTarget::Edp,
+                                            templates::kArvrPes);
+            const auto front = paretoFront(r.candidates);
+            double bestLat = 1e30;
+            double bestE = 1e30;
+            for (const Metrics& m : r.candidates) {
+                bestLat = std::min(bestLat, m.latencySec);
+                bestE = std::min(bestE, m.energyJ);
+                const bool onFront =
+                    std::find_if(front.begin(), front.end(),
+                                 [&](const Metrics& f) {
+                                     return f.latencySec == m.latencySec &&
+                                            f.energyJ == m.energyJ;
+                                 }) != front.end();
+                csv.addRow({sc.name, strategy.name,
+                            TextTable::num(m.latencySec / base.latencySec,
+                                           4),
+                            TextTable::num(m.energyJ / base.energyJ, 4),
+                            onFront ? "1" : "0"});
+            }
+            table.addRow({strategy.name, std::to_string(front.size()),
+                          TextTable::num(bestLat / base.latencySec, 3),
+                          TextTable::num(bestE / base.energyJ, 3)});
+        }
+        std::cout << table.render() << "\n";
+    }
+    std::cout << "Candidate clouds written to "
+              << csvPath("fig11_arvr_pareto") << "\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 13 — scaling to the 6x6 (full Simba) MCM: the evolutionary
+ * SEG search (population 10, 4 generations) on Scenario 4 at
+ * nsplits = 2 and nsplits = 3, comparing Het-Cross against the
+ * homogeneous Simba-6 templates, with standalone references.
+ *
+ * Paper shape targets: Het-Cross achieves 2.3x / 1.9x lower EDP and
+ * 2.1x / 1.8x lower latency than Simba-6 (Shi) / Simba-6 (NVD).
+ */
+
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/table.h"
+#include "bench_util.h"
+
+using namespace scar;
+using namespace scar::bench;
+
+int
+main()
+{
+    std::cout << "=== Figure 13: 6x6 MCM with evolutionary SEG search "
+                 "===\n\n";
+
+    const Scenario sc = suite::datacenterScenario(4);
+    const Metrics base = runStrategy(standaloneNvd(), sc, OptTarget::Edp,
+                                     templates::kDatacenterPes)
+                             .metrics;
+
+    CsvWriter csv(csvPath("fig13_6x6"),
+                  {"nsplits", "strategy", "latency_s", "energy_j",
+                   "edp_js", "rel_edp_vs_standalone"});
+
+    std::map<int, std::map<std::string, Metrics>> results;
+    for (int nsplits : {2, 3}) {
+        std::cout << "--- nsplits = " << nsplits << " ---\n";
+        TextTable table({"Strategy", "Latency (s)", "Energy (J)",
+                         "EDP (J*s)", "Rel EDP vs Stand.(NVD)"});
+        for (const Strategy& strategy : strategies6x6()) {
+            ScarOptions opts;
+            opts.mode = SearchMode::Evolutionary;
+            opts.nsplits = nsplits;
+            const RunResult r = runStrategy(strategy, sc, OptTarget::Edp,
+                                            templates::kDatacenterPes,
+                                            opts);
+            results[nsplits][strategy.name] = r.metrics;
+            table.addRow({strategy.name,
+                          TextTable::num(r.metrics.latencySec, 3),
+                          TextTable::num(r.metrics.energyJ, 3),
+                          TextTable::num(r.metrics.edp(), 3),
+                          TextTable::num(r.metrics.edp() / base.edp(),
+                                         3)});
+            csv.addRow({std::to_string(nsplits), strategy.name,
+                        TextTable::num(r.metrics.latencySec, 6),
+                        TextTable::num(r.metrics.energyJ, 6),
+                        TextTable::num(r.metrics.edp(), 6),
+                        TextTable::num(r.metrics.edp() / base.edp(),
+                                       4)});
+        }
+        std::cout << table.render() << "\n";
+    }
+
+    for (int nsplits : {2, 3}) {
+        const auto& r = results[nsplits];
+        std::cout << "nsplits=" << nsplits
+                  << ": Het-Cross EDP improvement over Simba-6 (Shi) = "
+                  << TextTable::num(r.at("Simba-6 (Shi)").edp() /
+                                        r.at("Het-Cross").edp(),
+                                    2)
+                  << "x (paper 2.3x/1.9x), over Simba-6 (NVD) = "
+                  << TextTable::num(r.at("Simba-6 (NVD)").edp() /
+                                        r.at("Het-Cross").edp(),
+                                    2)
+                  << "x; latency improvement over Simba-6 (Shi) = "
+                  << TextTable::num(
+                         r.at("Simba-6 (Shi)").latencySec /
+                             r.at("Het-Cross").latencySec,
+                         2)
+                  << "x (paper 2.1x/1.8x)\n";
+    }
+    return 0;
+}

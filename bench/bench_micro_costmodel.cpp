@@ -1,0 +1,109 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the cost-model substrate:
+ * MaestroLite layer evaluation, cost-database construction, and
+ * window evaluation throughput. These bound the scheduler's search
+ * budget (every SCHED candidate costs one window evaluation).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/mcm_templates.h"
+#include "cost/cost_db.h"
+#include "cost/window_evaluator.h"
+#include "eval/scenario_suite.h"
+#include "workload/model_zoo.h"
+
+using namespace scar;
+
+namespace
+{
+
+void
+BM_MaestroLiteConv(benchmark::State& state)
+{
+    const MaestroLite model;
+    ChipletSpec spec;
+    spec.dataflow = state.range(0) == 0 ? Dataflow::NvdlaWS
+                                        : Dataflow::ShiOS;
+    Layer conv;
+    conv.type = OpType::Conv2D;
+    conv.dims = LayerDims{256, 128, 3, 3, 56, 56, 1, 1};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.evalLayer(conv, spec));
+    }
+}
+BENCHMARK(BM_MaestroLiteConv)->Arg(0)->Arg(1);
+
+void
+BM_MaestroLiteGemm(benchmark::State& state)
+{
+    const MaestroLite model;
+    ChipletSpec spec;
+    spec.dataflow = state.range(0) == 0 ? Dataflow::NvdlaWS
+                                        : Dataflow::ShiOS;
+    const Layer gemm = makeGemmLayer(0, "g", 128, 5120, 1280);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.evalLayer(gemm, spec));
+    }
+}
+BENCHMARK(BM_MaestroLiteGemm)->Arg(0)->Arg(1);
+
+void
+BM_CostDbBuildResNet(benchmark::State& state)
+{
+    Scenario sc;
+    sc.name = "r50";
+    sc.models = {zoo::resNet50(1)};
+    sc.finalize();
+    const Mcm mcm = templates::hetSides3x3();
+    for (auto _ : state) {
+        CostDb db(sc, mcm);
+        benchmark::DoNotOptimize(db.expectedLayerCycles(0, 0));
+    }
+}
+BENCHMARK(BM_CostDbBuildResNet);
+
+void
+BM_CostDbBuildScenario4(benchmark::State& state)
+{
+    const Scenario sc = suite::datacenterScenario(4);
+    const Mcm mcm = templates::hetSides3x3();
+    for (auto _ : state) {
+        CostDb db(sc, mcm);
+        benchmark::DoNotOptimize(db.expectedLayerCycles(0, 0));
+    }
+}
+BENCHMARK(BM_CostDbBuildScenario4);
+
+void
+BM_WindowEvaluate(benchmark::State& state)
+{
+    Scenario sc;
+    sc.name = "pair";
+    sc.models = {zoo::resNet50(4), zoo::bertBase(2)};
+    sc.finalize();
+    const Mcm mcm = templates::hetSides3x3();
+    const CostDb db(sc, mcm);
+    const WindowEvaluator eval(db);
+
+    WindowPlacement placement;
+    ModelPlacement a;
+    a.modelIdx = 0;
+    a.segments = {PlacedSegment{LayerRange{0, 30}, 0},
+                  PlacedSegment{LayerRange{31, 71}, 3}};
+    ModelPlacement b;
+    b.modelIdx = 1;
+    b.segments = {PlacedSegment{LayerRange{0, 17}, 2},
+                  PlacedSegment{LayerRange{18, 35}, 5}};
+    placement.models = {a, b};
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(eval.evaluate(placement));
+    }
+}
+BENCHMARK(BM_WindowEvaluate);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the scheduler engines:
+ * scheduling-tree path enumeration, per-window SCHED search, and the
+ * end-to-end SCAR run on a representative scenario.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/mcm_templates.h"
+#include "eval/scenario_suite.h"
+#include "sched/scar.h"
+#include "sched/sched_tree.h"
+#include "workload/model_zoo.h"
+
+using namespace scar;
+
+namespace
+{
+
+void
+BM_PathEnumeration(benchmark::State& state)
+{
+    const Topology topo = Topology::mesh(6, 6);
+    const std::vector<bool> blocked(36, false);
+    const int length = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            enumeratePathsAllRoots(topo, length, blocked, 96));
+    }
+}
+BENCHMARK(BM_PathEnumeration)->Arg(2)->Arg(4)->Arg(6);
+
+void
+BM_WindowSearch(benchmark::State& state)
+{
+    Scenario sc;
+    sc.name = "pair";
+    sc.models = {zoo::eyeCod(8), zoo::bertBase(2)};
+    sc.finalize();
+    const Mcm mcm = templates::hetSides3x3();
+    const CostDb db(sc, mcm);
+    const WindowScheduler sched(db, OptTarget::Edp);
+    WindowAssignment wa;
+    wa.perModel = {LayerRange{0, sc.models[0].numLayers() - 1},
+                   LayerRange{0, 11}};
+    for (auto _ : state) {
+        Rng rng(1);
+        benchmark::DoNotOptimize(sched.search(wa, {3, 3}, rng));
+    }
+}
+BENCHMARK(BM_WindowSearch);
+
+void
+BM_ScarFullRun(benchmark::State& state)
+{
+    const Scenario sc = suite::datacenterScenario(
+        static_cast<int>(state.range(0)));
+    const Mcm mcm = templates::hetSides3x3();
+    for (auto _ : state) {
+        Scar scar(sc, mcm, ScarOptions{});
+        benchmark::DoNotOptimize(scar.run());
+    }
+}
+BENCHMARK(BM_ScarFullRun)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void
+BM_ScarEvolutionary6x6(benchmark::State& state)
+{
+    const Scenario sc = suite::datacenterScenario(4);
+    const Mcm mcm = templates::hetCross6x6();
+    for (auto _ : state) {
+        ScarOptions opts;
+        opts.mode = SearchMode::Evolutionary;
+        opts.nsplits = 2;
+        Scar scar(sc, mcm, opts);
+        benchmark::DoNotOptimize(scar.run());
+    }
+}
+BENCHMARK(BM_ScarEvolutionary6x6)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

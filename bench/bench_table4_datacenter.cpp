@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Table IV + Figure 7 — the full datacenter evaluation on the 3x3 MCM
+ * templates: for each search objective, the end-to-end latency and EDP
+ * of the top-scoring schedule per (strategy, scenario) cell, plus the
+ * Figure 7 series normalized by the standalone NVDLA baseline.
+ *
+ * Paper shape targets (EDP search): scenarios 1-3 favor Simba (NVD)
+ * and the standalone NVDLA; scenarios 4-5 favor Het-Sides (46.02% /
+ * 25.18% less EDP than Simba (NVD)).
+ */
+
+#include <iostream>
+#include <map>
+
+#include "common/csv.h"
+#include "common/table.h"
+#include "bench_util.h"
+
+using namespace scar;
+using namespace scar::bench;
+
+int
+main()
+{
+    std::cout << "=== Table IV / Figure 7: datacenter scenarios on 3x3 "
+                 "MCMs ===\n\n";
+
+    const auto strategies = meshStrategies();
+    const std::vector<OptTarget> searches{
+        OptTarget::Latency, OptTarget::Energy, OptTarget::Edp};
+
+    // results[target][strategy][scenario]
+    std::map<OptTarget, std::map<std::string, std::vector<Metrics>>> all;
+    std::vector<Scenario> scenarios;
+    for (int idx = 1; idx <= 5; ++idx)
+        scenarios.push_back(suite::datacenterScenario(idx));
+
+    CsvWriter csv(csvPath("table4_datacenter"),
+                  {"search", "strategy", "scenario", "latency_s",
+                   "energy_j", "edp_js"});
+
+    for (OptTarget target : searches) {
+        for (const Strategy& strategy : strategies) {
+            auto& row = all[target][strategy.name];
+            for (const Scenario& sc : scenarios) {
+                const RunResult r = runStrategy(
+                    strategy, sc, target, templates::kDatacenterPes);
+                row.push_back(r.metrics);
+                csv.addRow({optTargetName(target), strategy.name,
+                            sc.name, TextTable::num(r.metrics.latencySec, 6),
+                            TextTable::num(r.metrics.energyJ, 6),
+                            TextTable::num(r.metrics.edp(), 6)});
+            }
+        }
+    }
+
+    // ---- Table IV: latency & EDP under Latency and EDP search. ----
+    for (OptTarget target : {OptTarget::Latency, OptTarget::Edp}) {
+        std::cout << "--- " << optTargetName(target) << " search ---\n";
+        TextTable table({"Strategy", "Sc1 Lat", "Sc2 Lat", "Sc3 Lat",
+                         "Sc4 Lat", "Sc5 Lat", "Sc1 EDP", "Sc2 EDP",
+                         "Sc3 EDP", "Sc4 EDP", "Sc5 EDP"});
+        for (const Strategy& strategy : strategies) {
+            std::vector<std::string> row{strategy.name};
+            const auto& metrics = all[target][strategy.name];
+            for (const Metrics& m : metrics)
+                row.push_back(TextTable::num(m.latencySec, 3));
+            for (const Metrics& m : metrics)
+                row.push_back(TextTable::num(m.edp(), 3));
+            table.addRow(std::move(row));
+        }
+        std::cout << table.render() << "\n";
+    }
+
+    // ---- Figure 7: all metrics normalized by Standalone (NVD). ----
+    std::cout << "--- Figure 7: normalized by Standalone (NVD) ---\n";
+    for (OptTarget target : searches) {
+        std::cout << optTargetName(target) << " search:\n";
+        TextTable table({"Strategy", "Metric", "Sc1", "Sc2", "Sc3",
+                         "Sc4", "Sc5"});
+        const auto& base = all[target]["Stand.(NVD)"];
+        for (const Strategy& strategy : strategies) {
+            if (strategy.standalone && strategy.name == "Stand.(NVD)")
+                continue;
+            const auto& metrics = all[target][strategy.name];
+            std::vector<std::string> lat{strategy.name, "latency"};
+            std::vector<std::string> nrg{strategy.name, "energy"};
+            std::vector<std::string> edp{strategy.name, "EDP"};
+            for (std::size_t i = 0; i < metrics.size(); ++i) {
+                lat.push_back(TextTable::num(
+                    metrics[i].latencySec / base[i].latencySec, 2));
+                nrg.push_back(TextTable::num(
+                    metrics[i].energyJ / base[i].energyJ, 2));
+                edp.push_back(TextTable::num(
+                    metrics[i].edp() / base[i].edp(), 2));
+            }
+            table.addRow(std::move(lat));
+            table.addRow(std::move(nrg));
+            table.addRow(std::move(edp));
+            table.addSeparator();
+        }
+        std::cout << table.render() << "\n";
+    }
+
+    // ---- Headline shape checks. ----
+    const auto& edpSearch = all[OptTarget::Edp];
+    const auto edpOf = [&](const std::string& name, int sc) {
+        return edpSearch.at(name)[sc].edp();
+    };
+    const bool homoWinsLight =
+        edpOf("Simba (NVD)", 0) <= edpOf("Het-Sides", 0) * 1.05;
+    // The crossover where heterogeneity starts winning: the paper
+    // places it at Sc4-5; under MaestroLite's idealized
+    // weight-stationary mapping it lands at Sc3 (see EXPERIMENTS.md).
+    int crossover = -1;
+    for (int sc = 0; sc < 5; ++sc) {
+        if (edpOf("Het-Sides", sc) < edpOf("Simba (NVD)", sc) &&
+            edpOf("Het-Sides", sc) < edpOf("Stand.(NVD)", sc)) {
+            crossover = sc + 1;
+            break;
+        }
+    }
+    const bool hetBeatsStandaloneHeavy =
+        edpOf("Het-Sides", 3) < edpOf("Stand.(NVD)", 3) &&
+        edpOf("Het-Sides", 4) < edpOf("Stand.(NVD)", 4);
+    const bool sidesBeatsCb =
+        edpOf("Het-Sides", 3) < edpOf("Het-CB", 3) &&
+        edpOf("Het-Sides", 4) < edpOf("Het-CB", 4);
+    std::cout << "Shape checks:\n";
+    std::cout << "  homogeneous NVD competitive on the light LLM "
+                 "scenario 1 "
+              << (homoWinsLight ? "[OK]" : "[MISS]") << "\n";
+    std::cout << "  heterogeneity crossover exists (paper: Sc4; here: "
+              << (crossover > 0 ? "Sc" + std::to_string(crossover)
+                                : "none")
+              << ") " << (crossover > 0 ? "[OK]" : "[MISS]") << "\n";
+    std::cout << "  Het-Sides beats standalone NVD on heavy Sc4-5 "
+              << (hetBeatsStandaloneHeavy ? "[OK]" : "[MISS]")
+              << " (paper: 1.7x / 1.25x better)\n";
+    std::cout << "  Het-Sides superior to Het-CB on heavy scenarios "
+              << (sidesBeatsCb ? "[OK]" : "[MISS]")
+              << " (paper Section V-B insight)\n";
+    return 0;
+}

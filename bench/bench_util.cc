@@ -1,0 +1,108 @@
+#include "bench_util.h"
+
+#include <filesystem>
+
+namespace scar
+{
+namespace bench
+{
+
+std::vector<Strategy>
+meshStrategies()
+{
+    return {
+        Strategy{"Stand.(Shi)", true,
+                 [](int pes) {
+                     return templates::simba3x3(Dataflow::ShiOS, pes);
+                 }},
+        Strategy{"Stand.(NVD)", true,
+                 [](int pes) {
+                     return templates::simba3x3(Dataflow::NvdlaWS, pes);
+                 }},
+        Strategy{"Simba (Shi)", false,
+                 [](int pes) {
+                     return templates::simba3x3(Dataflow::ShiOS, pes);
+                 }},
+        Strategy{"Simba (NVD)", false,
+                 [](int pes) {
+                     return templates::simba3x3(Dataflow::NvdlaWS, pes);
+                 }},
+        Strategy{"Het-CB", false,
+                 [](int pes) { return templates::hetCb3x3(pes); }},
+        Strategy{"Het-Sides", false,
+                 [](int pes) { return templates::hetSides3x3(pes); }},
+    };
+}
+
+std::vector<Strategy>
+triangularStrategies()
+{
+    return {
+        Strategy{"Simba-T (Shi)", false,
+                 [](int pes) {
+                     return templates::simbaTriangular(Dataflow::ShiOS,
+                                                       pes);
+                 }},
+        Strategy{"Simba-T (NVD)", false,
+                 [](int pes) {
+                     return templates::simbaTriangular(
+                         Dataflow::NvdlaWS, pes);
+                 }},
+        Strategy{"Het-T", false,
+                 [](int pes) { return templates::hetTriangular(pes); }},
+    };
+}
+
+std::vector<Strategy>
+strategies6x6()
+{
+    return {
+        Strategy{"Simba-6 (Shi)", false,
+                 [](int pes) {
+                     return templates::simba6x6(Dataflow::ShiOS, pes);
+                 }},
+        Strategy{"Simba-6 (NVD)", false,
+                 [](int pes) {
+                     return templates::simba6x6(Dataflow::NvdlaWS, pes);
+                 }},
+        Strategy{"Het-Cross", false,
+                 [](int pes) { return templates::hetCross6x6(pes); }},
+    };
+}
+
+Strategy
+standaloneNvd()
+{
+    return Strategy{"Stand.(NVD)", true, [](int pes) {
+                        return templates::simba3x3(Dataflow::NvdlaWS,
+                                                   pes);
+                    }};
+}
+
+RunResult
+runStrategy(const Strategy& strategy, const Scenario& scenario,
+            OptTarget target, int pes, ScarOptions base)
+{
+    const Mcm mcm = strategy.makeMcm(pes);
+    RunResult result;
+    if (strategy.standalone) {
+        result.schedule = scheduleStandalone(scenario, mcm);
+    } else {
+        base.target = target;
+        Scar scar(scenario, mcm, base);
+        result.schedule = scar.run();
+    }
+    result.metrics = result.schedule.metrics;
+    result.candidates = result.schedule.candidates;
+    return result;
+}
+
+std::string
+csvPath(const std::string& name)
+{
+    std::filesystem::create_directories("bench_results");
+    return "bench_results/" + name + ".csv";
+}
+
+} // namespace bench
+} // namespace scar

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared experiment-harness utilities for the bench binaries: the
+ * strategy catalog of Section V-A (standalone / Simba-like / Het-*)
+ * and uniform runners that produce end-to-end metrics plus candidate
+ * clouds for Pareto plots.
+ *
+ * Every bench binary regenerates one paper table or figure and prints
+ * the same rows/series the paper reports; raw series are additionally
+ * written as CSV under ./bench_results/.
+ */
+
+#ifndef SCAR_BENCH_BENCH_UTIL_H
+#define SCAR_BENCH_BENCH_UTIL_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/mcm_templates.h"
+#include "baselines/standalone.h"
+#include "eval/pareto.h"
+#include "eval/scenario_suite.h"
+#include "sched/scar.h"
+
+namespace scar
+{
+namespace bench
+{
+
+/** One evaluated MCM strategy: an MCM organization + scheduler kind. */
+struct Strategy
+{
+    std::string name;
+    bool standalone = false; ///< standalone baseline vs SCAR scheduling
+    std::function<Mcm(int pes)> makeMcm;
+};
+
+/** The six 3x3 strategies of Tables IV and V. */
+std::vector<Strategy> meshStrategies();
+
+/** The three triangular strategies of Figure 12. */
+std::vector<Strategy> triangularStrategies();
+
+/** The three 6x6 strategies of Figure 13. */
+std::vector<Strategy> strategies6x6();
+
+/** Standalone NVDLA reference strategy (normalization baseline). */
+Strategy standaloneNvd();
+
+/** Outcome of one (strategy, scenario, target) experiment cell. */
+struct RunResult
+{
+    Metrics metrics;
+    std::vector<Metrics> candidates;
+    ScheduleResult schedule;
+};
+
+/**
+ * Runs one experiment cell.
+ * @param strategy MCM organization + scheduler kind
+ * @param scenario workload
+ * @param target search objective (ignored for standalone)
+ * @param pes chiplet PE count (datacenter 4096 / AR/VR 256)
+ * @param base extra SCAR options (nsplits, mode, packing, ...)
+ */
+RunResult runStrategy(const Strategy& strategy, const Scenario& scenario,
+                      OptTarget target, int pes,
+                      ScarOptions base = ScarOptions{});
+
+/** Ensures ./bench_results exists and returns the CSV path for a name. */
+std::string csvPath(const std::string& name);
+
+} // namespace bench
+} // namespace scar
+
+#endif // SCAR_BENCH_BENCH_UTIL_H

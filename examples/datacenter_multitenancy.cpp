@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Datacenter multi-tenancy example (paper Table III, scenario 4):
+ * two LLMs, a segmentation model, and a batched image classifier are
+ * co-scheduled on a 3x3 heterogeneous MCM. The example compares the
+ * main MCM strategies under the EDP search and prints the winning
+ * schedule with its per-window latency breakdown (Figure 9/Table VI
+ * style).
+ */
+
+#include <iostream>
+
+#include "arch/mcm_templates.h"
+#include "baselines/standalone.h"
+#include "common/table.h"
+#include "eval/reporter.h"
+#include "sched/scar.h"
+#include "workload/model_zoo.h"
+
+int
+main()
+{
+    using namespace scar;
+
+    Scenario scenario;
+    scenario.name = "multitenant";
+    scenario.models = {zoo::gptL(8), zoo::bertLarge(24), zoo::uNet(1),
+                       zoo::resNet50(32)};
+    scenario.finalize();
+
+    std::cout << "Workload: " << scenario.name << " ("
+              << scenario.numModels() << " models, "
+              << scenario.totalLayers() << " layers)\n\n";
+
+    struct Entry
+    {
+        const char* name;
+        Mcm mcm;
+        bool standalone;
+    };
+    std::vector<Entry> entries;
+    entries.push_back({"Standalone (NVD)",
+                       templates::simba3x3(Dataflow::NvdlaWS), true});
+    entries.push_back({"Simba (NVD) + SCAR",
+                       templates::simba3x3(Dataflow::NvdlaWS), false});
+    entries.push_back({"Het-CB + SCAR", templates::hetCb3x3(), false});
+    entries.push_back({"Het-Sides + SCAR", templates::hetSides3x3(),
+                       false});
+
+    TextTable table({"Strategy", "Latency (s)", "Energy (J)",
+                     "EDP (J*s)"});
+    Metrics bestMetrics;
+    std::string bestName;
+    ScheduleResult bestResult;
+    Mcm bestMcm = entries.front().mcm;
+    double bestEdp = 1e30;
+
+    for (const Entry& entry : entries) {
+        ScheduleResult result;
+        if (entry.standalone) {
+            result = scheduleStandalone(scenario, entry.mcm);
+        } else {
+            ScarOptions opts;
+            opts.target = OptTarget::Edp;
+            Scar scar(scenario, entry.mcm, opts);
+            result = scar.run();
+        }
+        table.addRow({entry.name,
+                      TextTable::num(result.metrics.latencySec, 3),
+                      TextTable::num(result.metrics.energyJ, 3),
+                      TextTable::num(result.metrics.edp(), 3)});
+        if (result.metrics.edp() < bestEdp) {
+            bestEdp = result.metrics.edp();
+            bestName = entry.name;
+            bestResult = result;
+            bestMcm = entry.mcm;
+        }
+    }
+    std::cout << table.render() << "\n";
+    std::cout << "Best strategy: " << bestName << "\n\n";
+    std::cout << describeSchedule(scenario, bestMcm, bestResult) << "\n";
+    std::cout << describeWindowBreakdown(scenario, bestResult);
+    return 0;
+}

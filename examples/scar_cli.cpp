@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Command-line driver matching the paper's framework interface
+ * (Figure 4): takes a multi-model workload description file and an
+ * MCM specification file, runs the requested search, and reports the
+ * optimized schedule with its expected metrics.
+ *
+ * Usage:
+ *   scar_cli --workload configs/workload_datacenter.cfg \
+ *            --mcm configs/mcm_het_sides.cfg \
+ *            [--target latency|energy|edp] [--nsplits N] [--evo]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "eval/reporter.h"
+#include "io/config.h"
+#include "sched/scar.h"
+
+namespace
+{
+
+void
+usage(const char* argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " --workload FILE --mcm FILE [--target "
+                 "latency|energy|edp] [--nsplits N] [--evo]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace scar;
+
+    std::string workloadPath;
+    std::string mcmPath;
+    ScarOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto nextValue = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workloadPath = nextValue();
+        } else if (arg == "--mcm") {
+            mcmPath = nextValue();
+        } else if (arg == "--target") {
+            const std::string target = nextValue();
+            if (target == "latency") {
+                options.target = OptTarget::Latency;
+            } else if (target == "energy") {
+                options.target = OptTarget::Energy;
+            } else if (target == "edp") {
+                options.target = OptTarget::Edp;
+            } else {
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg == "--nsplits") {
+            options.nsplits = std::atoi(nextValue());
+        } else if (arg == "--evo") {
+            options.mode = SearchMode::Evolutionary;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (workloadPath.empty() || mcmPath.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    try {
+        const Scenario scenario = io::loadScenario(workloadPath);
+        const Mcm mcm = io::loadMcm(mcmPath);
+        Scar scar(scenario, mcm, options);
+        const ScheduleResult result = scar.run();
+        std::cout << describeSchedule(scenario, mcm, result) << "\n";
+        std::cout << describeWindowBreakdown(scenario, result);
+        return 0;
+    } catch (const FatalError& e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+}

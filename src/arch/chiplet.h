@@ -1,0 +1,37 @@
+/**
+ * @file
+ * AI accelerator chiplet description (paper Definition 2):
+ * c = {dataflow, N_PE, BW_noc, BW_mem, Sz_mem}.
+ */
+
+#ifndef SCAR_ARCH_CHIPLET_H
+#define SCAR_ARCH_CHIPLET_H
+
+#include "arch/dataflow.h"
+
+namespace scar
+{
+
+/** Microarchitectural parameters of one accelerator chiplet. */
+struct ChipletSpec
+{
+    Dataflow dataflow = Dataflow::NvdlaWS;
+    int numPes = 4096;          ///< processing engines (paper: 4096 DC, 256 AR/VR)
+    double bwNocGBps = 128.0;   ///< on-chiplet NoC bandwidth (PE array feed)
+    double bwMemGBps = 256.0;   ///< L2 shared-memory bandwidth
+    double l2Bytes = 10.0 * 1024 * 1024; ///< 10 MB L2 (paper Section V-A)
+};
+
+/** One chiplet instance placed on the package. */
+struct Chiplet
+{
+    int id = -1;            ///< node id in the NoP topology
+    int x = 0;              ///< grid column (mesh) / column-in-row (tri)
+    int y = 0;              ///< grid row
+    bool memInterface = false; ///< has a direct off-chip DRAM port
+    ChipletSpec spec;
+};
+
+} // namespace scar
+
+#endif // SCAR_ARCH_CHIPLET_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Accelerator dataflow styles (paper Section V-A).
+ *
+ * The paper builds heterogeneous MCMs from two proven styles [37]:
+ *  - NVDLA-like: weight-stationary, spatial parallelism over output
+ *    and input channels (K x C). Strong on GEMM-shaped and late CNN
+ *    layers where K*C is large; weak on early CNN layers.
+ *  - Shi-diannao-like: output-stationary, spatial parallelism over the
+ *    output pixel grid (OY x OX). Strong on early CNN layers with
+ *    large spatial extents; weak on GEMM layers (few output rows).
+ */
+
+#ifndef SCAR_ARCH_DATAFLOW_H
+#define SCAR_ARCH_DATAFLOW_H
+
+#include <array>
+
+namespace scar
+{
+
+/**
+ * Chiplet dataflow class.
+ *
+ * The paper evaluates NVDLA-like and Shi-diannao-like chiplets; the
+ * formulation (Eq. 1 averages over |DF| classes) supports any number,
+ * and this repo additionally ships an Eyeriss-style row-stationary
+ * class as the extension the conclusion motivates.
+ */
+enum class Dataflow
+{
+    NvdlaWS,   ///< weight-stationary, K x C spatial mapping
+    ShiOS,     ///< output-stationary, OY x OX spatial mapping
+    EyerissRS, ///< row-stationary, K x OY spatial mapping (extension)
+};
+
+/** Number of dataflow classes supported on MCMs in this repo. */
+constexpr int kNumDataflows = 3;
+
+/** All dataflow classes, for iteration. */
+constexpr std::array<Dataflow, kNumDataflows> kAllDataflows = {
+    Dataflow::NvdlaWS, Dataflow::ShiOS, Dataflow::EyerissRS};
+
+/** Dense index of a dataflow, for array-backed tables. */
+constexpr int
+dataflowIndex(Dataflow df)
+{
+    switch (df) {
+      case Dataflow::NvdlaWS:   return 0;
+      case Dataflow::ShiOS:     return 1;
+      case Dataflow::EyerissRS: return 2;
+    }
+    return 0;
+}
+
+/** Short display name ("NVD" / "Shi" / "RS"). */
+constexpr const char*
+dataflowName(Dataflow df)
+{
+    switch (df) {
+      case Dataflow::NvdlaWS:   return "NVD";
+      case Dataflow::ShiOS:     return "Shi";
+      case Dataflow::EyerissRS: return "RS";
+    }
+    return "?";
+}
+
+} // namespace scar
+
+#endif // SCAR_ARCH_DATAFLOW_H

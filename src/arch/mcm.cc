@@ -1,0 +1,83 @@
+#include "arch/mcm.h"
+
+#include "common/error.h"
+
+namespace scar
+{
+
+Mcm::Mcm(std::string name, std::vector<Chiplet> chiplets, Topology topo,
+         PackageParams params)
+    : name_(std::move(name)), chiplets_(std::move(chiplets)),
+      topo_(std::move(topo)), params_(params)
+{
+    SCAR_REQUIRE(!chiplets_.empty(), "MCM needs at least one chiplet");
+    SCAR_REQUIRE(static_cast<int>(chiplets_.size()) == topo_.numNodes(),
+                 "chiplet count ", chiplets_.size(),
+                 " != topology nodes ", topo_.numNodes());
+    for (std::size_t i = 0; i < chiplets_.size(); ++i) {
+        SCAR_REQUIRE(chiplets_[i].id == static_cast<int>(i),
+                     "chiplet id ", chiplets_[i].id, " at position ", i);
+        if (chiplets_[i].memInterface)
+            memIfs_.push_back(chiplets_[i].id);
+    }
+    SCAR_REQUIRE(!memIfs_.empty(),
+                 "MCM needs at least one memory-interface chiplet");
+
+    nearestMemIf_.resize(chiplets_.size());
+    for (int c = 0; c < numChiplets(); ++c) {
+        int best = memIfs_.front();
+        for (int m : memIfs_) {
+            if (topo_.hops(c, m) < topo_.hops(c, best))
+                best = m;
+        }
+        nearestMemIf_[c] = best;
+    }
+}
+
+const Chiplet&
+Mcm::chiplet(int id) const
+{
+    SCAR_ASSERT(id >= 0 && id < numChiplets(), "bad chiplet id ", id);
+    return chiplets_[id];
+}
+
+int
+Mcm::numWithDataflow(Dataflow df) const
+{
+    int count = 0;
+    for (const Chiplet& c : chiplets_) {
+        if (c.spec.dataflow == df)
+            ++count;
+    }
+    return count;
+}
+
+int
+Mcm::nearestMemInterface(int chipletId) const
+{
+    SCAR_ASSERT(chipletId >= 0 && chipletId < numChiplets(),
+                "bad chiplet id ", chipletId);
+    return nearestMemIf_[chipletId];
+}
+
+int
+Mcm::hopsToMem(int chipletId) const
+{
+    return topo_.hops(chipletId, nearestMemInterface(chipletId));
+}
+
+ChipletSpec
+Mcm::specForDataflow(Dataflow df) const
+{
+    for (const Chiplet& c : chiplets_) {
+        if (c.spec.dataflow == df)
+            return c.spec;
+    }
+    // Class not present: return a default-shaped spec with the asked
+    // dataflow so expectation formulas remain well defined.
+    ChipletSpec spec = chiplets_.front().spec;
+    spec.dataflow = df;
+    return spec;
+}
+
+} // namespace scar

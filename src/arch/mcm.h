@@ -1,0 +1,86 @@
+/**
+ * @file
+ * MCM AI accelerator description (paper Definition 3):
+ * H = {C, BW_offchip, BW_nop} plus the package-level microarchitecture
+ * constants of Table II.
+ */
+
+#ifndef SCAR_ARCH_MCM_H
+#define SCAR_ARCH_MCM_H
+
+#include <string>
+#include <vector>
+
+#include "arch/chiplet.h"
+#include "arch/topology.h"
+
+namespace scar
+{
+
+/** Package/off-chip constants (paper Table II, 28 nm scaled). */
+struct PackageParams
+{
+    double bwNopGBps = 100.0;      ///< NoP bandwidth per chiplet link
+    double nopHopLatencyNs = 35.0; ///< NoP interconnect latency per hop
+    double nopEnergyPjPerBit = 2.04;
+    double bwOffchipGBps = 64.0;   ///< DRAM bandwidth
+    double dramLatencyNs = 200.0;  ///< DRAM access latency
+    double dramEnergyPjPerBit = 14.8;
+};
+
+/**
+ * A multi-chip module: chiplets + NoP topology + off-chip interfaces.
+ *
+ * Off-chip DRAM is reachable through memory-interface chiplets placed
+ * on the package sides (paper Section III-A / V-A); a transfer between
+ * DRAM and chiplet c traverses the NoP from c's nearest interface.
+ */
+class Mcm
+{
+  public:
+    /**
+     * @param name display name of the MCM organization (e.g. "Het-Sides")
+     * @param chiplets chiplet list; ids must equal vector positions
+     * @param topo NoP topology over the chiplet ids
+     * @param params package constants
+     */
+    Mcm(std::string name, std::vector<Chiplet> chiplets, Topology topo,
+        PackageParams params = PackageParams{});
+
+    const std::string& name() const { return name_; }
+    int numChiplets() const { return static_cast<int>(chiplets_.size()); }
+    const Chiplet& chiplet(int id) const;
+    const std::vector<Chiplet>& chiplets() const { return chiplets_; }
+    const Topology& topology() const { return topo_; }
+    const PackageParams& params() const { return params_; }
+
+    /** Number of chiplets implementing the given dataflow (n_df). */
+    int numWithDataflow(Dataflow df) const;
+
+    /** Chiplet ids that carry an off-chip memory interface. */
+    const std::vector<int>& memInterfaces() const { return memIfs_; }
+
+    /** Nearest memory-interface chiplet to the given chiplet. */
+    int nearestMemInterface(int chipletId) const;
+
+    /** NoP hops from a chiplet to its nearest memory interface. */
+    int hopsToMem(int chipletId) const;
+
+    /**
+     * A representative spec for each dataflow class present on the
+     * package (all chiplets of one class are identical in this work).
+     */
+    ChipletSpec specForDataflow(Dataflow df) const;
+
+  private:
+    std::string name_;
+    std::vector<Chiplet> chiplets_;
+    Topology topo_;
+    PackageParams params_;
+    std::vector<int> memIfs_;
+    std::vector<int> nearestMemIf_; ///< per chiplet
+};
+
+} // namespace scar
+
+#endif // SCAR_ARCH_MCM_H

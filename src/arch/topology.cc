@@ -1,0 +1,191 @@
+#include "arch/topology.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.h"
+
+namespace scar
+{
+
+Topology
+Topology::mesh(int width, int height)
+{
+    SCAR_REQUIRE(width >= 1 && height >= 1, "mesh dims must be positive");
+    Topology topo;
+    topo.meshWidth_ = width;
+    topo.meshHeight_ = height;
+    const int n = width * height;
+    topo.adj_.resize(n);
+    auto id = [width](int x, int y) { return y * width + x; };
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            if (x + 1 < width) {
+                topo.adj_[id(x, y)].push_back(id(x + 1, y));
+                topo.adj_[id(x + 1, y)].push_back(id(x, y));
+            }
+            if (y + 1 < height) {
+                topo.adj_[id(x, y)].push_back(id(x, y + 1));
+                topo.adj_[id(x, y + 1)].push_back(id(x, y));
+            }
+        }
+    }
+    topo.computeHopMatrix();
+    return topo;
+}
+
+Topology
+Topology::triangular(int topRow, int numRows)
+{
+    SCAR_REQUIRE(topRow >= 1 && numRows >= 1,
+                 "triangular dims must be positive");
+    // Row starts: row i has topRow + i nodes.
+    std::vector<int> rowStart(numRows + 1, 0);
+    for (int i = 0; i < numRows; ++i)
+        rowStart[i + 1] = rowStart[i] + topRow + i;
+
+    Topology topo;
+    topo.adj_.resize(rowStart[numRows]);
+    auto link = [&](int a, int b) {
+        topo.adj_[a].push_back(b);
+        topo.adj_[b].push_back(a);
+    };
+    for (int row = 0; row < numRows; ++row) {
+        const int width = topRow + row;
+        for (int col = 0; col < width; ++col) {
+            const int node = rowStart[row] + col;
+            if (col + 1 < width)
+                link(node, node + 1);
+            if (row + 1 < numRows) {
+                // Triangle lattice: a node overlaps two nodes below.
+                link(node, rowStart[row + 1] + col);
+                link(node, rowStart[row + 1] + col + 1);
+            }
+        }
+    }
+    topo.computeHopMatrix();
+    return topo;
+}
+
+Topology
+Topology::fromAdjacency(std::vector<std::vector<int>> adj)
+{
+    SCAR_REQUIRE(!adj.empty(), "adjacency must be non-empty");
+    const int n = static_cast<int>(adj.size());
+    for (const auto& nbrs : adj) {
+        for (int v : nbrs)
+            SCAR_REQUIRE(v >= 0 && v < n, "adjacency index out of range");
+    }
+    Topology topo;
+    topo.adj_ = std::move(adj);
+    topo.computeHopMatrix();
+    return topo;
+}
+
+const std::vector<int>&
+Topology::neighbors(int node) const
+{
+    SCAR_ASSERT(node >= 0 && node < numNodes(), "bad node ", node);
+    return adj_[node];
+}
+
+void
+Topology::computeHopMatrix()
+{
+    const int n = numNodes();
+    hopMatrix_.assign(n, std::vector<int>(n, -1));
+    for (int src = 0; src < n; ++src) {
+        std::queue<int> frontier;
+        hopMatrix_[src][src] = 0;
+        frontier.push(src);
+        while (!frontier.empty()) {
+            const int u = frontier.front();
+            frontier.pop();
+            for (int v : adj_[u]) {
+                if (hopMatrix_[src][v] < 0) {
+                    hopMatrix_[src][v] = hopMatrix_[src][u] + 1;
+                    frontier.push(v);
+                }
+            }
+        }
+        for (int dst = 0; dst < n; ++dst) {
+            SCAR_REQUIRE(hopMatrix_[src][dst] >= 0,
+                         "topology is disconnected at node ", dst);
+        }
+    }
+}
+
+int
+Topology::hops(int src, int dst) const
+{
+    SCAR_ASSERT(src >= 0 && src < numNodes(), "bad src ", src);
+    SCAR_ASSERT(dst >= 0 && dst < numNodes(), "bad dst ", dst);
+    return hopMatrix_[src][dst];
+}
+
+std::vector<int>
+Topology::route(int src, int dst) const
+{
+    SCAR_ASSERT(src >= 0 && src < numNodes(), "bad src ", src);
+    SCAR_ASSERT(dst >= 0 && dst < numNodes(), "bad dst ", dst);
+    if (!isMesh())
+        return bfsPath(src, dst);
+
+    // Deterministic XY routing: travel along X, then along Y.
+    std::vector<int> path;
+    int x = src % meshWidth_;
+    int y = src / meshWidth_;
+    const int dx = dst % meshWidth_;
+    const int dy = dst / meshWidth_;
+    path.push_back(src);
+    while (x != dx) {
+        x += (dx > x) ? 1 : -1;
+        path.push_back(y * meshWidth_ + x);
+    }
+    while (y != dy) {
+        y += (dy > y) ? 1 : -1;
+        path.push_back(y * meshWidth_ + x);
+    }
+    return path;
+}
+
+std::vector<Link>
+Topology::routeLinks(int src, int dst) const
+{
+    const std::vector<int> path = route(src, dst);
+    std::vector<Link> links;
+    links.reserve(path.size());
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        links.emplace_back(path[i], path[i + 1]);
+    return links;
+}
+
+std::vector<int>
+Topology::bfsPath(int src, int dst) const
+{
+    std::vector<int> parent(numNodes(), -1);
+    std::queue<int> frontier;
+    parent[src] = src;
+    frontier.push(src);
+    while (!frontier.empty()) {
+        const int u = frontier.front();
+        frontier.pop();
+        if (u == dst)
+            break;
+        for (int v : adj_[u]) {
+            if (parent[v] < 0) {
+                parent[v] = u;
+                frontier.push(v);
+            }
+        }
+    }
+    SCAR_ASSERT(parent[dst] >= 0, "no path ", src, "->", dst);
+    std::vector<int> path;
+    for (int v = dst; v != src; v = parent[v])
+        path.push_back(v);
+    path.push_back(src);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+} // namespace scar

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Network-on-package topology.
+ *
+ * The default is the Simba-style 2D mesh with XY routing; the
+ * scheduler itself only consumes adjacency and routes, so any
+ * connected graph works (paper Section V-E generalizes to triangular
+ * topologies through the adjacency matrix).
+ */
+
+#ifndef SCAR_ARCH_TOPOLOGY_H
+#define SCAR_ARCH_TOPOLOGY_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace scar
+{
+
+/** A directed NoP link (src node, dst node). */
+using Link = std::pair<int, int>;
+
+/** Connected NoP graph with shortest-path routing. */
+class Topology
+{
+  public:
+    /** Builds a width x height 2D mesh (XY-routed). */
+    static Topology mesh(int width, int height);
+
+    /**
+     * Builds a triangular arrangement: row i (0-based) holds
+     * `topRow + i` nodes; each node links to its row neighbours and to
+     * the two overlapping nodes of the next row (triangle lattice).
+     */
+    static Topology triangular(int topRow, int numRows);
+
+    /** Builds a topology from an explicit adjacency list. */
+    static Topology fromAdjacency(std::vector<std::vector<int>> adj);
+
+    /** Number of nodes. */
+    int numNodes() const { return static_cast<int>(adj_.size()); }
+
+    /** Neighbours of a node. */
+    const std::vector<int>& neighbors(int node) const;
+
+    /** Hop count of the routed path between two nodes. */
+    int hops(int src, int dst) const;
+
+    /**
+     * The routed node sequence from src to dst inclusive.
+     * Mesh topologies use deterministic XY routing (paper Section V-A);
+     * other topologies use BFS shortest paths.
+     */
+    std::vector<int> route(int src, int dst) const;
+
+    /** The directed links traversed by route(src, dst). */
+    std::vector<Link> routeLinks(int src, int dst) const;
+
+    /** True for XY-routed meshes. */
+    bool isMesh() const { return meshWidth_ > 0; }
+
+    /** Mesh width (0 when not a mesh). */
+    int meshWidth() const { return meshWidth_; }
+    /** Mesh height (0 when not a mesh). */
+    int meshHeight() const { return meshHeight_; }
+
+  private:
+    Topology() = default;
+
+    void computeHopMatrix();
+    std::vector<int> bfsPath(int src, int dst) const;
+
+    std::vector<std::vector<int>> adj_;
+    std::vector<std::vector<int>> hopMatrix_;
+    int meshWidth_ = 0;
+    int meshHeight_ = 0;
+};
+
+} // namespace scar
+
+#endif // SCAR_ARCH_TOPOLOGY_H

@@ -1,0 +1,111 @@
+#include "baselines/nn_baton.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "sched/sched_tree.h"
+
+namespace scar
+{
+
+namespace
+{
+
+/** Splits [0, n) into `parts` near-equal contiguous ranges. */
+std::vector<LayerRange>
+balancedRanges(int n, int parts)
+{
+    std::vector<LayerRange> ranges;
+    int start = 0;
+    for (int p = 0; p < parts; ++p) {
+        const int count = n / parts + (p < n % parts ? 1 : 0);
+        if (count > 0) {
+            ranges.push_back(LayerRange{start, start + count - 1});
+            start += count;
+        }
+    }
+    return ranges;
+}
+
+/** Max per-segment weight bytes for a balanced split into `parts`. */
+double
+maxSegmentWeights(const Model& model, int parts)
+{
+    double worst = 0.0;
+    for (const LayerRange& r : balancedRanges(model.numLayers(), parts)) {
+        double bytes = 0.0;
+        for (int l = r.first; l <= r.last; ++l)
+            bytes += model.layers[l].weightBytes();
+        worst = std::max(worst, bytes);
+    }
+    return worst;
+}
+
+} // namespace
+
+ScheduleResult
+scheduleNnBaton(const Scenario& scenario, const Mcm& mcm, int startChiplet,
+                EvaluatorOptions evalOpts)
+{
+    SCAR_REQUIRE(startChiplet >= 0 && startChiplet < mcm.numChiplets(),
+                 "bad start chiplet ", startChiplet);
+    const CostDb db(scenario, mcm);
+    const WindowEvaluator evaluator(db, evalOpts);
+    const double l2 = mcm.chiplet(startChiplet).spec.l2Bytes;
+
+    ScheduleResult result;
+    double cycles = 0.0;
+    double energyNj = 0.0;
+
+    // One window per model, executed back to back (sequential).
+    for (int m = 0; m < scenario.numModels(); ++m) {
+        const Model& model = scenario.models[m];
+
+        // Partition only on insufficient resources: grow the chiplet
+        // count until each balanced segment's weights fit in L2 (or
+        // the package runs out of chiplets).
+        int parts = 1;
+        while (parts < mcm.numChiplets() &&
+               maxSegmentWeights(model, parts) > l2) {
+            ++parts;
+        }
+        parts = std::min(parts, model.numLayers());
+
+        // The model occupies a path starting at the fixed chiplet.
+        std::vector<bool> blocked(mcm.numChiplets(), false);
+        auto paths = enumeratePaths(mcm.topology(), startChiplet, parts,
+                                    blocked, 1);
+        SCAR_REQUIRE(!paths.empty(), "no path of length ", parts,
+                     " from chiplet ", startChiplet);
+
+        WindowPlacement placement;
+        ModelPlacement mp;
+        mp.modelIdx = m;
+        const auto ranges = balancedRanges(model.numLayers(), parts);
+        for (std::size_t k = 0; k < ranges.size(); ++k)
+            mp.segments.push_back(PlacedSegment{ranges[k],
+                                                paths.front()[k]});
+        placement.models.push_back(std::move(mp));
+
+        ScheduledWindow window;
+        window.assignment.perModel.resize(scenario.numModels());
+        window.assignment.perModel[m] =
+            LayerRange{0, model.numLayers() - 1};
+        window.nodes.assign(scenario.numModels(), 0);
+        window.nodes[m] = parts;
+        window.cost = evaluator.evaluate(placement);
+        window.placement = std::move(placement);
+
+        cycles += window.cost.latencyCycles;
+        energyNj += window.cost.energyNj;
+        result.windows.push_back(std::move(window));
+    }
+
+    result.metrics = Metrics{cyclesToSeconds(cycles),
+                             njToJoules(energyNj)};
+    result.candidates.push_back(result.metrics);
+    return result;
+}
+
+} // namespace scar

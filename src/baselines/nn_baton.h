@@ -1,0 +1,34 @@
+/**
+ * @file
+ * NN-baton-style baseline scheduler (paper Sections II-C and V).
+ *
+ * NN-baton [68] targets single-model workloads: a model occupies its
+ * starting chiplet and is partitioned across additional chiplets only
+ * when a single chiplet's resources do not suffice. It is agnostic to
+ * heterogeneous MCM composition. For multi-model workloads it runs the
+ * models sequentially from the same starting chiplet (Figure 2, B1).
+ */
+
+#ifndef SCAR_BASELINES_NN_BATON_H
+#define SCAR_BASELINES_NN_BATON_H
+
+#include "sched/scar.h"
+
+namespace scar
+{
+
+/**
+ * Schedules the scenario NN-baton style: one time window per model,
+ * executed sequentially. A model spreads over the minimum number of
+ * chiplets (a path from the starting chiplet) such that every
+ * segment's weight working set fits the chiplet L2.
+ * @param startChiplet the fixed starting chiplet (default 0)
+ */
+ScheduleResult scheduleNnBaton(const Scenario& scenario, const Mcm& mcm,
+                               int startChiplet = 0,
+                               EvaluatorOptions evalOpts =
+                                   EvaluatorOptions{});
+
+} // namespace scar
+
+#endif // SCAR_BASELINES_NN_BATON_H

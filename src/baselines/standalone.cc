@@ -1,0 +1,69 @@
+#include "baselines/standalone.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "sched/greedy_packing.h"
+
+namespace scar
+{
+
+ScheduleResult
+scheduleStandalone(const Scenario& scenario, const Mcm& mcm,
+                   EvaluatorOptions evalOpts)
+{
+    SCAR_REQUIRE(scenario.numModels() <= mcm.numChiplets(),
+                 "standalone needs one chiplet per model: ",
+                 scenario.numModels(), " models vs ", mcm.numChiplets(),
+                 " chiplets");
+
+    const CostDb db(scenario, mcm);
+    const WindowEvaluator evaluator(db, evalOpts);
+
+    // Chiplets sorted by proximity to a memory interface; the most
+    // compute-hungry models take the closest ports.
+    std::vector<int> chipletOrder(mcm.numChiplets());
+    std::iota(chipletOrder.begin(), chipletOrder.end(), 0);
+    std::sort(chipletOrder.begin(), chipletOrder.end(),
+              [&](int a, int b) {
+                  return mcm.hopsToMem(a) < mcm.hopsToMem(b);
+              });
+
+    std::vector<int> modelOrder(scenario.numModels());
+    std::iota(modelOrder.begin(), modelOrder.end(), 0);
+    std::sort(modelOrder.begin(), modelOrder.end(), [&](int a, int b) {
+        return expectedModelCycles(db, a) > expectedModelCycles(db, b);
+    });
+
+    WindowPlacement placement;
+    for (int i = 0; i < scenario.numModels(); ++i) {
+        const int m = modelOrder[i];
+        ModelPlacement mp;
+        mp.modelIdx = m;
+        mp.segments.push_back(PlacedSegment{
+            LayerRange{0, scenario.models[m].numLayers() - 1},
+            chipletOrder[i]});
+        placement.models.push_back(std::move(mp));
+    }
+
+    ScheduledWindow window;
+    window.assignment.perModel.resize(scenario.numModels());
+    window.nodes.assign(scenario.numModels(), 1);
+    for (int m = 0; m < scenario.numModels(); ++m) {
+        window.assignment.perModel[m] =
+            LayerRange{0, scenario.models[m].numLayers() - 1};
+    }
+    window.cost = evaluator.evaluate(placement);
+    window.placement = std::move(placement);
+
+    ScheduleResult result;
+    result.metrics = Metrics{cyclesToSeconds(window.cost.latencyCycles),
+                             njToJoules(window.cost.energyNj)};
+    result.candidates.push_back(result.metrics);
+    result.windows.push_back(std::move(window));
+    return result;
+}
+
+} // namespace scar

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Standalone baseline (paper Section V-A): every model runs entirely
+ * on a single accelerator chiplet; models execute concurrently on
+ * distinct chiplets. Used with homogeneous MCMs ("Standalone (Shi)" /
+ * "Standalone (NVD)").
+ */
+
+#ifndef SCAR_BASELINES_STANDALONE_H
+#define SCAR_BASELINES_STANDALONE_H
+
+#include "sched/scar.h"
+
+namespace scar
+{
+
+/**
+ * Schedules each model onto one chiplet (models ordered by expected
+ * compute take the chiplets closest to a memory interface) and
+ * evaluates the single resulting window.
+ * Requires numModels <= numChiplets.
+ */
+ScheduleResult scheduleStandalone(const Scenario& scenario, const Mcm& mcm,
+                                  EvaluatorOptions evalOpts =
+                                      EvaluatorOptions{});
+
+} // namespace scar
+
+#endif // SCAR_BASELINES_STANDALONE_H

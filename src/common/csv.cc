@@ -1,0 +1,56 @@
+#include "common/csv.h"
+
+#include "common/error.h"
+
+namespace scar
+{
+
+namespace
+{
+
+std::string
+escapeCell(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> headers)
+    : out_(path), arity_(headers.size())
+{
+    SCAR_REQUIRE(arity_ > 0, "CSV needs at least one column");
+    SCAR_REQUIRE(out_.good(), "cannot open CSV output: ", path);
+    writeRow(headers);
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string>& cells)
+{
+    SCAR_REQUIRE(cells.size() == arity_,
+                 "CSV row arity ", cells.size(), " != ", arity_);
+    writeRow(cells);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string>& cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            out_ << ",";
+        out_ << escapeCell(cells[i]);
+    }
+    out_ << "\n";
+}
+
+} // namespace scar

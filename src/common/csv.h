@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small CSV writer used by bench binaries to dump raw series for
+ * figure regeneration (Pareto points, sweep curves).
+ */
+
+#ifndef SCAR_COMMON_CSV_H
+#define SCAR_COMMON_CSV_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace scar
+{
+
+/** Writes rows of string cells to a file in RFC-4180-ish CSV form. */
+class CsvWriter
+{
+  public:
+    /**
+     * Opens the output file and writes the header row.
+     * @param path destination file path
+     * @param headers column names
+     */
+    CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+    /** Appends one row (quotes cells containing separators). */
+    void addRow(const std::vector<std::string>& cells);
+
+    /** True if the output stream is healthy. */
+    bool good() const { return out_.good(); }
+
+  private:
+    void writeRow(const std::vector<std::string>& cells);
+
+    std::ofstream out_;
+    std::size_t arity_;
+};
+
+} // namespace scar
+
+#endif // SCAR_COMMON_CSV_H

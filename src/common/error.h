@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Error-reporting helpers, modeled after gem5's fatal()/panic() split:
+ * fatal for user-caused conditions (bad configuration), panic for
+ * internal invariant violations (simulator bugs).
+ */
+
+#ifndef SCAR_COMMON_ERROR_H
+#define SCAR_COMMON_ERROR_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace scar
+{
+
+/** Thrown when user-provided configuration or input is invalid. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg)
+        : std::runtime_error("fatal: " + msg)
+    {}
+};
+
+/** Thrown when an internal invariant is violated (a SCAR bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& msg)
+        : std::logic_error("panic: " + msg)
+    {}
+};
+
+namespace detail
+{
+
+/** Concatenates any streamable arguments into one message string. */
+template <typename... Args>
+std::string
+concatMessage(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Raises a FatalError. Use for conditions caused by the caller/user,
+ * e.g. malformed scenarios or inconsistent MCM configurations.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    throw FatalError(detail::concatMessage(std::forward<Args>(args)...));
+}
+
+/**
+ * Raises a PanicError. Use for conditions that indicate a bug in SCAR
+ * itself, regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    throw PanicError(detail::concatMessage(std::forward<Args>(args)...));
+}
+
+/** Checks a user-input condition; raises FatalError with context if false. */
+#define SCAR_REQUIRE(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::scar::fatal("requirement '", #cond, "' failed at ",           \
+                          __FILE__, ":", __LINE__, ": ", __VA_ARGS__);      \
+        }                                                                   \
+    } while (0)
+
+/** Checks an internal invariant; raises PanicError with context if false. */
+#define SCAR_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::scar::panic("assertion '", #cond, "' failed at ",             \
+                          __FILE__, ":", __LINE__, ": ", __VA_ARGS__);      \
+        }                                                                   \
+    } while (0)
+
+} // namespace scar
+
+#endif // SCAR_COMMON_ERROR_H

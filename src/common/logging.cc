@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace scar
+{
+
+namespace
+{
+
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+
+const char*
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Silent: return "silent";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel.store(level);
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel.load();
+}
+
+namespace detail
+{
+
+void
+logMessage(LogLevel level, const std::string& msg)
+{
+    std::cerr << "[scar:" << levelTag(level) << "] " << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace scar

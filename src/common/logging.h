@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal leveled logger for scheduler progress and diagnostics.
+ *
+ * Follows gem5's message taxonomy: inform() for normal status, warn()
+ * for suspicious-but-survivable conditions. Verbosity is a process-wide
+ * setting so benches can silence search progress.
+ */
+
+#ifndef SCAR_COMMON_LOGGING_H
+#define SCAR_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace scar
+{
+
+/** Severity levels, in increasing order of importance. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Silent = 3 };
+
+/** Sets the global minimum level that is actually printed. */
+void setLogLevel(LogLevel level);
+
+/** Returns the current global log level. */
+LogLevel logLevel();
+
+namespace detail
+{
+
+void logMessage(LogLevel level, const std::string& msg);
+
+template <typename... Args>
+void
+logFormatted(LogLevel level, Args&&... args)
+{
+    if (static_cast<int>(level) < static_cast<int>(logLevel()))
+        return;
+    std::ostringstream oss;
+    (oss << ... << args);
+    logMessage(level, oss.str());
+}
+
+} // namespace detail
+
+/** Logs a debug-level message (hidden by default). */
+template <typename... Args>
+void
+debug(Args&&... args)
+{
+    detail::logFormatted(LogLevel::Debug, std::forward<Args>(args)...);
+}
+
+/** Logs an informational status message. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::logFormatted(LogLevel::Info, std::forward<Args>(args)...);
+}
+
+/** Logs a warning about a suspicious but non-fatal condition. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::logFormatted(LogLevel::Warn, std::forward<Args>(args)...);
+}
+
+} // namespace scar
+
+#endif // SCAR_COMMON_LOGGING_H

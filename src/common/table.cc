@@ -1,0 +1,86 @@
+#include "common/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace scar
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    SCAR_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    SCAR_REQUIRE(cells.size() == headers_.size(),
+                 "row arity ", cells.size(), " != header arity ",
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+    ++numDataRows_;
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back(); // empty marker row
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    auto renderLine = [&](const std::vector<std::string>& cells) {
+        std::ostringstream oss;
+        oss << "|";
+        for (std::size_t i = 0; i < headers_.size(); ++i) {
+            const std::string& cell = i < cells.size() ? cells[i] : "";
+            oss << " " << cell
+                << std::string(widths[i] - cell.size(), ' ') << " |";
+        }
+        oss << "\n";
+        return oss.str();
+    };
+
+    auto separator = [&]() {
+        std::ostringstream oss;
+        oss << "+";
+        for (std::size_t w : widths)
+            oss << std::string(w + 2, '-') << "+";
+        oss << "\n";
+        return oss.str();
+    };
+
+    std::ostringstream out;
+    out << separator() << renderLine(headers_) << separator();
+    for (const auto& row : rows_) {
+        if (row.empty()) {
+            out << separator();
+        } else {
+            out << renderLine(row);
+        }
+    }
+    out << separator();
+    return out.str();
+}
+
+} // namespace scar

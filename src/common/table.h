@@ -1,0 +1,48 @@
+/**
+ * @file
+ * ASCII table formatting for the experiment harness.
+ *
+ * Bench binaries print paper-style tables (Table IV, Table V, ...) with
+ * this helper so every experiment emits uniformly aligned rows.
+ */
+
+#ifndef SCAR_COMMON_TABLE_H
+#define SCAR_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace scar
+{
+
+/** Accumulates rows of string cells and renders an aligned table. */
+class TextTable
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Appends one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Appends a horizontal separator row. */
+    void addSeparator();
+
+    /** Renders the table with padded columns. */
+    std::string render() const;
+
+    /** Number of data rows added so far (separators excluded). */
+    std::size_t rowCount() const { return numDataRows_; }
+
+    /** Formats a double with the given precision, for cell values. */
+    static std::string num(double value, int precision = 3);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_; // empty row == separator
+    std::size_t numDataRows_ = 0;
+};
+
+} // namespace scar
+
+#endif // SCAR_COMMON_TABLE_H

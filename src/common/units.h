@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit conventions used across the cost models.
+ *
+ * Internal conventions (normative for every module):
+ *  - time:   cycles (double, to allow fractional analytical estimates)
+ *            at the package clock (default 500 MHz, paper Table IV note);
+ *  - data:   bytes (int8 operands as in Simba, 1 byte/element);
+ *  - energy: nanojoules.
+ * Helpers below convert to the reporting units used by the paper
+ * (seconds, joules, joule-seconds).
+ */
+
+#ifndef SCAR_COMMON_UNITS_H
+#define SCAR_COMMON_UNITS_H
+
+namespace scar
+{
+
+/** Package clock frequency used to convert cycles to seconds. */
+constexpr double kClockHz = 500.0e6;
+
+/** Bytes per tensor element (int8 operands, as in Simba). */
+constexpr int kBytesPerElement = 1;
+
+/** Converts a cycle count at kClockHz to seconds. */
+constexpr double
+cyclesToSeconds(double cycles)
+{
+    return cycles / kClockHz;
+}
+
+/** Converts seconds to cycles at kClockHz. */
+constexpr double
+secondsToCycles(double seconds)
+{
+    return seconds * kClockHz;
+}
+
+/** Converts nanoseconds to cycles at kClockHz. */
+constexpr double
+nsToCycles(double ns)
+{
+    return ns * 1.0e-9 * kClockHz;
+}
+
+/** Converts nanojoules to joules. */
+constexpr double
+njToJoules(double nj)
+{
+    return nj * 1.0e-9;
+}
+
+/** Converts picojoules to nanojoules. */
+constexpr double
+pjToNj(double pj)
+{
+    return pj * 1.0e-3;
+}
+
+/** Converts gigabytes-per-second to bytes-per-cycle at kClockHz. */
+constexpr double
+gbpsToBytesPerCycle(double gbps)
+{
+    return gbps * 1.0e9 / kClockHz;
+}
+
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+
+} // namespace scar
+
+#endif // SCAR_COMMON_UNITS_H

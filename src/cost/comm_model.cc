@@ -1,0 +1,55 @@
+#include "cost/comm_model.h"
+
+#include "common/units.h"
+
+namespace scar
+{
+
+CommModel::CommModel(const Mcm& mcm)
+    : mcm_(mcm),
+      hopCycles_(nsToCycles(mcm.params().nopHopLatencyNs)),
+      dramCycles_(nsToCycles(mcm.params().dramLatencyNs)),
+      nopBpc_(gbpsToBytesPerCycle(mcm.params().bwNopGBps)),
+      offchipBpc_(gbpsToBytesPerCycle(mcm.params().bwOffchipGBps))
+{
+}
+
+double
+CommModel::nopLatencyCycles(double bytes, int src, int dst) const
+{
+    if (src == dst || bytes <= 0.0)
+        return 0.0;
+    const int hops = mcm_.topology().hops(src, dst);
+    return bytes / nopBpc_ + hops * hopCycles_;
+}
+
+double
+CommModel::nopEnergyNj(double bytes, int src, int dst) const
+{
+    if (src == dst || bytes <= 0.0)
+        return 0.0;
+    const int hops = mcm_.topology().hops(src, dst);
+    return pjToNj(bytes * 8.0 * mcm_.params().nopEnergyPjPerBit * hops);
+}
+
+double
+CommModel::dramLatencyCycles(double bytes, int chiplet) const
+{
+    if (bytes <= 0.0)
+        return 0.0;
+    const int hops = mcm_.hopsToMem(chiplet);
+    return bytes / offchipBpc_ + hops * hopCycles_ + dramCycles_;
+}
+
+double
+CommModel::dramEnergyNj(double bytes, int chiplet) const
+{
+    if (bytes <= 0.0)
+        return 0.0;
+    const double dramNj =
+        pjToNj(bytes * 8.0 * mcm_.params().dramEnergyPjPerBit);
+    return dramNj +
+           nopEnergyNj(bytes, mcm_.nearestMemInterface(chiplet), chiplet);
+}
+
+} // namespace scar

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * MCM communication cost model (paper Section III-E, Lat_com):
+ *
+ *   same chiplet:  0
+ *   same package:  Sz/BW_nop + n_hops * Lat_hop + delta
+ *   off-chip:      Sz/BW_offchip + n_hops * Lat_hop + Lat_mem + delta
+ *
+ * Off-chip transfers route over the NoP between the chiplet and its
+ * nearest memory-interface chiplet. The contention term delta is
+ * applied by the window evaluator (it needs window-global knowledge);
+ * this class prices individual transfers without contention.
+ */
+
+#ifndef SCAR_COST_COMM_MODEL_H
+#define SCAR_COST_COMM_MODEL_H
+
+#include "arch/mcm.h"
+
+namespace scar
+{
+
+/** Prices individual data movements on a given MCM. */
+class CommModel
+{
+  public:
+    explicit CommModel(const Mcm& mcm);
+
+    /** Latency (cycles) of a chiplet-to-chiplet NoP transfer. */
+    double nopLatencyCycles(double bytes, int src, int dst) const;
+
+    /** Energy (nJ) of a chiplet-to-chiplet NoP transfer. */
+    double nopEnergyNj(double bytes, int src, int dst) const;
+
+    /** Latency (cycles) of a DRAM read/write for the given chiplet. */
+    double dramLatencyCycles(double bytes, int chiplet) const;
+
+    /** Energy (nJ) of a DRAM read/write incl. NoP traversal. */
+    double dramEnergyNj(double bytes, int chiplet) const;
+
+    /** Per-hop NoP latency in cycles. */
+    double hopLatencyCycles() const { return hopCycles_; }
+
+    /** NoP bandwidth in bytes per cycle (per link). */
+    double nopBytesPerCycle() const { return nopBpc_; }
+
+    /** Off-chip bandwidth in bytes per cycle (package total). */
+    double offchipBytesPerCycle() const { return offchipBpc_; }
+
+    /** The MCM this model prices. */
+    const Mcm& mcm() const { return mcm_; }
+
+  private:
+    const Mcm& mcm_;
+    double hopCycles_;
+    double dramCycles_;
+    double nopBpc_;
+    double offchipBpc_;
+};
+
+} // namespace scar
+
+#endif // SCAR_COST_COMM_MODEL_H

@@ -1,0 +1,148 @@
+#include "cost/cost_db.h"
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace scar
+{
+
+CostDb::CostDb(const Scenario& scenario, const Mcm& mcm, MaestroLite model,
+               CostDbOptions options)
+    : scenario_(scenario), mcm_(mcm),
+      offchipBpc_(gbpsToBytesPerCycle(mcm.params().bwOffchipGBps)),
+      dramLatencyCycles_(nsToCycles(mcm.params().dramLatencyNs))
+{
+    const int numChiplets = mcm.numChiplets();
+    for (Dataflow df : kAllDataflows) {
+        classWeight_[dataflowIndex(df)] =
+            static_cast<double>(mcm.numWithDataflow(df)) / numChiplets;
+    }
+
+    costs_.resize(scenario.models.size());
+    miniBatches_.resize(scenario.models.size());
+    const double l2Budget = mcm.chiplets().front().spec.l2Bytes / 2.0;
+    for (std::size_t m = 0; m < scenario.models.size(); ++m) {
+        const Model& mod = scenario.models[m];
+
+        int capacityMiniBatch = 1;
+        if (options.fixedMiniBatch > 0) {
+            capacityMiniBatch =
+                std::min(options.fixedMiniBatch, mod.batch);
+        } else {
+            double maxAct = 1.0;
+            for (const Layer& layer : mod.layers) {
+                maxAct = std::max(maxAct, layer.inputBytes() +
+                                              layer.outputBytes());
+            }
+            const int capacityBatch =
+                std::max(1, static_cast<int>(l2Budget / maxAct));
+            capacityMiniBatch = std::min(mod.batch, capacityBatch);
+        }
+        miniBatches_[m].push_back(capacityMiniBatch);
+        if (capacityMiniBatch > 1 && options.fixedMiniBatch == 0)
+            miniBatches_[m].push_back(1); // streaming candidate
+
+        costs_[m].resize(miniBatches_[m].size());
+        for (std::size_t bi = 0; bi < miniBatches_[m].size(); ++bi) {
+            costs_[m][bi].resize(mod.layers.size());
+            for (std::size_t l = 0; l < mod.layers.size(); ++l) {
+                for (Dataflow df : kAllDataflows) {
+                    ChipletSpec spec = mcm.specForDataflow(df);
+                    costs_[m][bi][l][dataflowIndex(df)] =
+                        model.evalLayer(mod.layers[l], spec,
+                                        miniBatches_[m][bi]);
+                }
+            }
+        }
+    }
+}
+
+const std::vector<int>&
+CostDb::miniBatchCandidates(int model) const
+{
+    SCAR_ASSERT(model >= 0 &&
+                    model < static_cast<int>(miniBatches_.size()),
+                "bad model index ", model);
+    return miniBatches_[model];
+}
+
+const LayerCost&
+CostDb::costAt(int model, int layer, Dataflow df, int bPrime) const
+{
+    SCAR_ASSERT(model >= 0 &&
+                    model < static_cast<int>(costs_.size()),
+                "bad model index ", model);
+    const auto& candidates = miniBatches_[model];
+    for (std::size_t bi = 0; bi < candidates.size(); ++bi) {
+        if (candidates[bi] == bPrime)
+            return costs_[model][bi][layer][dataflowIndex(df)];
+    }
+    panic("mini-batch ", bPrime, " not cached for model ", model);
+}
+
+int
+CostDb::miniBatch(int model) const
+{
+    SCAR_ASSERT(model >= 0 &&
+                    model < static_cast<int>(miniBatches_.size()),
+                "bad model index ", model);
+    return miniBatches_[model].front();
+}
+
+const LayerCost&
+CostDb::cost(int model, int layer, Dataflow df) const
+{
+    SCAR_ASSERT(model >= 0 &&
+                    model < static_cast<int>(costs_.size()),
+                "bad model index ", model);
+    SCAR_ASSERT(layer >= 0 &&
+                    layer < static_cast<int>(costs_[model][0].size()),
+                "bad layer index ", layer, " for model ", model);
+    // Default view: the capacity-derived mini-batch (candidate 0).
+    return costs_[model][0][layer][dataflowIndex(df)];
+}
+
+double
+CostDb::layerCycles(int model, int layer, Dataflow df) const
+{
+    const LayerCost& lc = cost(model, layer, df);
+    // Per-sample view: intra-chiplet pipeline plus weight streaming.
+    return lc.intraCycles() + lc.weightBytes / offchipBpc_ +
+           dramLatencyCycles_;
+}
+
+double
+CostDb::layerEnergyNj(int model, int layer, Dataflow df) const
+{
+    const LayerCost& lc = cost(model, layer, df);
+    const double dramNj =
+        pjToNj(lc.weightBytes * 8.0 * mcm_.params().dramEnergyPjPerBit);
+    return lc.intraEnergyNj + dramNj;
+}
+
+double
+CostDb::expectedLayerCycles(int model, int layer) const
+{
+    double expected = 0.0;
+    for (Dataflow df : kAllDataflows) {
+        const double w = classWeight_[dataflowIndex(df)];
+        if (w > 0.0)
+            expected += w * layerCycles(model, layer, df);
+    }
+    return expected;
+}
+
+double
+CostDb::expectedLayerEnergyNj(int model, int layer) const
+{
+    double expected = 0.0;
+    for (Dataflow df : kAllDataflows) {
+        const double w = classWeight_[dataflowIndex(df)];
+        if (w > 0.0)
+            expected += w * layerEnergyNj(model, layer, df);
+    }
+    return expected;
+}
+
+} // namespace scar

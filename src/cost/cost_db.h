@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Layer-cost database: the offline MAESTRO pass of Figure 4.
+ *
+ * For every (model, layer, dataflow class) of a scenario the database
+ * caches the MaestroLite LayerCost, and provides the expectation
+ * formulas used by the top-level engines:
+ *
+ *   E(Lat(l)) = sum_i (n_dfi / |C|) * Lat(l -> dfi)        (Eq. 1)
+ *
+ * where Lat(l -> df) = intra-chiplet cycles + the amortized DRAM
+ * streaming time of the layer's weights (heavy LLM layers are
+ * DRAM-resident, so packing decisions must see that cost).
+ */
+
+#ifndef SCAR_COST_COST_DB_H
+#define SCAR_COST_COST_DB_H
+
+#include <vector>
+
+#include "arch/mcm.h"
+#include "cost/maestro_lite.h"
+#include "workload/scenario.h"
+
+namespace scar
+{
+
+/** Cost-database construction options. */
+struct CostDbOptions
+{
+    /**
+     * Chiplet-level mini-batch b' (paper Section III-E): 0 derives it
+     * per model from the L2 capacity (largest b' <= batch whose
+     * activation working set fits half the L2, leaving room for
+     * weight tiles); a positive value fixes b' for every model.
+     */
+    int fixedMiniBatch = 0;
+};
+
+/** Precomputed per-(layer, dataflow) costs for one scenario + MCM. */
+class CostDb
+{
+  public:
+    /**
+     * Builds the database by evaluating every layer of the scenario on
+     * each dataflow class present on (or representable for) the MCM,
+     * at each model's chiplet-level mini-batch b'.
+     */
+    CostDb(const Scenario& scenario, const Mcm& mcm,
+           MaestroLite model = MaestroLite{},
+           CostDbOptions options = CostDbOptions{});
+
+    /**
+     * Candidate chiplet-level mini-batches b' for a model. The paper
+     * leaves b' <= b free; the two useful extremes are streaming
+     * (b' = 1, maximizing inter-chiplet pipelining overlap) and
+     * capacity folding (largest b' whose activations fit L2,
+     * maximizing intra-chiplet batch parallelism). The window
+     * evaluator picks the better per model and placement.
+     */
+    const std::vector<int>& miniBatchCandidates(int model) const;
+
+    /** The capacity-derived (largest) mini-batch for a model. */
+    int miniBatch(int model) const;
+
+    /** Cached cost of a layer at a specific mini-batch candidate. */
+    const LayerCost& costAt(int model, int layer, Dataflow df,
+                            int bPrime) const;
+
+    /** Cached cost of a layer on the given dataflow class. */
+    const LayerCost& cost(int model, int layer, Dataflow df) const;
+
+    /** Per-sample layer cycles incl. weight streaming, one dataflow. */
+    double layerCycles(int model, int layer, Dataflow df) const;
+
+    /** Per-sample layer energy (nJ) incl. weight DRAM, one dataflow. */
+    double layerEnergyNj(int model, int layer, Dataflow df) const;
+
+    /** Expected per-sample layer cycles over dataflow classes (Eq. 1). */
+    double expectedLayerCycles(int model, int layer) const;
+
+    /** Expected per-sample layer energy (nJ) over dataflow classes. */
+    double expectedLayerEnergyNj(int model, int layer) const;
+
+    /** The scenario this database was built for. */
+    const Scenario& scenario() const { return scenario_; }
+
+    /** The MCM this database was built for. */
+    const Mcm& mcm() const { return mcm_; }
+
+  private:
+    const Scenario& scenario_;
+    const Mcm& mcm_;
+    // costs_[model][candidate][layer][dataflowIndex]; candidate 0 is
+    // the capacity-derived b' (used for expectations), candidate 1 —
+    // when distinct — is the streaming b' = 1.
+    std::vector<std::vector<
+        std::vector<std::array<LayerCost, kNumDataflows>>>>
+        costs_;
+    std::vector<std::vector<int>> miniBatches_; ///< per model candidates
+    std::array<double, kNumDataflows> classWeight_{};
+    double offchipBpc_;
+    double dramLatencyCycles_;
+};
+
+} // namespace scar
+
+#endif // SCAR_COST_COST_DB_H

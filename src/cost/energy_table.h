@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Intra-chiplet energy constants.
+ *
+ * Package-level energies (NoP, DRAM) come from the paper's Table II
+ * and live in PackageParams. The per-MAC and per-L2-byte energies are
+ * not given by the paper; the values below are 28 nm int8 estimates in
+ * line with the accelerator literature (MAC ~0.8 pJ including local
+ * register traffic, large SRAM ~6 pJ/byte). EXPERIMENTS.md reports the
+ * resulting absolute magnitudes alongside the paper's.
+ */
+
+#ifndef SCAR_COST_ENERGY_TABLE_H
+#define SCAR_COST_ENERGY_TABLE_H
+
+namespace scar
+{
+
+/** Energy-per-event table used by the intra-chiplet cost model. */
+struct EnergyParams
+{
+    double macPj = 0.8;       ///< one MAC incl. PE-local register traffic
+    double l2PjPerByte = 6.0; ///< one byte moved to/from the 10 MB L2
+};
+
+} // namespace scar
+
+#endif // SCAR_COST_ENERGY_TABLE_H

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * MaestroLite: MAESTRO-style analytical intra-chiplet cost model.
+ *
+ * The paper uses MAESTRO [35,36] offline to produce a per-(layer,
+ * dataflow-class) latency/energy database consumed by the scheduler
+ * (Figure 4). MaestroLite is the native C++ substitute: for each layer
+ * and dataflow it derives
+ *
+ *  - compute cycles from the dataflow's spatial mapping (with tile-size
+ *    quantization, searching the weight-stationary K-tile),
+ *  - L2 traffic from per-tensor reuse under that mapping,
+ *  - a streaming bound from the on-chiplet NoC bandwidth,
+ *  - intra-chiplet energy from MAC + L2 access counts.
+ *
+ * Mappings (see DESIGN.md section 3):
+ *  - NVDLA-like weight-stationary: spatial over K x C. Weights enter
+ *    the array once; inputs re-stream once per K-tile pass; partial
+ *    sums spill to L2 once per extra C-pass.
+ *  - Shi-diannao-like output-stationary: spatial over the flattened
+ *    output grid OY*OX. Outputs are resident; weights and the input
+ *    tile re-stream once per output-tile pass (the temporal K/C loops
+ *    reuse the tile from PE-local storage, ShiDianNao's
+ *    neighbour-sharing register array).
+ *  - Pool/Elementwise: dataflow-agnostic spatial map over outputs.
+ */
+
+#ifndef SCAR_COST_MAESTRO_LITE_H
+#define SCAR_COST_MAESTRO_LITE_H
+
+#include "arch/chiplet.h"
+#include "cost/energy_table.h"
+#include "workload/layer.h"
+
+namespace scar
+{
+
+/** Per-sample cost of one layer on one chiplet class. */
+struct LayerCost
+{
+    double macs = 0.0;          ///< multiply-accumulates
+    double computeCycles = 0.0; ///< MAC-array-limited cycles
+    double streamCycles = 0.0;  ///< L2->PE bandwidth-limited cycles
+    double utilization = 0.0;   ///< macs / (computeCycles * numPes)
+    double l2AccessBytes = 0.0; ///< total L2 read+write traffic
+    double intraEnergyNj = 0.0; ///< MAC + L2 energy
+    double weightBytes = 0.0;   ///< weight footprint (shared by batch)
+    double inputBytes = 0.0;    ///< input activation bytes (one sample)
+    double outputBytes = 0.0;   ///< output activation bytes (one sample)
+
+    /** Steady-state on-chiplet cycles: max of compute and streaming. */
+    double
+    intraCycles() const
+    {
+        return computeCycles > streamCycles ? computeCycles : streamCycles;
+    }
+};
+
+/** Analytical intra-chiplet model; stateless apart from constants. */
+class MaestroLite
+{
+  public:
+    explicit MaestroLite(EnergyParams energy = EnergyParams{})
+        : energy_(energy)
+    {}
+
+    /**
+     * Evaluates one layer on a chiplet of the given spec.
+     *
+     * @param miniBatch number of samples the chiplet processes
+     *        concurrently (the paper's b'). Batch samples extend the
+     *        output-stationary spatial dimension (more output pixels
+     *        to parallelize) and amortize weight-stationary weight
+     *        fetches; the returned cost is still PER SAMPLE.
+     */
+    LayerCost evalLayer(const Layer& layer, const ChipletSpec& spec,
+                        int miniBatch = 1) const;
+
+    /** The energy constants in use. */
+    const EnergyParams& energyParams() const { return energy_; }
+
+  private:
+    LayerCost evalWeightStationary(const Layer& layer,
+                                   const ChipletSpec& spec,
+                                   int miniBatch) const;
+    LayerCost evalRowStationary(const Layer& layer,
+                                const ChipletSpec& spec,
+                                int miniBatch) const;
+    LayerCost evalOutputStationary(const Layer& layer,
+                                   const ChipletSpec& spec,
+                                   int miniBatch) const;
+    LayerCost evalSpatialOnly(const Layer& layer,
+                              const ChipletSpec& spec,
+                              int miniBatch) const;
+    void finishCost(const Layer& layer, const ChipletSpec& spec,
+                    LayerCost& cost) const;
+
+    EnergyParams energy_;
+};
+
+} // namespace scar
+
+#endif // SCAR_COST_MAESTRO_LITE_H

@@ -1,0 +1,294 @@
+#include "cost/window_evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+
+#include "common/error.h"
+
+namespace scar
+{
+
+WindowEvaluator::WindowEvaluator(const CostDb& db, EvaluatorOptions options)
+    : db_(db), comm_(db.mcm()), options_(options)
+{
+}
+
+void
+WindowEvaluator::validate(const WindowPlacement& placement) const
+{
+    const Scenario& sc = db_.scenario();
+    std::vector<int> occupancy(db_.mcm().numChiplets(), 0);
+    for (const ModelPlacement& mp : placement.models) {
+        SCAR_REQUIRE(mp.modelIdx >= 0 && mp.modelIdx < sc.numModels(),
+                     "bad model index ", mp.modelIdx);
+        const Model& model = sc.models[mp.modelIdx];
+        SCAR_REQUIRE(!mp.segments.empty(), "model ", model.name,
+                     " placed with no segments");
+        int prevLast = mp.segments.front().range.first - 1;
+        for (const PlacedSegment& seg : mp.segments) {
+            SCAR_REQUIRE(!seg.range.empty(), "empty segment for model ",
+                         model.name);
+            SCAR_REQUIRE(seg.range.first == prevLast + 1,
+                         "segments must be contiguous for model ",
+                         model.name, " (got first=", seg.range.first,
+                         " after last=", prevLast, ")");
+            SCAR_REQUIRE(seg.range.last < model.numLayers(),
+                         "segment exceeds model ", model.name);
+            SCAR_REQUIRE(seg.chiplet >= 0 &&
+                             seg.chiplet < db_.mcm().numChiplets(),
+                         "bad chiplet id ", seg.chiplet);
+            SCAR_REQUIRE(occupancy[seg.chiplet] == 0,
+                         "chiplet ", seg.chiplet,
+                         " hosts more than one segment in this window");
+            occupancy[seg.chiplet] = 1;
+            prevLast = seg.range.last;
+        }
+    }
+}
+
+WindowCost
+WindowEvaluator::evaluate(const WindowPlacement& placement) const
+{
+    validate(placement);
+    const Scenario& sc = db_.scenario();
+    const Mcm& mcm = db_.mcm();
+
+    auto entryOf = [&](int modelIdx) {
+        if (modelIdx < static_cast<int>(placement.entryChiplet.size()))
+            return placement.entryChiplet[modelIdx];
+        return -1;
+    };
+    auto segmentWeights = [&](const Model& model,
+                              const PlacedSegment& seg) {
+        double bytes = 0.0;
+        for (int l = seg.range.first; l <= seg.range.last; ++l)
+            bytes += model.layers[l].weightBytes();
+        return bytes;
+    };
+    auto segmentResident = [&](const Model& model,
+                               const PlacedSegment& seg, int bPrime) {
+        const double weights = segmentWeights(model, seg);
+        double maxAct = 0.0;
+        for (int l = seg.range.first; l <= seg.range.last; ++l) {
+            maxAct = std::max(maxAct,
+                              (model.layers[l].inputBytes() +
+                               model.layers[l].outputBytes()) * bPrime);
+        }
+        const double l2 = mcm.chiplet(seg.chiplet).spec.l2Bytes;
+        return weights + maxAct <= l2;
+    };
+
+    // Evaluates one model's placement at a given mini-batch, pricing
+    // NoP transfers with the supplied contention factor.
+    using FactorFn = std::function<int(int, int)>;
+    auto evalModel = [&](const ModelPlacement& mp, int bPrime,
+                         const FactorFn& factor) {
+        const Model& model = sc.models[mp.modelIdx];
+        const int b = model.batch;
+        const int steps =
+            static_cast<int>(std::ceil(static_cast<double>(b) / bPrime));
+
+        ModelWindowCost modelCost;
+        double maxSteady = 0.0;
+        for (std::size_t k = 0; k < mp.segments.size(); ++k) {
+            const PlacedSegment& seg = mp.segments[k];
+            const int c = seg.chiplet;
+            const Dataflow df = mcm.chiplet(c).spec.dataflow;
+            const Layer& first = model.layers[seg.range.first];
+            const Layer& last = model.layers[seg.range.last];
+
+            double compute = 0.0;
+            double intraEnergy = 0.0;
+            for (int l = seg.range.first; l <= seg.range.last; ++l) {
+                const LayerCost& lc =
+                    db_.costAt(mp.modelIdx, l, df, bPrime);
+                compute += lc.intraCycles() * bPrime;
+                intraEnergy += lc.intraEnergyNj * bPrime;
+            }
+
+            // Input side: DRAM or entry-chiplet NoP for the head
+            // segment, inter-segment NoP otherwise.
+            double ipLat = 0.0;
+            double ipEnergy = 0.0;
+            if (k == 0) {
+                const double bytes = first.inputBytes() * bPrime;
+                const int entry = entryOf(mp.modelIdx);
+                if (entry >= 0) {
+                    ipLat = comm_.nopLatencyCycles(
+                        bytes * factor(entry, c), entry, c);
+                    ipEnergy = comm_.nopEnergyNj(bytes, entry, c);
+                } else {
+                    ipLat = comm_.dramLatencyCycles(bytes, c);
+                    ipEnergy = comm_.dramEnergyNj(bytes, c);
+                }
+            } else {
+                const int prevC = mp.segments[k - 1].chiplet;
+                const Layer& prevLast =
+                    model.layers[mp.segments[k - 1].range.last];
+                const double bytes = prevLast.outputBytes() * bPrime;
+                ipLat = comm_.nopLatencyCycles(
+                    bytes * factor(prevC, c), prevC, c);
+                ipEnergy = comm_.nopEnergyNj(bytes, prevC, c);
+            }
+
+            // Output side: DRAM writeback only when the model's final
+            // layer completes here.
+            double opLat = 0.0;
+            double opEnergy = 0.0;
+            if (k + 1 == mp.segments.size() &&
+                seg.range.last == model.numLayers() - 1) {
+                const double bytes = last.outputBytes() * bPrime;
+                opLat = comm_.dramLatencyCycles(bytes, c);
+                opEnergy = comm_.dramEnergyNj(bytes, c);
+            }
+
+            const bool resident = segmentResident(model, seg, bPrime);
+            const double wBytes = segmentWeights(model, seg);
+            const double wLat = comm_.dramLatencyCycles(wBytes, c);
+            const double wEnergy = comm_.dramEnergyNj(wBytes, c);
+
+            SegmentCost segCost;
+            segCost.weightsResident = resident;
+            segCost.steadySampleCycles =
+                ipLat + compute + opLat + (resident ? 0.0 : wLat);
+            segCost.firstSampleCycles =
+                segCost.steadySampleCycles + (resident ? wLat : 0.0);
+            segCost.energyNj = steps * (intraEnergy + ipEnergy +
+                                        opEnergy) +
+                               wEnergy * (resident ? 1.0 : steps);
+
+            maxSteady = std::max(maxSteady, segCost.steadySampleCycles);
+            modelCost.energyNj += segCost.energyNj;
+            modelCost.segments.push_back(segCost);
+        }
+
+        // The pipelining formula of Section III-E:
+        // sum_k Lat(sg_k|b') + (b/b' - 1) * max_k Lat(sg_k|b').
+        for (const SegmentCost& segCost : modelCost.segments)
+            modelCost.latencyCycles += segCost.firstSampleCycles;
+        modelCost.latencyCycles += (steps - 1) * maxSteady;
+        return modelCost;
+    };
+
+    const FactorFn noContention = [](int, int) { return 1; };
+
+    // ---- Step 1: choose the mini-batch b' per model. Section III-E
+    // leaves b' <= b free; candidates are capacity folding vs
+    // streaming, compared contention-free by latency.
+    std::vector<int> chosenBPrime(placement.models.size(), 1);
+    for (std::size_t mi = 0; mi < placement.models.size(); ++mi) {
+        const ModelPlacement& mp = placement.models[mi];
+        double bestLat = std::numeric_limits<double>::infinity();
+        for (int candidate : db_.miniBatchCandidates(mp.modelIdx)) {
+            const double lat =
+                evalModel(mp, candidate, noContention).latencyCycles;
+            if (lat < bestLat) {
+                bestLat = lat;
+                chosenBPrime[mi] = candidate;
+            }
+        }
+    }
+
+    // ---- Step 2: enumerate flows for the contention model. --------
+    std::vector<Flow> flows;
+    double totalDramBytes = 0.0;
+    for (std::size_t mi = 0; mi < placement.models.size(); ++mi) {
+        const ModelPlacement& mp = placement.models[mi];
+        const Model& model = sc.models[mp.modelIdx];
+        const int b = model.batch;
+        const int steps = static_cast<int>(
+            std::ceil(static_cast<double>(b) / chosenBPrime[mi]));
+        for (std::size_t k = 0; k < mp.segments.size(); ++k) {
+            const PlacedSegment& seg = mp.segments[k];
+            const int c = seg.chiplet;
+            const int mem = mcm.nearestMemInterface(c);
+            const Layer& first = model.layers[seg.range.first];
+            const Layer& last = model.layers[seg.range.last];
+
+            const bool resident =
+                segmentResident(model, seg, chosenBPrime[mi]);
+            // Non-resident weights re-stream once per mini-batch step.
+            const double wBytes = segmentWeights(model, seg) *
+                                  (resident ? 1.0 : steps);
+            flows.push_back({mem, c, wBytes, true});
+            totalDramBytes += wBytes;
+
+            if (k == 0) {
+                const double inBytes = first.inputBytes() * b;
+                const int entry = entryOf(mp.modelIdx);
+                if (entry >= 0) {
+                    flows.push_back({entry, c, inBytes, false});
+                } else {
+                    flows.push_back({mem, c, inBytes, true});
+                    totalDramBytes += inBytes;
+                }
+            } else {
+                const PlacedSegment& prev = mp.segments[k - 1];
+                const Layer& prevLast = model.layers[prev.range.last];
+                flows.push_back(
+                    {prev.chiplet, c, prevLast.outputBytes() * b, false});
+            }
+            // Only the model's final layer writes results off-chip; a
+            // model continuing into a later window hands its data to
+            // that window's head segment (consumer side, NoP-priced).
+            const bool modelEnds =
+                seg.range.last == model.numLayers() - 1;
+            if (k + 1 == mp.segments.size() && modelEnds) {
+                const double outBytes = last.outputBytes() * b;
+                flows.push_back({c, mem, outBytes, true});
+                totalDramBytes += outBytes;
+            }
+        }
+    }
+
+    // Per-link flow counts over the routed paths.
+    std::map<Link, int> linkLoad;
+    if (options_.contention) {
+        for (const Flow& f : flows) {
+            if (f.src == f.dst || f.bytes <= 0.0)
+                continue;
+            for (const Link& link :
+                 mcm.topology().routeLinks(f.src, f.dst)) {
+                ++linkLoad[link];
+            }
+        }
+    }
+    const FactorFn contentionFactor = [&](int src, int dst) {
+        if (!options_.contention || src == dst)
+            return 1;
+        int sharers = 1;
+        for (const Link& link : mcm.topology().routeLinks(src, dst))
+            sharers = std::max(sharers, linkLoad[link]);
+        return sharers;
+    };
+
+    // ---- Step 3: final costs with contention. ----------------------
+    WindowCost window;
+    window.dramBytes = totalDramBytes;
+    for (const auto& [link, load] : linkLoad)
+        window.maxLinkSharers = std::max(window.maxLinkSharers, load);
+
+    for (std::size_t mi = 0; mi < placement.models.size(); ++mi) {
+        ModelWindowCost modelCost =
+            evalModel(placement.models[mi], chosenBPrime[mi],
+                      options_.contention ? contentionFactor
+                                          : noContention);
+        window.latencyCycles =
+            std::max(window.latencyCycles, modelCost.latencyCycles);
+        window.energyNj += modelCost.energyNj;
+        window.perModel.push_back(std::move(modelCost));
+    }
+
+    if (options_.dramRoofline) {
+        window.dramBoundCycles =
+            totalDramBytes / comm_.offchipBytesPerCycle();
+        window.latencyCycles =
+            std::max(window.latencyCycles, window.dramBoundCycles);
+    }
+    return window;
+}
+
+} // namespace scar

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Window evaluator: the heterogeneous-MCM cost model of Section III-E.
+ *
+ * Input: a placement of each model's window layers as contiguous layer
+ * segments on distinct chiplets. Output: window latency/energy.
+ *
+ * Latency composition per model m with segments sg_1..sg_n, batch b,
+ * and the chiplet-level mini-batch b' derived by the CostDb:
+ *
+ *   Lat(SG_m) = sum_k Lat(sg_k | b') + (b/b' - 1) * max_k Lat(sg_k | b')
+ *
+ * where Lat(sg | b') = Lat_ip_com + sum_l Lat_comp(l) + Lat_op_com.
+ * Communication placement: the first segment loads its input from
+ * DRAM (or over the NoP from the model's entry chiplet when the model
+ * continues from a previous window), consecutive segments hand off
+ * over the NoP (consumer side), and the segment holding the model's
+ * final layer writes back to DRAM; weights always stream from DRAM —
+ * once per window when the segment's weights fit in L2 alongside its
+ * activation working set, otherwise once per sample.
+ *
+ * The NoP contention term delta is modeled by counting flows per
+ * XY-routed link within the window and inflating each flow's
+ * transmission time by the maximum number of flows sharing any of its
+ * links. A package-level DRAM roofline bounds the window latency from
+ * below by total off-chip bytes / off-chip bandwidth.
+ */
+
+#ifndef SCAR_COST_WINDOW_EVALUATOR_H
+#define SCAR_COST_WINDOW_EVALUATOR_H
+
+#include <vector>
+
+#include "cost/comm_model.h"
+#include "cost/cost_db.h"
+#include "workload/model.h"
+
+namespace scar
+{
+
+/** One contiguous run of a model's layers mapped to one chiplet. */
+struct PlacedSegment
+{
+    LayerRange range;
+    int chiplet = -1;
+};
+
+/** All of one model's segments within a window, in execution order. */
+struct ModelPlacement
+{
+    int modelIdx = -1;
+    std::vector<PlacedSegment> segments;
+};
+
+/** A complete window placement across models. */
+struct WindowPlacement
+{
+    std::vector<ModelPlacement> models;
+
+    /**
+     * Where each model's live activation resides when the window
+     * starts: entryChiplet[modelIdx] is a chiplet id, or -1 when the
+     * input must come from DRAM (first window / fresh input). An empty
+     * vector means all models load from DRAM. Mirrors the paper's
+     * observation that chiplet-to-chiplet passing avoids off-chip
+     * read/writes at segment boundaries.
+     */
+    std::vector<int> entryChiplet;
+};
+
+/** Cost of one placed segment. */
+struct SegmentCost
+{
+    double firstSampleCycles = 0.0;  ///< incl. one-time weight load
+    double steadySampleCycles = 0.0; ///< recurring per-sample cycles
+    double energyNj = 0.0;           ///< total over the batch
+    bool weightsResident = true;     ///< weights fit in L2 for the window
+};
+
+/** Cost of one model inside a window. */
+struct ModelWindowCost
+{
+    double latencyCycles = 0.0;
+    double energyNj = 0.0;
+    std::vector<SegmentCost> segments;
+};
+
+/** Cost of a whole window. */
+struct WindowCost
+{
+    double latencyCycles = 0.0;     ///< max over models, DRAM-roofline'd
+    double energyNj = 0.0;          ///< sum over models
+    double dramBytes = 0.0;         ///< total off-chip traffic
+    double dramBoundCycles = 0.0;   ///< the roofline component
+    int maxLinkSharers = 1;         ///< contention diagnostic
+    std::vector<ModelWindowCost> perModel;
+};
+
+/** Evaluation knobs. */
+struct EvaluatorOptions
+{
+    bool contention = true;   ///< model the NoP traffic-conflict delta
+    bool dramRoofline = true; ///< apply the off-chip bandwidth bound
+};
+
+/** Evaluates window placements on one (scenario, MCM) pair. */
+class WindowEvaluator
+{
+  public:
+    WindowEvaluator(const CostDb& db,
+                    EvaluatorOptions options = EvaluatorOptions{});
+
+    /**
+     * Evaluates one window placement.
+     * Requires: segment ranges valid; every chiplet hosts at most one
+     * segment within the window (exclusive occupancy, Section IV-D).
+     */
+    WindowCost evaluate(const WindowPlacement& placement) const;
+
+    /** The underlying per-transfer communication model. */
+    const CommModel& comm() const { return comm_; }
+
+    /** The cost database in use. */
+    const CostDb& db() const { return db_; }
+
+  private:
+    struct Flow
+    {
+        int src = -1;
+        int dst = -1;
+        double bytes = 0.0;
+        bool offchip = false;
+    };
+
+    void validate(const WindowPlacement& placement) const;
+
+    const CostDb& db_;
+    CommModel comm_;
+    EvaluatorOptions options_;
+};
+
+} // namespace scar
+
+#endif // SCAR_COST_WINDOW_EVALUATOR_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Optimization metrics (paper Definition 10 and Section IV-E).
+ *
+ * The scheduler minimizes a user-selected objective: latency, energy,
+ * EDP, or a custom function of the two ("Latency Search", "Energy
+ * Search", "EDP Search" in the evaluation).
+ */
+
+#ifndef SCAR_EVAL_METRICS_H
+#define SCAR_EVAL_METRICS_H
+
+#include <functional>
+
+namespace scar
+{
+
+/** Built-in optimization targets. */
+enum class OptTarget { Latency, Energy, Edp };
+
+/** Display name of a target ("Latency" / "Energy" / "EDP"). */
+constexpr const char*
+optTargetName(OptTarget target)
+{
+    switch (target) {
+      case OptTarget::Latency: return "Latency";
+      case OptTarget::Energy:  return "Energy";
+      case OptTarget::Edp:     return "EDP";
+    }
+    return "?";
+}
+
+/** End-to-end evaluation of a schedule in reporting units. */
+struct Metrics
+{
+    double latencySec = 0.0;
+    double energyJ = 0.0;
+
+    /** Energy-delay product in J*s. */
+    double edp() const { return latencySec * energyJ; }
+
+    /** Scalar value of the chosen target (lower is better). */
+    double
+    value(OptTarget target) const
+    {
+        switch (target) {
+          case OptTarget::Latency: return latencySec;
+          case OptTarget::Energy:  return energyJ;
+          case OptTarget::Edp:     return edp();
+        }
+        return edp();
+    }
+};
+
+/**
+ * User-defined scoring function (lower is better). When set in the
+ * scheduler options it overrides the built-in target.
+ */
+using CustomScoreFn = std::function<double(const Metrics&)>;
+
+} // namespace scar
+
+#endif // SCAR_EVAL_METRICS_H

@@ -1,0 +1,40 @@
+#include "eval/pareto.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace scar
+{
+
+bool
+dominates(const Metrics& a, const Metrics& b)
+{
+    const bool noWorse = a.latencySec <= b.latencySec &&
+                         a.energyJ <= b.energyJ;
+    const bool better = a.latencySec < b.latencySec ||
+                        a.energyJ < b.energyJ;
+    return noWorse && better;
+}
+
+std::vector<Metrics>
+paretoFront(const std::vector<Metrics>& points)
+{
+    std::vector<Metrics> sorted = points;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Metrics& a, const Metrics& b) {
+                  if (a.latencySec != b.latencySec)
+                      return a.latencySec < b.latencySec;
+                  return a.energyJ < b.energyJ;
+              });
+    std::vector<Metrics> front;
+    double bestEnergy = std::numeric_limits<double>::infinity();
+    for (const Metrics& p : sorted) {
+        if (p.energyJ < bestEnergy) {
+            front.push_back(p);
+            bestEnergy = p.energyJ;
+        }
+    }
+    return front;
+}
+
+} // namespace scar

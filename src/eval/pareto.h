@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Pareto-front extraction over (latency, energy) points, used by the
+ * Figure 8/11/13 experiment harnesses.
+ */
+
+#ifndef SCAR_EVAL_PARETO_H
+#define SCAR_EVAL_PARETO_H
+
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace scar
+{
+
+/** True when `a` is no worse than `b` in both axes and better in one. */
+bool dominates(const Metrics& a, const Metrics& b);
+
+/**
+ * Returns the non-dominated subset (minimizing latency and energy),
+ * sorted by ascending latency.
+ */
+std::vector<Metrics> paretoFront(const std::vector<Metrics>& points);
+
+} // namespace scar
+
+#endif // SCAR_EVAL_PARETO_H

@@ -1,0 +1,91 @@
+#include "eval/reporter.h"
+
+#include <sstream>
+
+#include "common/table.h"
+#include "common/units.h"
+
+namespace scar
+{
+
+std::string
+describeSchedule(const Scenario& scenario, const Mcm& mcm,
+                 const ScheduleResult& result)
+{
+    std::ostringstream out;
+    out << "Schedule for " << scenario.name << " on " << mcm.name()
+        << "\n";
+    double cumulative = 0.0;
+    for (std::size_t w = 0; w < result.windows.size(); ++w) {
+        const ScheduledWindow& sw = result.windows[w];
+        cumulative += cyclesToSeconds(sw.cost.latencyCycles);
+        out << "Window " << w << " (cumulative "
+            << TextTable::num(cumulative, 3) << " s):\n";
+        for (const ModelPlacement& mp : sw.placement.models) {
+            const Model& model = scenario.models[mp.modelIdx];
+            out << "  " << model.name << ":";
+            for (const PlacedSegment& seg : mp.segments) {
+                const Chiplet& c = mcm.chiplet(seg.chiplet);
+                out << "  L[" << seg.range.first << ".."
+                    << seg.range.last << "]->chpl" << seg.chiplet << "("
+                    << dataflowName(c.spec.dataflow) << ")";
+            }
+            out << "\n";
+        }
+    }
+    out << "Totals: latency " << TextTable::num(result.metrics.latencySec, 4)
+        << " s, energy " << TextTable::num(result.metrics.energyJ, 4)
+        << " J, EDP " << TextTable::num(result.metrics.edp(), 4)
+        << " J*s\n";
+    return out.str();
+}
+
+std::string
+describeWindowBreakdown(const Scenario& scenario,
+                        const ScheduleResult& result)
+{
+    const std::size_t numWindows = result.windows.size();
+    std::vector<std::string> headers{"Model"};
+    for (std::size_t w = 0; w < numWindows; ++w)
+        headers.push_back("W" + std::to_string(w));
+    headers.push_back("ideal tot");
+    headers.push_back("#layers");
+    TextTable table(std::move(headers));
+
+    for (int m = 0; m < scenario.numModels(); ++m) {
+        std::vector<std::string> row{scenario.models[m].name};
+        double ideal = 0.0;
+        int layers = 0;
+        for (const ScheduledWindow& sw : result.windows) {
+            double lat = 0.0;
+            for (std::size_t i = 0; i < sw.placement.models.size(); ++i) {
+                if (sw.placement.models[i].modelIdx == m) {
+                    lat = sw.cost.perModel[i].latencyCycles;
+                    break;
+                }
+            }
+            ideal += cyclesToSeconds(lat);
+            layers += sw.assignment.perModel[m].size();
+            row.push_back(TextTable::num(cyclesToSeconds(lat), 3));
+        }
+        row.push_back(TextTable::num(ideal, 3));
+        row.push_back(std::to_string(layers));
+        table.addRow(std::move(row));
+    }
+
+    table.addSeparator();
+    std::vector<std::string> winRow{"Window"};
+    double total = 0.0;
+    for (const ScheduledWindow& sw : result.windows) {
+        winRow.push_back(
+            TextTable::num(cyclesToSeconds(sw.cost.latencyCycles), 3));
+        total += cyclesToSeconds(sw.cost.latencyCycles);
+    }
+    winRow.push_back(TextTable::num(total, 3));
+    winRow.push_back(std::to_string(scenario.totalLayers()));
+    table.addRow(std::move(winRow));
+
+    return table.render();
+}
+
+} // namespace scar

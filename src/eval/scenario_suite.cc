@@ -1,0 +1,150 @@
+#include "eval/scenario_suite.h"
+
+#include "common/error.h"
+#include "workload/model_zoo.h"
+
+namespace scar
+{
+namespace suite
+{
+
+Scenario
+datacenterScenario(int idx)
+{
+    Scenario sc;
+    switch (idx) {
+      case 1:
+        sc.name = "Sc1";
+        sc.models = {zoo::gptL(1), zoo::bertLarge(3)};
+        break;
+      case 2:
+        sc.name = "Sc2";
+        sc.models = {zoo::gptL(1), zoo::bertLarge(3), zoo::resNet50(1)};
+        break;
+      case 3:
+        sc.name = "Sc3";
+        sc.models = {zoo::gptL(1), zoo::bertLarge(3), zoo::resNet50(32)};
+        break;
+      case 4:
+        sc.name = "Sc4";
+        sc.models = {zoo::gptL(8), zoo::bertLarge(24), zoo::uNet(1),
+                     zoo::resNet50(32)};
+        break;
+      case 5:
+        sc.name = "Sc5";
+        sc.models = {zoo::gptL(8),     zoo::bertLarge(24),
+                     zoo::bertBase(24), zoo::uNet(1),
+                     zoo::resNet50(32), zoo::googleNet(32)};
+        break;
+      default:
+        fatal("datacenter scenario index must be 1..5, got ", idx);
+    }
+    sc.finalize();
+    return sc;
+}
+
+Scenario
+arvrScenario(int idx)
+{
+    Scenario sc;
+    switch (idx) {
+      case 6:
+        sc.name = "Sc6";
+        sc.models = {zoo::d2go(10), zoo::planeRcnn(15), zoo::midas(30),
+                     zoo::emformer(3), zoo::hrvit(10)};
+        break;
+      case 7:
+        sc.name = "Sc7";
+        sc.models = {zoo::planeRcnn(15), zoo::handSP(45), zoo::midas(30)};
+        break;
+      case 8:
+        sc.name = "Sc8";
+        sc.models = {zoo::d2go(30), zoo::emformer(3)};
+        break;
+      case 9:
+        sc.name = "Sc9";
+        sc.models = {zoo::eyeCod(60), zoo::handSP(30), zoo::sp2Dense(30)};
+        break;
+      case 10:
+        sc.name = "Sc10";
+        sc.models = {zoo::eyeCod(60), zoo::handSP(45)};
+        break;
+      default:
+        fatal("AR/VR scenario index must be 6..10, got ", idx);
+    }
+    sc.finalize();
+    return sc;
+}
+
+Scenario
+byIndex(int idx)
+{
+    if (idx >= 1 && idx <= 5)
+        return datacenterScenario(idx);
+    if (idx >= 6 && idx <= 10)
+        return arvrScenario(idx);
+    fatal("scenario index must be 1..10, got ", idx);
+}
+
+const char*
+scenarioLabel(int idx)
+{
+    switch (idx) {
+      case 1:  return "Sc1 (LMs)";
+      case 2:  return "Sc2 (LMs+Image)";
+      case 3:  return "Sc3 (LMs+Image b32)";
+      case 4:  return "Sc4 (LMs+Seg+Image)";
+      case 5:  return "Sc5 (LMs+Seg+Images)";
+      case 6:  return "Sc6 (AR Assistant)";
+      case 7:  return "Sc7 (AR Gaming)";
+      case 8:  return "Sc8 (Outdoors)";
+      case 9:  return "Sc9 (Social)";
+      case 10: return "Sc10 (VR Gaming)";
+    }
+    return "?";
+}
+
+Scenario
+motivational()
+{
+    // Three convolutions of the second ResNet-50 bottleneck (res2_1) at
+    // 56x56, and GPT-L's first feed-forward GEMM.
+    Model resBlock;
+    resBlock.name = "ResNet50-blk2";
+    resBlock.batch = 1;
+    {
+        const Model full = zoo::resNet50(1);
+        int found = 0;
+        for (const Layer& layer : full.layers) {
+            if (layer.name.rfind("res2_1.conv", 0) == 0) {
+                resBlock.layers.push_back(layer);
+                ++found;
+            }
+        }
+        SCAR_ASSERT(found == 3, "expected 3 convs in res2_1, got ",
+                    found);
+    }
+
+    Model gptFfn;
+    gptFfn.name = "GPT-FFN";
+    gptFfn.batch = 1;
+    {
+        const Model full = zoo::gptL(1);
+        for (const Layer& layer : full.layers) {
+            if (layer.name == "blk0.ffn1") {
+                gptFfn.layers.push_back(layer);
+                break;
+            }
+        }
+        SCAR_ASSERT(gptFfn.numLayers() == 1, "GPT ffn1 layer not found");
+    }
+
+    Scenario sc;
+    sc.name = "Motivational";
+    sc.models = {std::move(resBlock), std::move(gptFfn)};
+    sc.finalize();
+    return sc;
+}
+
+} // namespace suite
+} // namespace scar

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The ten multi-model workload scenarios of Table III, plus the
+ * motivational mini-workload of Figure 2.
+ */
+
+#ifndef SCAR_EVAL_SCENARIO_SUITE_H
+#define SCAR_EVAL_SCENARIO_SUITE_H
+
+#include "workload/scenario.h"
+
+namespace scar
+{
+namespace suite
+{
+
+/**
+ * Datacenter scenarios (MLPerf-derived, Table III rows 1-5).
+ * @param idx scenario number 1..5
+ */
+Scenario datacenterScenario(int idx);
+
+/**
+ * AR/VR scenarios (XRBench-derived, Table III rows 6-10).
+ * @param idx scenario number 6..10
+ */
+Scenario arvrScenario(int idx);
+
+/** Any Table III scenario by its paper number (1..10). */
+Scenario byIndex(int idx);
+
+/** Paper label for a scenario number, e.g. "Sc4 (LMs+Seg+Image)". */
+const char* scenarioLabel(int idx);
+
+/**
+ * The Figure 2 motivational workload: three convolutions from the
+ * second ResNet-50 block plus the first GPT feed-forward layer.
+ */
+Scenario motivational();
+
+} // namespace suite
+} // namespace scar
+
+#endif // SCAR_EVAL_SCENARIO_SUITE_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Description-file front end (paper Figure 4): the scheduling
+ * framework receives (1) multi-model workload description files and
+ * (2) an MCM hardware specification file. This module parses a small
+ * line-oriented format into Scenario and Mcm objects.
+ *
+ * Workload file:
+ * @code
+ *   scenario my-workload
+ *   model gptL batch=8
+ *   model resNet50 batch=32
+ *   model custom name=MyNet batch=2
+ *     gemm name=fc1 m=128 n=1024 k=512
+ *     conv name=c1 k=64 c=3 r=7 s=7 y=224 x=224 stride=2
+ * @endcode
+ * Zoo model names match the builders in workload/model_zoo.h
+ * (gptL, bertLarge, bertBase, resNet50, uNet, googleNet, d2go,
+ * planeRcnn, midas, emformer, hrvit, handSP, eyeCod, sp2Dense).
+ *
+ * MCM file:
+ * @code
+ *   mcm my-package
+ *   template hetSides3x3        # any Figure 6 template, or:
+ *   # mesh 3 3
+ *   # map NVD Shi NVD / NVD Shi NVD / NVD Shi NVD
+ *   pes 4096
+ * @endcode
+ *
+ * Lines starting with '#' and blank lines are ignored. Errors raise
+ * FatalError with the offending line number.
+ */
+
+#ifndef SCAR_IO_CONFIG_H
+#define SCAR_IO_CONFIG_H
+
+#include <istream>
+#include <string>
+
+#include "arch/mcm.h"
+#include "workload/scenario.h"
+
+namespace scar
+{
+namespace io
+{
+
+/** Parses a workload description from a stream. */
+Scenario parseScenario(std::istream& in);
+
+/** Parses a workload description file. */
+Scenario loadScenario(const std::string& path);
+
+/** Parses an MCM description from a stream. */
+Mcm parseMcm(std::istream& in);
+
+/** Parses an MCM description file. */
+Mcm loadMcm(const std::string& path);
+
+} // namespace io
+} // namespace scar
+
+#endif // SCAR_IO_CONFIG_H

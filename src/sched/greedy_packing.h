@@ -1,0 +1,48 @@
+/**
+ * @file
+ * MCM-Reconfig engine: time-window characterization + the greedy layer
+ * packing of Algorithm 1 (paper Section IV-A).
+ *
+ * The worst-case expected model latency sets the time horizon, which
+ * is cut into nsplits+1 periodic windows. Layers pack first-fit into
+ * windows by expected execution time (Eq. 1 over dataflow classes,
+ * scaled by batch); a layer that would cross a boundary defers to the
+ * next window; trailing/trivial windows with no layers are dropped.
+ */
+
+#ifndef SCAR_SCHED_GREEDY_PACKING_H
+#define SCAR_SCHED_GREEDY_PACKING_H
+
+#include "cost/cost_db.h"
+#include "sched/time_window.h"
+
+namespace scar
+{
+
+/** Layer-to-window assignment policies. */
+enum class PackingPolicy
+{
+    GreedyFirstFit, ///< Algorithm 1 (default)
+    Uniform,        ///< equal layer counts per window (ablation baseline)
+};
+
+/**
+ * Partitions the scenario into time windows.
+ * @param db cost database (provides Eq. 1 expected layer latencies)
+ * @param nsplits number of boundary points; yields nsplits+1 windows
+ *        before empty-window dropping (paper default: 4)
+ * @param policy packing policy
+ * @return a validated WindowPlan with at least one window
+ */
+WindowPlan packLayers(const CostDb& db, int nsplits,
+                      PackingPolicy policy = PackingPolicy::GreedyFirstFit);
+
+/**
+ * Expected execution cycles of one model's full batch, used for the
+ * time-horizon characterization (sum of Eq. 1 over layers x batch).
+ */
+double expectedModelCycles(const CostDb& db, int model);
+
+} // namespace scar
+
+#endif // SCAR_SCHED_GREEDY_PACKING_H

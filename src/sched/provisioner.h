@@ -1,0 +1,61 @@
+/**
+ * @file
+ * PROV engine (paper Section IV-B): estimates the number of chiplet
+ * nodes each model receives in a time window.
+ *
+ * Node assignments are dataflow-agnostic ("nodes", not chiplets).
+ * Two modes:
+ *  - Rule (uniform distribution, Eq. 2):
+ *      N_i = round(E(P_i) / sum_j E(P_j) * |C|)
+ *    with every present model guaranteed at least one node;
+ *  - Exhaustive: every allocation vector with N_i >= 1 and
+ *    sum N_i <= |C| (ablation, Section V-E).
+ *
+ * Heuristic 2 (node allocation constraint) caps N_i to bound the
+ * segmentation space for models with many small layers.
+ */
+
+#ifndef SCAR_SCHED_PROVISIONER_H
+#define SCAR_SCHED_PROVISIONER_H
+
+#include <vector>
+
+#include "cost/cost_db.h"
+#include "eval/metrics.h"
+#include "sched/time_window.h"
+
+namespace scar
+{
+
+/** Provisioning configuration. */
+struct ProvisionerOptions
+{
+    enum class Mode { Rule, Exhaustive };
+    Mode mode = Mode::Rule;
+    /** Heuristic 2: max nodes per model (0 = no constraint). */
+    int maxNodesPerModel = 0;
+    /** Cap on exhaustive candidates (0 = unlimited). */
+    int maxCandidates = 4096;
+};
+
+/**
+ * A node allocation for one window: nodes[m] chiplets for model m
+ * (0 for models absent from the window).
+ */
+using NodeAllocation = std::vector<int>;
+
+/**
+ * Produces candidate node allocations for a window.
+ * @param wa window assignment (which models have layers here)
+ * @param db cost database for the expectation values E(P_i)
+ * @param target performance metric used for E(P_i)
+ * @return one allocation in Rule mode, many in Exhaustive mode
+ */
+std::vector<NodeAllocation> provisionNodes(const WindowAssignment& wa,
+                                           const CostDb& db,
+                                           OptTarget target,
+                                           const ProvisionerOptions& opts);
+
+} // namespace scar
+
+#endif // SCAR_SCHED_PROVISIONER_H

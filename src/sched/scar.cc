@@ -1,0 +1,145 @@
+#include "sched/scar.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace scar
+{
+
+Scar::Scar(Scenario scenario, Mcm mcm, ScarOptions options)
+    : scenario_(std::move(scenario)), mcm_(std::move(mcm)),
+      options_(options), db_(scenario_, mcm_)
+{
+    SCAR_REQUIRE(scenario_.numModels() >= 1, "scenario has no models");
+    SCAR_REQUIRE(options_.nsplits >= 0, "nsplits must be >= 0");
+}
+
+WindowScheduler::Result
+Scar::searchWindow(const WindowAssignment& wa, const NodeAllocation& nodes,
+                   Rng& rng, const std::vector<int>& entry) const
+{
+    if (options_.mode == SearchMode::Evolutionary) {
+        EvolutionaryWindowSearch evo(db_, options_.target,
+                                     options_.window, options_.evo);
+        return evo.search(wa, nodes, rng, entry);
+    }
+    WindowScheduler scheduler(db_, options_.target, options_.window);
+    return scheduler.search(wa, nodes, rng, entry);
+}
+
+ScheduleResult
+Scar::run()
+{
+    Rng rng(options_.seed);
+    const WindowPlan plan =
+        packLayers(db_, options_.nsplits, options_.packing);
+    inform("SCAR: ", scenario_.name, " on ", mcm_.name(), ": ",
+           plan.windows.size(), " windows, target ",
+           optTargetName(options_.target));
+
+    ScheduleResult result;
+    std::vector<std::vector<ScoredPlacement>> windowTops;
+    // Where each model's live data sits as windows progress (-1 = DRAM).
+    std::vector<int> entry(scenario_.numModels(), -1);
+
+    for (const WindowAssignment& wa : plan.windows) {
+        const auto allocations =
+            provisionNodes(wa, db_, options_.target, options_.prov);
+
+        WindowScheduler::Result best;
+        std::vector<ScoredPlacement> mergedTop;
+        for (const NodeAllocation& nodes : allocations) {
+            const auto found = searchWindow(wa, nodes, rng, entry);
+            if (!found.found)
+                continue;
+            mergedTop.insert(mergedTop.end(), found.top.begin(),
+                             found.top.end());
+            if (!best.found || found.best.score < best.best.score) {
+                best.found = true;
+                best.best = found.best;
+            }
+        }
+        SCAR_REQUIRE(best.found,
+                     "no feasible placement found for a window of ",
+                     scenario_.name, " on ", mcm_.name());
+
+        std::sort(mergedTop.begin(), mergedTop.end(),
+                  [](const ScoredPlacement& a, const ScoredPlacement& b) {
+                      return a.score < b.score;
+                  });
+        if (static_cast<int>(mergedTop.size()) >
+            options_.window.maxTopCandidates)
+            mergedTop.resize(options_.window.maxTopCandidates);
+
+        ScheduledWindow sw;
+        sw.assignment = wa;
+        sw.nodes.assign(scenario_.numModels(), 0);
+        for (const ModelPlacement& mp : best.best.placement.models) {
+            sw.nodes[mp.modelIdx] =
+                static_cast<int>(mp.segments.size());
+            // The model's live data now resides on its tail chiplet.
+            entry[mp.modelIdx] = mp.segments.back().chiplet;
+        }
+        sw.placement = best.best.placement;
+        sw.cost = best.best.cost;
+        result.windows.push_back(std::move(sw));
+        windowTops.push_back(std::move(mergedTop));
+    }
+
+    // End-to-end totals: windows execute back to back (Section III-E).
+    double cycles = 0.0;
+    double energyNj = 0.0;
+    for (const ScheduledWindow& sw : result.windows) {
+        cycles += sw.cost.latencyCycles;
+        energyNj += sw.cost.energyNj;
+    }
+    result.metrics =
+        Metrics{cyclesToSeconds(cycles), njToJoules(energyNj)};
+
+    // Scenario-level candidate cloud for Pareto plots: the i-th ranked
+    // placement of each window combined, plus random cross picks.
+    std::size_t maxRank = 0;
+    for (const auto& top : windowTops)
+        maxRank = std::max(maxRank, top.size());
+    auto combine = [&](const std::vector<std::size_t>& pick) {
+        double c = 0.0;
+        double e = 0.0;
+        for (std::size_t w = 0; w < windowTops.size(); ++w) {
+            const auto& top = windowTops[w];
+            const std::size_t idx = std::min(pick[w], top.size() - 1);
+            c += top[idx].cost.latencyCycles;
+            e += top[idx].cost.energyNj;
+        }
+        result.candidates.push_back(
+            Metrics{cyclesToSeconds(c), njToJoules(e)});
+    };
+    for (std::size_t rank = 0; rank < maxRank; ++rank)
+        combine(std::vector<std::size_t>(windowTops.size(), rank));
+    for (int i = 0; i < 48; ++i) {
+        std::vector<std::size_t> pick(windowTops.size());
+        for (std::size_t w = 0; w < pick.size(); ++w)
+            pick[w] = rng.index(std::max<std::size_t>(
+                windowTops[w].size(), 1));
+        combine(pick);
+    }
+
+    if (options_.customScore) {
+        // Custom metric consumers rank the candidate cloud themselves;
+        // report the best candidate under the custom score as totals.
+        const Metrics best = *std::min_element(
+            result.candidates.begin(), result.candidates.end(),
+            [&](const Metrics& a, const Metrics& b) {
+                return options_.customScore(a) < options_.customScore(b);
+            });
+        if (options_.customScore(best) <
+            options_.customScore(result.metrics)) {
+            result.metrics = best;
+        }
+    }
+    return result;
+}
+
+} // namespace scar

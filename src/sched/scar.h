@@ -1,0 +1,106 @@
+/**
+ * @file
+ * SCAR scheduler facade — the public entry point of the library.
+ *
+ * Wires the four engines of Figure 4 into the two-level search of
+ * Figure 3:
+ *   MCM-Reconfig (time windows, greedy packing)
+ *     -> PROV (node provisioning per window)
+ *       -> SEG (layer segmentation, Heuristic 1)
+ *         -> SCHED (scheduling trees -> chiplet placement)
+ *           -> heterogeneous MCM cost model (scores feed back up)
+ *
+ * Typical use:
+ * @code
+ *   Scenario sc = suite::datacenterScenario(4);
+ *   Mcm mcm = templates::hetSides3x3();
+ *   Scar scar(sc, mcm, ScarOptions{});
+ *   ScheduleResult result = scar.run();
+ * @endcode
+ */
+
+#ifndef SCAR_SCHED_SCAR_H
+#define SCAR_SCHED_SCAR_H
+
+#include <cstdint>
+
+#include "sched/evolutionary.h"
+#include "sched/greedy_packing.h"
+#include "sched/sched_engine.h"
+
+namespace scar
+{
+
+/** Search strategy for the per-window SEG space. */
+enum class SearchMode
+{
+    BruteForce,   ///< top-k recombination (paper: all 3x3 experiments)
+    Evolutionary, ///< EA over split genomes (paper: 6x6 experiments)
+};
+
+/** Top-level scheduler configuration. */
+struct ScarOptions
+{
+    OptTarget target = OptTarget::Edp;
+    CustomScoreFn customScore;  ///< optional user metric (scenario level)
+    int nsplits = 4;            ///< window boundary points (paper default)
+    PackingPolicy packing = PackingPolicy::GreedyFirstFit;
+    ProvisionerOptions prov;
+    WindowSearchOptions window;
+    SearchMode mode = SearchMode::BruteForce;
+    EvoOptions evo;
+    std::uint64_t seed = 0xC0FFEEuLL;
+};
+
+/** One scheduled time window of the final schedule. */
+struct ScheduledWindow
+{
+    WindowAssignment assignment;
+    NodeAllocation nodes;
+    WindowPlacement placement;
+    WindowCost cost;
+};
+
+/** Complete scheduling outcome for a scenario on an MCM. */
+struct ScheduleResult
+{
+    std::vector<ScheduledWindow> windows;
+    Metrics metrics;                  ///< end-to-end totals
+    std::vector<Metrics> candidates;  ///< scenario-level Pareto cloud
+};
+
+/** The SCAR scheduler. */
+class Scar
+{
+  public:
+    /**
+     * Builds the layer-cost database and prepares the engines. The
+     * scenario and MCM are copied, so temporaries are safe to pass.
+     */
+    Scar(Scenario scenario, Mcm mcm, ScarOptions options = ScarOptions{});
+
+    /** Runs the full two-level search and returns the best schedule. */
+    ScheduleResult run();
+
+    /** The per-layer cost database (offline MAESTRO pass). */
+    const CostDb& db() const { return db_; }
+
+    /** The options in effect. */
+    const ScarOptions& options() const { return options_; }
+
+  private:
+    WindowScheduler::Result searchWindow(const WindowAssignment& wa,
+                                         const NodeAllocation& nodes,
+                                         Rng& rng,
+                                         const std::vector<int>& entry)
+        const;
+
+    const Scenario scenario_;
+    const Mcm mcm_;
+    ScarOptions options_;
+    CostDb db_;
+};
+
+} // namespace scar
+
+#endif // SCAR_SCHED_SCAR_H

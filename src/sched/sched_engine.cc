@@ -1,0 +1,367 @@
+#include "sched/sched_engine.h"
+#include <functional>
+#include <set>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/units.h"
+#include "sched/sched_tree.h"
+
+namespace scar
+{
+
+namespace
+{
+
+/** Evaluator options for the cheap per-model beam scoring. */
+EvaluatorOptions
+soloOptions(const EvaluatorOptions& base)
+{
+    EvaluatorOptions opts = base;
+    opts.contention = false;
+    opts.dramRoofline = false;
+    return opts;
+}
+
+} // namespace
+
+WindowScheduler::WindowScheduler(const CostDb& db, OptTarget target,
+                                 WindowSearchOptions opts)
+    : db_(db), target_(target), opts_(opts),
+      fullEval_(db, opts.eval), soloEval_(db, soloOptions(opts.eval))
+{
+    SCAR_REQUIRE(opts_.beamWidth >= 1, "beam width must be >= 1");
+    SCAR_REQUIRE(opts_.maxPathsPerModel >= 1, "need >= 1 path candidate");
+    SCAR_REQUIRE(opts_.maxCombos >= 1, "need >= 1 combo");
+}
+
+std::vector<int>
+WindowScheduler::presentModels(const WindowAssignment& wa)
+{
+    std::vector<int> present;
+    for (std::size_t m = 0; m < wa.perModel.size(); ++m) {
+        if (!wa.perModel[m].empty())
+            present.push_back(static_cast<int>(m));
+    }
+    return present;
+}
+
+double
+WindowScheduler::score(const WindowCost& cost) const
+{
+    const Metrics metrics{cyclesToSeconds(cost.latencyCycles),
+                          njToJoules(cost.energyNj)};
+    return metrics.value(target_);
+}
+
+double
+WindowScheduler::partialScore(double maxLatency, double sumEnergy) const
+{
+    switch (target_) {
+      case OptTarget::Latency: return maxLatency;
+      case OptTarget::Energy:  return sumEnergy;
+      case OptTarget::Edp:     return maxLatency * sumEnergy;
+    }
+    return maxLatency * sumEnergy;
+}
+
+std::pair<double, double>
+WindowScheduler::soloCost(int model, const Segmentation& seg,
+                          const std::vector<int>& path, int entry,
+                          SoloCache& cache) const
+{
+    SCAR_ASSERT(path.size() == seg.segments.size(),
+                "path length != segment count");
+    std::vector<int> key;
+    key.reserve(seg.segments.size() + path.size() + 3);
+    key.push_back(model);
+    key.push_back(entry);
+    for (const LayerRange& r : seg.segments)
+        key.push_back(r.last);
+    key.push_back(-2);
+    key.insert(key.end(), path.begin(), path.end());
+
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    WindowPlacement placement;
+    placement.entryChiplet.assign(
+        db_.scenario().numModels(), -1);
+    placement.entryChiplet[model] = entry;
+    ModelPlacement mp;
+    mp.modelIdx = model;
+    for (std::size_t k = 0; k < path.size(); ++k)
+        mp.segments.push_back(PlacedSegment{seg.segments[k], path[k]});
+    placement.models.push_back(std::move(mp));
+
+    const WindowCost cost = soloEval_.evaluate(placement);
+    const std::pair<double, double> result{cost.latencyCycles,
+                                           cost.energyNj};
+    cache.emplace(std::move(key), result);
+    return result;
+}
+
+std::vector<Segmentation>
+WindowScheduler::refineSegmentations(int model,
+                                     std::vector<Segmentation> pruned,
+                                     int entry, SoloCache& cache) const
+{
+    const Topology& topo = db_.mcm().topology();
+    const std::vector<bool> noneBlocked(topo.numNodes(), false);
+
+    std::vector<std::pair<double, std::size_t>> scored;
+    for (std::size_t i = 0; i < pruned.size(); ++i) {
+        const int numSegs = pruned[i].numSegments();
+        const auto paths = enumeratePathsAllRoots(
+            topo, numSegs, noneBlocked, opts_.maxPathsPerModel);
+        double best = std::numeric_limits<double>::infinity();
+        for (const auto& path : paths) {
+            const auto [lat, energy] =
+                soloCost(model, pruned[i], path, entry, cache);
+            const Metrics metrics{cyclesToSeconds(lat),
+                                  njToJoules(energy)};
+            best = std::min(best, metrics.value(target_));
+        }
+        if (!paths.empty())
+            scored.emplace_back(best, i);
+    }
+    std::sort(scored.begin(), scored.end());
+
+    // Keep the best candidate of every segment count first (the
+    // placement step may not be able to realize the preferred count on
+    // the chiplets left by other models), then fill by pure score.
+    std::vector<Segmentation> top;
+    std::set<int> countsSeen;
+    std::vector<bool> taken(pruned.size(), false);
+    for (const auto& [score, idx] : scored) {
+        const int count = pruned[idx].numSegments();
+        if (countsSeen.insert(count).second) {
+            top.push_back(pruned[idx]);
+            taken[idx] = true;
+        }
+    }
+    for (const auto& [score, idx] : scored) {
+        if (static_cast<int>(top.size()) >=
+            std::max<int>(opts_.seg.topK,
+                          static_cast<int>(countsSeen.size())))
+            break;
+        if (!taken[idx]) {
+            top.push_back(pruned[idx]);
+            taken[idx] = true;
+        }
+    }
+    return top;
+}
+
+void
+WindowScheduler::placeCombo(const std::vector<int>& present,
+                            const std::vector<Segmentation>& segs,
+                            const std::vector<int>& entry,
+                            SoloCache& cache, Result& result) const
+{
+    const Topology& topo = db_.mcm().topology();
+    auto entryOf = [&](int model) {
+        return model < static_cast<int>(entry.size()) ? entry[model] : -1;
+    };
+
+    // Place in decreasing segment-count order: the most constrained
+    // models claim connected paths first.
+    std::vector<std::size_t> order(present.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return segs[a].numSegments() > segs[b].numSegments();
+              });
+
+    std::vector<BeamState> beam(1);
+    beam.front().used.assign(topo.numNodes(), false);
+
+    for (std::size_t oi = 0; oi < order.size(); ++oi) {
+        const std::size_t mi = order[oi];
+        const int model = present[mi];
+        const Segmentation& seg = segs[mi];
+        const int numSegs = seg.numSegments();
+
+        std::vector<BeamState> next;
+        for (const BeamState& state : beam) {
+            const auto paths = enumeratePathsAllRoots(
+                topo, numSegs, state.used, opts_.maxPathsPerModel);
+            for (const auto& path : paths) {
+                const auto [lat, energy] =
+                    soloCost(model, seg, path, entryOf(model), cache);
+                BeamState grown = state;
+                for (int node : path)
+                    grown.used[node] = true;
+                ModelPlacement mp;
+                mp.modelIdx = model;
+                for (int k = 0; k < numSegs; ++k) {
+                    mp.segments.push_back(
+                        PlacedSegment{seg.segments[k], path[k]});
+                }
+                grown.placed.push_back(std::move(mp));
+                grown.maxLatency = std::max(grown.maxLatency, lat);
+                grown.sumEnergy += energy;
+                next.push_back(std::move(grown));
+            }
+        }
+        if (next.empty()) {
+            debug("beam died placing model ", model, " with ", numSegs,
+                  " segments");
+            return;
+        }
+        std::sort(next.begin(), next.end(),
+                  [&](const BeamState& a, const BeamState& b) {
+                      return partialScore(a.maxLatency, a.sumEnergy) <
+                             partialScore(b.maxLatency, b.sumEnergy);
+                  });
+        if (static_cast<int>(next.size()) > opts_.beamWidth)
+            next.resize(opts_.beamWidth);
+        beam = std::move(next);
+    }
+
+    for (const BeamState& state : beam) {
+        WindowPlacement placement;
+        placement.models = state.placed;
+        placement.entryChiplet.assign(db_.scenario().numModels(), -1);
+        for (int m : present)
+            placement.entryChiplet[m] = entryOf(m);
+        ScoredPlacement scored;
+        scored.cost = fullEval_.evaluate(placement);
+        scored.score = score(scored.cost);
+        scored.placement = std::move(placement);
+        result.top.push_back(std::move(scored));
+    }
+}
+
+WindowScheduler::Result
+WindowScheduler::search(const WindowAssignment& wa,
+                        const NodeAllocation& nodes, Rng& rng,
+                        const std::vector<int>& entry) const
+{
+    const std::vector<int> present = presentModels(wa);
+    SCAR_REQUIRE(!present.empty(), "window has no layers to schedule");
+    for (int m : present) {
+        SCAR_REQUIRE(nodes[m] >= 1, "model ", m,
+                     " present but allocated no nodes");
+    }
+    auto entryOf = [&](int model) {
+        return model < static_cast<int>(entry.size()) ? entry[model] : -1;
+    };
+
+    // SEG (Heuristic 1): quick prune per model, then placement-aware
+    // refinement keeping the top-k per model.
+    SoloCache cache;
+    std::vector<std::vector<Segmentation>> segLists;
+    segLists.reserve(present.size());
+    for (int m : present) {
+        auto pruned = rankSegmentations(db_, m, wa.perModel[m], nodes[m],
+                                        target_, opts_.seg, rng);
+        segLists.push_back(refineSegmentations(m, std::move(pruned),
+                                               entryOf(m), cache));
+        SCAR_ASSERT(!segLists.back().empty(),
+                    "no segmentation candidates for model ", m);
+    }
+
+    // Combo enumeration ordered by total rank (best-first), capped.
+    std::vector<std::vector<int>> combos;
+    {
+        std::vector<std::vector<int>> frontier{{}};
+        // Breadth-first by rank sum: enumerate index vectors whose
+        // component sum is s = 0, 1, 2, ... until the cap.
+        int maxSum = 0;
+        for (const auto& list : segLists)
+            maxSum += static_cast<int>(list.size()) - 1;
+        for (int s = 0;
+             s <= maxSum &&
+             static_cast<int>(combos.size()) < opts_.maxCombos;
+             ++s) {
+            std::vector<int> combo(segLists.size(), 0);
+            // Recursive enumeration of fixed-sum index vectors.
+            std::function<void(std::size_t, int)> rec =
+                [&](std::size_t idx, int remaining) {
+                    if (static_cast<int>(combos.size()) >=
+                        opts_.maxCombos)
+                        return;
+                    if (idx + 1 == combo.size()) {
+                        if (remaining <
+                            static_cast<int>(segLists[idx].size())) {
+                            combo[idx] = remaining;
+                            combos.push_back(combo);
+                        }
+                        return;
+                    }
+                    const int limit = std::min(
+                        remaining,
+                        static_cast<int>(segLists[idx].size()) - 1);
+                    for (int v = 0; v <= limit; ++v) {
+                        combo[idx] = v;
+                        rec(idx + 1, remaining - v);
+                    }
+                };
+            rec(0, s);
+        }
+    }
+
+    Result result;
+    for (const auto& combo : combos) {
+        std::vector<Segmentation> segs;
+        segs.reserve(combo.size());
+        for (std::size_t i = 0; i < combo.size(); ++i)
+            segs.push_back(segLists[i][combo[i]]);
+        placeCombo(present, segs, entry, cache, result);
+    }
+
+    if (result.top.empty()) {
+        // Fallback: one segment per model is always placeable when the
+        // package has a free chiplet per model (paths of length 1).
+        debug("window search fell back to single-segment placement");
+        std::vector<Segmentation> segs;
+        for (int m : present) {
+            Segmentation seg;
+            seg.segments.push_back(wa.perModel[m]);
+            segs.push_back(std::move(seg));
+        }
+        placeCombo(present, segs, entry, cache, result);
+    }
+
+    if (result.top.empty())
+        return result;
+
+    std::sort(result.top.begin(), result.top.end(),
+              [](const ScoredPlacement& a, const ScoredPlacement& b) {
+                  return a.score < b.score;
+              });
+    if (static_cast<int>(result.top.size()) > opts_.maxTopCandidates)
+        result.top.resize(opts_.maxTopCandidates);
+    result.best = result.top.front();
+    result.found = true;
+    return result;
+}
+
+WindowScheduler::Result
+WindowScheduler::placeSegmentations(
+    const std::vector<int>& presentModels,
+    const std::vector<Segmentation>& segs,
+    const std::vector<int>& entry) const
+{
+    Result result;
+    SoloCache cache;
+    placeCombo(presentModels, segs, entry, cache, result);
+    if (result.top.empty())
+        return result;
+    std::sort(result.top.begin(), result.top.end(),
+              [](const ScoredPlacement& a, const ScoredPlacement& b) {
+                  return a.score < b.score;
+              });
+    if (static_cast<int>(result.top.size()) > opts_.maxTopCandidates)
+        result.top.resize(opts_.maxTopCandidates);
+    result.best = result.top.front();
+    result.found = true;
+    return result;
+}
+
+} // namespace scar

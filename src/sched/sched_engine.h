@@ -1,0 +1,147 @@
+/**
+ * @file
+ * SCHED engine (paper Section IV-D): maps layer segments onto physical
+ * chiplets within one time window.
+ *
+ * The scheduling space is a forest of scheduling trees over the NoP
+ * adjacency: a tree fixes a root chiplet per model, and a model's
+ * candidate schedule is a simple path of length = its segment count
+ * through unoccupied chiplets (constrained DFS). Later models are
+ * constrained by earlier models' visited nodes.
+ *
+ * Search organization:
+ *  1. Heuristic-1 recombination — the cross product of each model's
+ *     top-k segmentations forms the combo list;
+ *  2. for each combo, models place in decreasing node-count order via
+ *     beam search: path candidates from every free root are scored
+ *     with a contention-free single-model evaluation (cached), and
+ *     the best `beamWidth` partial placements survive;
+ *  3. complete placements are re-scored with the full window evaluator
+ *     (contention + DRAM roofline) and ranked.
+ *
+ * All enumeration caps are explicit in WindowSearchOptions; exceeding
+ * a cap logs at debug level rather than failing silently.
+ */
+
+#ifndef SCAR_SCHED_SCHED_ENGINE_H
+#define SCAR_SCHED_SCHED_ENGINE_H
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "cost/window_evaluator.h"
+#include "eval/metrics.h"
+#include "sched/provisioner.h"
+#include "sched/segmentation.h"
+#include "sched/time_window.h"
+
+namespace scar
+{
+
+/** Per-window search knobs. */
+struct WindowSearchOptions
+{
+    SegmentationOptions seg;     ///< SEG engine (top-k, enumeration cap)
+    int maxPathsPerModel = 96;   ///< DFS path candidates per model
+    int beamWidth = 12;          ///< surviving partial placements
+    int maxCombos = 64;          ///< segmentation combos explored
+    int maxTopCandidates = 32;   ///< ranked placements kept for Pareto
+    EvaluatorOptions eval;       ///< final-evaluation options
+};
+
+/** A fully evaluated window placement. */
+struct ScoredPlacement
+{
+    WindowPlacement placement;
+    WindowCost cost;
+    double score = 0.0;
+};
+
+/** Searches the scheduling space of one time window. */
+class WindowScheduler
+{
+  public:
+    /** Search outcome: best placement plus a ranked candidate list. */
+    struct Result
+    {
+        bool found = false;
+        ScoredPlacement best;
+        std::vector<ScoredPlacement> top; ///< ascending score
+    };
+
+    WindowScheduler(const CostDb& db, OptTarget target,
+                    WindowSearchOptions opts = WindowSearchOptions{});
+
+    /**
+     * Runs the SEG+SCHED search for one window.
+     * @param wa layers per model in this window
+     * @param nodes PROV allocation (max segments per model)
+     * @param rng randomness source for capped enumerations
+     * @param entry per-model entry chiplets (-1/empty = DRAM input);
+     *        models continuing from a previous window receive their
+     *        live data over the NoP from these chiplets
+     */
+    Result search(const WindowAssignment& wa, const NodeAllocation& nodes,
+                  Rng& rng, const std::vector<int>& entry = {}) const;
+
+    /**
+     * Evaluates a fixed per-model segmentation choice (used by the
+     * evolutionary driver): beam placement + full evaluation.
+     * @param segs per-present-model segmentations, aligned with the
+     *        present-model order of the window assignment
+     */
+    Result placeSegmentations(const std::vector<int>& presentModels,
+                              const std::vector<Segmentation>& segs,
+                              const std::vector<int>& entry = {}) const;
+
+    /** Window-level score of a cost under the chosen target. */
+    double score(const WindowCost& cost) const;
+
+    /** Present (non-empty) model indices of a window assignment. */
+    static std::vector<int> presentModels(const WindowAssignment& wa);
+
+  private:
+    struct BeamState
+    {
+        std::vector<bool> used;
+        std::vector<ModelPlacement> placed;
+        double maxLatency = 0.0;
+        double sumEnergy = 0.0;
+    };
+
+    using SoloCache = std::map<std::vector<int>,
+                               std::pair<double, double>>;
+
+    /** Contention-free (latency, energy) of one placed model. */
+    std::pair<double, double> soloCost(int model,
+                                       const Segmentation& seg,
+                                       const std::vector<int>& path,
+                                       int entry, SoloCache& cache) const;
+
+    double partialScore(double maxLatency, double sumEnergy) const;
+
+    void placeCombo(const std::vector<int>& present,
+                    const std::vector<Segmentation>& segs,
+                    const std::vector<int>& entry, SoloCache& cache,
+                    Result& result) const;
+
+    /**
+     * Placement-aware refinement of Heuristic 1: re-scores pruned
+     * segmentation candidates by their best single-model placement on
+     * the empty package and keeps the top-k.
+     */
+    std::vector<Segmentation> refineSegmentations(
+        int model, std::vector<Segmentation> pruned, int entry,
+        SoloCache& cache) const;
+
+    const CostDb& db_;
+    OptTarget target_;
+    WindowSearchOptions opts_;
+    WindowEvaluator fullEval_;
+    WindowEvaluator soloEval_;
+};
+
+} // namespace scar
+
+#endif // SCAR_SCHED_SCHED_ENGINE_H

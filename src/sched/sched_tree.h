@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Scheduling-tree traversal (paper Section IV-D).
+ *
+ * A scheduling tree's nodes mirror chiplet resources; edges follow the
+ * interposer adjacency; a node may appear once per tree (exclusive
+ * occupancy). A model's candidate schedule is a simple path of length
+ * = its segment count through currently unoccupied chiplets, found by
+ * constrained depth-first search from a root chiplet.
+ */
+
+#ifndef SCAR_SCHED_SCHED_TREE_H
+#define SCAR_SCHED_SCHED_TREE_H
+
+#include <vector>
+
+#include "arch/topology.h"
+
+namespace scar
+{
+
+/**
+ * Enumerates simple paths of exactly `length` nodes starting at
+ * `root`, avoiding nodes marked in `blocked`, up to `maxPaths` paths.
+ * @return paths as node-id sequences (each of size `length`)
+ */
+std::vector<std::vector<int>> enumeratePaths(const Topology& topo,
+                                             int root, int length,
+                                             const std::vector<bool>& blocked,
+                                             int maxPaths);
+
+/**
+ * Enumerates candidate paths from every unblocked root, capped at
+ * `maxTotal` overall (caps are split across roots).
+ */
+std::vector<std::vector<int>> enumeratePathsAllRoots(
+    const Topology& topo, int length, const std::vector<bool>& blocked,
+    int maxTotal);
+
+} // namespace scar
+
+#endif // SCAR_SCHED_SCHED_TREE_H

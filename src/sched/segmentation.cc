@@ -1,0 +1,198 @@
+#include "sched/segmentation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "cost/comm_model.h"
+
+namespace scar
+{
+
+namespace
+{
+
+/** Builds a segmentation from sorted split gaps (split after gap g). */
+Segmentation
+fromSplits(const LayerRange& range, const std::vector<int>& splits)
+{
+    Segmentation seg;
+    int first = range.first;
+    for (int gap : splits) {
+        seg.segments.push_back(LayerRange{first, range.first + gap});
+        first = range.first + gap + 1;
+    }
+    seg.segments.push_back(LayerRange{first, range.last});
+    return seg;
+}
+
+/** Balanced splits: numSegs equal-size parts. */
+std::vector<int>
+balancedSplits(int layers, int numSegs)
+{
+    std::vector<int> splits;
+    for (int s = 1; s < numSegs; ++s)
+        splits.push_back(s * layers / numSegs - 1);
+    return splits;
+}
+
+/** Number of ways to choose `k` from `n`, saturating at a large cap. */
+double
+choose(int n, int k)
+{
+    double result = 1.0;
+    for (int i = 0; i < k; ++i) {
+        result *= static_cast<double>(n - i) / (i + 1);
+        if (result > 1.0e12)
+            return 1.0e12;
+    }
+    return result;
+}
+
+} // namespace
+
+std::vector<Segmentation>
+enumerateSegmentations(const LayerRange& range, int maxSegs,
+                       int capPerCount, Rng& rng)
+{
+    SCAR_REQUIRE(!range.empty(), "cannot segment an empty range");
+    SCAR_REQUIRE(maxSegs >= 1, "need at least one segment");
+    const int layers = range.size();
+    const int segLimit = std::min(maxSegs, layers);
+
+    std::vector<Segmentation> out;
+    for (int numSegs = 1; numSegs <= segLimit; ++numSegs) {
+        const int splitsNeeded = numSegs - 1;
+        const int gaps = layers - 1;
+        const double count = choose(gaps, splitsNeeded);
+
+        if (count <= capPerCount) {
+            // Full enumeration of split combinations.
+            std::vector<int> splits(splitsNeeded);
+            for (int i = 0; i < splitsNeeded; ++i)
+                splits[i] = i;
+            while (true) {
+                out.push_back(fromSplits(range, splits));
+                // Next combination in lexicographic order.
+                int i = splitsNeeded - 1;
+                while (i >= 0 && splits[i] == gaps - splitsNeeded + i)
+                    --i;
+                if (i < 0)
+                    break;
+                ++splits[i];
+                for (int j = i + 1; j < splitsNeeded; ++j)
+                    splits[j] = splits[j - 1] + 1;
+            }
+        } else {
+            debug("segmentation enumeration capped: C(", gaps, ",",
+                  splitsNeeded, ") > ", capPerCount);
+            std::set<std::vector<int>> seen;
+            // Always include the balanced candidate.
+            std::vector<int> balanced = balancedSplits(layers, numSegs);
+            seen.insert(balanced);
+            out.push_back(fromSplits(range, balanced));
+            int attempts = 0;
+            while (static_cast<int>(seen.size()) < capPerCount &&
+                   attempts < capPerCount * 4) {
+                ++attempts;
+                std::set<int> picks;
+                while (static_cast<int>(picks.size()) < splitsNeeded)
+                    picks.insert(rng.uniformInt(0, gaps - 1));
+                std::vector<int> splits(picks.begin(), picks.end());
+                if (seen.insert(splits).second)
+                    out.push_back(fromSplits(range, splits));
+            }
+        }
+    }
+    return out;
+}
+
+double
+quickScore(const CostDb& db, int model, const Segmentation& seg,
+           OptTarget target)
+{
+    const Model& m = db.scenario().models[model];
+    const int batch = m.batch;
+    const CommModel comm(db.mcm());
+
+    double sumCycles = 0.0;
+    double maxSeg = 0.0;
+    double energyNj = 0.0;
+    const std::size_t numSegs = seg.segments.size();
+    for (std::size_t k = 0; k < numSegs; ++k) {
+        const LayerRange& r = seg.segments[k];
+        double cycles = 0.0;
+        for (int l = r.first; l <= r.last; ++l) {
+            cycles += db.expectedLayerCycles(model, l);
+            energyNj += db.expectedLayerEnergyNj(model, l) * batch;
+        }
+        // 1-hop NoP handoff into this segment (placement-free proxy).
+        if (k > 0) {
+            const int prevLast = seg.segments[k - 1].last;
+            const double bytes = m.layers[prevLast].outputBytes();
+            cycles += bytes / comm.nopBytesPerCycle() +
+                      comm.hopLatencyCycles();
+            energyNj += pjToNj(bytes * 8.0 *
+                               db.mcm().params().nopEnergyPjPerBit) *
+                        batch;
+        }
+        sumCycles += cycles;
+        maxSeg = std::max(maxSeg, cycles);
+    }
+    const double latCycles = sumCycles + (batch - 1) * maxSeg;
+    const Metrics metrics{cyclesToSeconds(latCycles),
+                          njToJoules(energyNj)};
+    return metrics.value(target);
+}
+
+std::vector<Segmentation>
+rankSegmentations(const CostDb& db, int model, const LayerRange& range,
+                  int maxSegs, OptTarget target,
+                  const SegmentationOptions& opts, Rng& rng)
+{
+    std::vector<Segmentation> candidates =
+        enumerateSegmentations(range, maxSegs, opts.enumCapPerCount, rng);
+
+    std::vector<std::pair<double, std::size_t>> scored;
+    scored.reserve(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+        scored.emplace_back(quickScore(db, model, candidates[i], target),
+                            i);
+    std::sort(scored.begin(), scored.end());
+
+    // Per-segment-count diversity: always keep each count's best.
+    std::set<int> countsSeen;
+    std::vector<std::size_t> picked;
+    std::vector<bool> taken(candidates.size(), false);
+    for (const auto& [score, idx] : scored) {
+        const int count = candidates[idx].numSegments();
+        if (countsSeen.insert(count).second) {
+            picked.push_back(idx);
+            taken[idx] = true;
+        }
+    }
+    for (const auto& [score, idx] : scored) {
+        if (static_cast<int>(picked.size()) >= opts.pruneK)
+            break;
+        if (!taken[idx]) {
+            picked.push_back(idx);
+            taken[idx] = true;
+        }
+    }
+
+    // Re-sort the picked set by score so callers see best-first order.
+    std::sort(picked.begin(), picked.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return quickScore(db, model, candidates[a], target) <
+                         quickScore(db, model, candidates[b], target);
+              });
+
+    std::vector<Segmentation> top;
+    top.reserve(picked.size());
+    for (std::size_t idx : picked)
+        top.push_back(candidates[idx]);
+    return top;
+}
+
+} // namespace scar

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * SEG engine (paper Section IV-C): partitions a model's window layers
+ * into contiguous segments mappable to chiplet nodes.
+ *
+ * A candidate is a sequence of split points over the topologically
+ * sorted layers; at most N_i segments are allowed for a model holding
+ * N_i nodes. Heuristic 1 evaluates candidates per model independently
+ * with a placement-free pipeline score and keeps the top-k, reducing
+ * the product space to a sum (the engine recombines top-k lists).
+ */
+
+#ifndef SCAR_SCHED_SEGMENTATION_H
+#define SCAR_SCHED_SEGMENTATION_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "cost/cost_db.h"
+#include "eval/metrics.h"
+#include "workload/model.h"
+
+namespace scar
+{
+
+/** One segmentation candidate: contiguous ranges covering the window. */
+struct Segmentation
+{
+    std::vector<LayerRange> segments;
+
+    int numSegments() const { return static_cast<int>(segments.size()); }
+};
+
+/** SEG engine knobs. */
+struct SegmentationOptions
+{
+    int topK = 3;              ///< Heuristic-1 candidates kept per model
+    int pruneK = 16;           ///< quick-stage survivors before the
+                               ///< placement-aware refinement
+    int enumCapPerCount = 512; ///< cap on enumerated splits per count
+};
+
+/**
+ * Enumerates segmentations of `range` into 1..maxSegs contiguous
+ * parts. When the combination count for a segment count exceeds
+ * `capPerCount`, a deterministic balanced candidate plus random
+ * samples are used instead (the cap is logged at debug level).
+ */
+std::vector<Segmentation> enumerateSegmentations(const LayerRange& range,
+                                                 int maxSegs,
+                                                 int capPerCount,
+                                                 Rng& rng);
+
+/**
+ * Heuristic-1 quick ranking: scores each candidate with a
+ * placement-free pipeline model (expected layer cycles, 1-hop NoP
+ * handoffs) and returns up to pruneK survivors, best first. The best
+ * candidate of every segment count is always retained so the
+ * placement-aware refinement in the SCHED engine can still choose a
+ * different degree of pipelining.
+ */
+std::vector<Segmentation> rankSegmentations(const CostDb& db, int model,
+                                            const LayerRange& range,
+                                            int maxSegs, OptTarget target,
+                                            const SegmentationOptions& opts,
+                                            Rng& rng);
+
+/**
+ * The placement-free score used by the ranking (exposed for tests and
+ * for the evolutionary search's fitness seeding). Lower is better.
+ */
+double quickScore(const CostDb& db, int model, const Segmentation& seg,
+                  OptTarget target);
+
+} // namespace scar
+
+#endif // SCAR_SCHED_SEGMENTATION_H

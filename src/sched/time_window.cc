@@ -1,0 +1,37 @@
+#include "sched/time_window.h"
+
+#include "common/error.h"
+
+namespace scar
+{
+
+void
+WindowPlan::validate(const Scenario& scenario) const
+{
+    SCAR_REQUIRE(!windows.empty(), "window plan is empty");
+    const int numModels = scenario.numModels();
+    std::vector<int> next(numModels, 0);
+    for (const WindowAssignment& wa : windows) {
+        SCAR_REQUIRE(static_cast<int>(wa.perModel.size()) == numModels,
+                     "window arity ", wa.perModel.size(),
+                     " != model count ", numModels);
+        for (int m = 0; m < numModels; ++m) {
+            const LayerRange& r = wa.perModel[m];
+            if (r.empty())
+                continue;
+            SCAR_REQUIRE(r.first == next[m],
+                         "window ranges not contiguous for model ", m,
+                         ": expected first=", next[m], " got ", r.first);
+            SCAR_REQUIRE(r.last < scenario.models[m].numLayers(),
+                         "window range exceeds model ", m);
+            next[m] = r.last + 1;
+        }
+    }
+    for (int m = 0; m < numModels; ++m) {
+        SCAR_REQUIRE(next[m] == scenario.models[m].numLayers(),
+                     "model ", m, " not fully covered by windows (",
+                     next[m], "/", scenario.models[m].numLayers(), ")");
+    }
+}
+
+} // namespace scar

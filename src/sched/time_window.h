@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Time-window partitioning types (paper Definitions 4 and 6).
+ *
+ * A window plan assigns every model a contiguous (possibly empty)
+ * layer range per window; ranges across windows concatenate to the
+ * full model in order (Theorem 2's partition validity).
+ */
+
+#ifndef SCAR_SCHED_TIME_WINDOW_H
+#define SCAR_SCHED_TIME_WINDOW_H
+
+#include <vector>
+
+#include "workload/scenario.h"
+
+namespace scar
+{
+
+/** Layers assigned to one window: one range per model. */
+struct WindowAssignment
+{
+    std::vector<LayerRange> perModel;
+
+    /** True when no model has layers in this window. */
+    bool
+    empty() const
+    {
+        for (const LayerRange& r : perModel) {
+            if (!r.empty())
+                return false;
+        }
+        return true;
+    }
+
+    /** Total layer count in this window. */
+    int
+    totalLayers() const
+    {
+        int total = 0;
+        for (const LayerRange& r : perModel)
+            total += r.size();
+        return total;
+    }
+};
+
+/** The full window partitioning T W(Sc). */
+struct WindowPlan
+{
+    std::vector<WindowAssignment> windows;
+
+    /** Validates Theorem 2: ranges partition every model in order. */
+    void validate(const Scenario& scenario) const;
+};
+
+} // namespace scar
+
+#endif // SCAR_SCHED_TIME_WINDOW_H

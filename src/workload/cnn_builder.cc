@@ -1,0 +1,130 @@
+#include "workload/cnn_builder.h"
+
+#include "common/error.h"
+
+namespace scar
+{
+
+CnnBuilder::CnnBuilder(std::string name, int batch, std::int64_t channels,
+                       std::int64_t height, std::int64_t width)
+    : c_(channels), y_(height), x_(width)
+{
+    SCAR_REQUIRE(channels >= 1 && height >= 1 && width >= 1,
+                 "CNN input shape must be positive");
+    model_.name = std::move(name);
+    model_.batch = batch;
+}
+
+void
+CnnBuilder::push(Layer layer)
+{
+    layer.id = model_.numLayers();
+    layer.validate();
+    model_.layers.push_back(std::move(layer));
+}
+
+CnnBuilder&
+CnnBuilder::conv(const std::string& name, std::int64_t k, std::int64_t r,
+                 std::int64_t s, std::int64_t stride)
+{
+    Layer layer;
+    layer.name = name;
+    layer.type = OpType::Conv2D;
+    layer.dims = LayerDims{k, c_, r, s, y_, x_, stride, stride};
+    push(layer);
+    c_ = k;
+    y_ = model_.layers.back().outY();
+    x_ = model_.layers.back().outX();
+    return *this;
+}
+
+CnnBuilder&
+CnnBuilder::dwConv(const std::string& name, std::int64_t r, std::int64_t s,
+                   std::int64_t stride)
+{
+    Layer layer;
+    layer.name = name;
+    layer.type = OpType::DepthwiseConv;
+    layer.dims = LayerDims{c_, c_, r, s, y_, x_, stride, stride};
+    push(layer);
+    y_ = model_.layers.back().outY();
+    x_ = model_.layers.back().outX();
+    return *this;
+}
+
+CnnBuilder&
+CnnBuilder::pool(const std::string& name, std::int64_t window,
+                 std::int64_t stride)
+{
+    Layer layer;
+    layer.name = name;
+    layer.type = OpType::Pool;
+    layer.dims = LayerDims{c_, c_, window, window, y_, x_, stride, stride};
+    push(layer);
+    y_ = model_.layers.back().outY();
+    x_ = model_.layers.back().outX();
+    return *this;
+}
+
+CnnBuilder&
+CnnBuilder::globalPool(const std::string& name)
+{
+    Layer layer;
+    layer.name = name;
+    layer.type = OpType::Pool;
+    layer.dims = LayerDims{c_, c_, y_, x_, y_, x_, y_, x_};
+    push(layer);
+    y_ = 1;
+    x_ = 1;
+    return *this;
+}
+
+CnnBuilder&
+CnnBuilder::eltwise(const std::string& name)
+{
+    Layer layer;
+    layer.name = name;
+    layer.type = OpType::Elementwise;
+    layer.dims = LayerDims{c_, c_, 1, 1, y_, x_, 1, 1};
+    push(layer);
+    return *this;
+}
+
+CnnBuilder&
+CnnBuilder::fc(const std::string& name, std::int64_t outFeatures)
+{
+    const std::int64_t inFeatures = c_ * y_ * x_;
+    push(makeGemmLayer(model_.numLayers(), name, 1, outFeatures,
+                       inFeatures));
+    c_ = outFeatures;
+    y_ = 1;
+    x_ = 1;
+    return *this;
+}
+
+CnnBuilder&
+CnnBuilder::upConv(const std::string& name, std::int64_t k,
+                   std::int64_t factor)
+{
+    SCAR_REQUIRE(factor >= 1, "upConv factor must be >= 1");
+    y_ *= factor;
+    x_ *= factor;
+    return conv(name, k, factor, factor, 1);
+}
+
+CnnBuilder&
+CnnBuilder::setChannels(std::int64_t channels)
+{
+    SCAR_REQUIRE(channels >= 1, "channel override must be positive");
+    c_ = channels;
+    return *this;
+}
+
+Model
+CnnBuilder::build()
+{
+    model_.finalize();
+    return model_;
+}
+
+} // namespace scar

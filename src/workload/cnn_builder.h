@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fluent builder for CNN layer sequences.
+ *
+ * Tracks the live feature-map shape (channels x height x width) so
+ * model-zoo constructors read like the original network definitions.
+ */
+
+#ifndef SCAR_WORKLOAD_CNN_BUILDER_H
+#define SCAR_WORKLOAD_CNN_BUILDER_H
+
+#include <cstdint>
+#include <string>
+
+#include "workload/model.h"
+
+namespace scar
+{
+
+/** Builds a Model by appending CNN operators to a tracked tensor shape. */
+class CnnBuilder
+{
+  public:
+    /**
+     * Starts a network from an input tensor.
+     * @param name model name
+     * @param batch batch size carried by the model
+     * @param channels input channels
+     * @param height input height
+     * @param width input width
+     */
+    CnnBuilder(std::string name, int batch, std::int64_t channels,
+               std::int64_t height, std::int64_t width);
+
+    /** Appends a dense convolution; updates the tracked shape. */
+    CnnBuilder& conv(const std::string& name, std::int64_t k,
+                     std::int64_t r, std::int64_t s, std::int64_t stride = 1);
+
+    /** Appends a depthwise convolution (channels preserved). */
+    CnnBuilder& dwConv(const std::string& name, std::int64_t r,
+                       std::int64_t s, std::int64_t stride = 1);
+
+    /** Appends a pooling layer (channels preserved). */
+    CnnBuilder& pool(const std::string& name, std::int64_t window,
+                     std::int64_t stride);
+
+    /** Appends a global average pool collapsing spatial dims to 1x1. */
+    CnnBuilder& globalPool(const std::string& name);
+
+    /** Appends an elementwise op (e.g. residual add) on current shape. */
+    CnnBuilder& eltwise(const std::string& name);
+
+    /** Appends a fully connected layer (GEMM with M=1). */
+    CnnBuilder& fc(const std::string& name, std::int64_t outFeatures);
+
+    /**
+     * Appends a transposed-convolution upsample: doubles spatial dims
+     * by `factor` then convolves to k channels. Modeled as a conv at
+     * the upsampled resolution, which matches its MAC count.
+     */
+    CnnBuilder& upConv(const std::string& name, std::int64_t k,
+                       std::int64_t factor = 2);
+
+    /**
+     * Overrides the tracked channel count without adding a layer.
+     * Used when flattening branchy graphs (concatenations) where the
+     * next layer consumes more channels than the last branch produced.
+     */
+    CnnBuilder& setChannels(std::int64_t channels);
+
+    /** Current tracked channels. */
+    std::int64_t channels() const { return c_; }
+    /** Current tracked height. */
+    std::int64_t height() const { return y_; }
+    /** Current tracked width. */
+    std::int64_t width() const { return x_; }
+
+    /** Finalizes ids/validation and returns the model. */
+    Model build();
+
+  private:
+    void push(Layer layer);
+
+    Model model_;
+    std::int64_t c_;
+    std::int64_t y_;
+    std::int64_t x_;
+};
+
+} // namespace scar
+
+#endif // SCAR_WORKLOAD_CNN_BUILDER_H

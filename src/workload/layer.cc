@@ -1,0 +1,133 @@
+#include "workload/layer.h"
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace scar
+{
+
+const char*
+opTypeName(OpType type)
+{
+    switch (type) {
+      case OpType::Conv2D:        return "conv";
+      case OpType::DepthwiseConv: return "dwconv";
+      case OpType::Gemm:          return "gemm";
+      case OpType::Pool:          return "pool";
+      case OpType::Elementwise:   return "eltwise";
+    }
+    return "?";
+}
+
+std::int64_t
+Layer::outY() const
+{
+    return (dims.y + dims.strideY - 1) / dims.strideY;
+}
+
+std::int64_t
+Layer::outX() const
+{
+    return (dims.x + dims.strideX - 1) / dims.strideX;
+}
+
+double
+Layer::macs() const
+{
+    const double spatial = static_cast<double>(outY()) * outX();
+    const double window = static_cast<double>(dims.r) * dims.s;
+    switch (type) {
+      case OpType::Conv2D:
+      case OpType::Gemm:
+        return static_cast<double>(dims.k) * dims.c * window * spatial;
+      case OpType::DepthwiseConv:
+        return static_cast<double>(dims.k) * window * spatial;
+      case OpType::Pool:
+        // Comparisons/adds; charged like MACs (small contribution).
+        return static_cast<double>(dims.k) * window * spatial;
+      case OpType::Elementwise:
+        return static_cast<double>(dims.k) * spatial;
+    }
+    return 0.0;
+}
+
+double
+Layer::weightElems() const
+{
+    switch (type) {
+      case OpType::Conv2D:
+      case OpType::Gemm:
+        return static_cast<double>(dims.k) * dims.c * dims.r * dims.s;
+      case OpType::DepthwiseConv:
+        return static_cast<double>(dims.k) * dims.r * dims.s;
+      case OpType::Pool:
+      case OpType::Elementwise:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+double
+Layer::inputElems() const
+{
+    const double plane = static_cast<double>(dims.y) * dims.x;
+    if (type == OpType::Elementwise) {
+        // Two operands of identical shape (e.g. residual add).
+        return 2.0 * dims.k * plane;
+    }
+    return static_cast<double>(dims.c) * plane;
+}
+
+double
+Layer::outputElems() const
+{
+    return static_cast<double>(dims.k) * outY() * outX();
+}
+
+double
+Layer::weightBytes() const
+{
+    return weightElems() * kBytesPerElement;
+}
+
+double
+Layer::inputBytes() const
+{
+    return inputElems() * kBytesPerElement;
+}
+
+double
+Layer::outputBytes() const
+{
+    return outputElems() * kBytesPerElement;
+}
+
+void
+Layer::validate() const
+{
+    SCAR_REQUIRE(dims.k >= 1 && dims.c >= 1, "layer ", name,
+                 ": channel dims must be positive");
+    SCAR_REQUIRE(dims.r >= 1 && dims.s >= 1 && dims.y >= 1 && dims.x >= 1,
+                 "layer ", name, ": spatial dims must be positive");
+    SCAR_REQUIRE(dims.strideY >= 1 && dims.strideX >= 1, "layer ", name,
+                 ": strides must be positive");
+    if (type == OpType::DepthwiseConv || type == OpType::Pool) {
+        SCAR_REQUIRE(dims.k == dims.c, "layer ", name,
+                     ": per-channel op needs k == c");
+    }
+}
+
+Layer
+makeGemmLayer(int id, const std::string& name, std::int64_t m,
+              std::int64_t n, std::int64_t kRed)
+{
+    Layer layer;
+    layer.id = id;
+    layer.name = name;
+    layer.type = OpType::Gemm;
+    layer.dims = LayerDims{n, kRed, 1, 1, m, 1, 1, 1};
+    layer.validate();
+    return layer;
+}
+
+} // namespace scar

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Layer-granularity workload IR.
+ *
+ * SCAR schedules multi-model workloads at the layer granularity
+ * (paper Definition 1). Every operator is described by a unified
+ * convolution-style shape so the MAESTRO-style cost model can analyze
+ * it uniformly:
+ *
+ *   outputs: K output channels over an OY x OX output grid;
+ *   reduction: C input channels over an R x S window.
+ *
+ * A GEMM of shape M x N x Kred maps to {k=N, c=Kred, r=s=1, y=M, x=1},
+ * i.e. M output "pixels" per output channel. This preserves both the
+ * MAC count and the parallelism structure each dataflow can exploit.
+ */
+
+#ifndef SCAR_WORKLOAD_LAYER_H
+#define SCAR_WORKLOAD_LAYER_H
+
+#include <cstdint>
+#include <string>
+
+namespace scar
+{
+
+/** Operator classes distinguished by the cost model. */
+enum class OpType
+{
+    Conv2D,        ///< dense convolution
+    DepthwiseConv, ///< per-channel convolution (k groups, c == k)
+    Gemm,          ///< matrix multiply (transformer / FC layers)
+    Pool,          ///< max/avg pooling (no weights)
+    Elementwise,   ///< residual adds and similar (no weights)
+};
+
+/** Human-readable operator-class name. */
+const char* opTypeName(OpType type);
+
+/**
+ * Unified operator shape (input-relative).
+ *
+ * y/x are *input* spatial extents; output extents derive from the
+ * stride assuming SAME padding (outY = ceil(y/strideY)).
+ */
+struct LayerDims
+{
+    std::int64_t k = 1;  ///< output channels (GEMM: N)
+    std::int64_t c = 1;  ///< input/reduction channels (GEMM: K)
+    std::int64_t r = 1;  ///< filter height
+    std::int64_t s = 1;  ///< filter width
+    std::int64_t y = 1;  ///< input height (GEMM: M)
+    std::int64_t x = 1;  ///< input width
+    std::int64_t strideY = 1;
+    std::int64_t strideX = 1;
+};
+
+/**
+ * One schedulable layer: the atomic unit SCAR assigns to chiplets.
+ *
+ * Shapes are per sample; batching is carried by the owning Model and
+ * applied by the pipelining formula of Section III-E.
+ */
+struct Layer
+{
+    int id = 0;          ///< index within the owning model (topological)
+    std::string name;    ///< diagnostic name, e.g. "conv2_1_3x3"
+    OpType type = OpType::Conv2D;
+    LayerDims dims;
+
+    /** Output spatial height (SAME padding). */
+    std::int64_t outY() const;
+    /** Output spatial width (SAME padding). */
+    std::int64_t outX() const;
+
+    /** Multiply-accumulate count for one sample. */
+    double macs() const;
+    /** Weight tensor elements (0 for pool/elementwise). */
+    double weightElems() const;
+    /** Input activation elements for one sample. */
+    double inputElems() const;
+    /** Output activation elements for one sample. */
+    double outputElems() const;
+
+    /** Weight tensor footprint in bytes. */
+    double weightBytes() const;
+    /** Input activation footprint in bytes (one sample). */
+    double inputBytes() const;
+    /** Output activation footprint in bytes (one sample). */
+    double outputBytes() const;
+
+    /** Validates shape invariants; raises FatalError when malformed. */
+    void validate() const;
+};
+
+/** Convenience constructor for a GEMM layer of shape M x N x Kred. */
+Layer makeGemmLayer(int id, const std::string& name, std::int64_t m,
+                    std::int64_t n, std::int64_t kRed);
+
+} // namespace scar
+
+#endif // SCAR_WORKLOAD_LAYER_H

@@ -1,0 +1,37 @@
+#include "workload/model.h"
+
+#include "common/error.h"
+
+namespace scar
+{
+
+double
+Model::totalMacs() const
+{
+    double total = 0.0;
+    for (const Layer& layer : layers)
+        total += layer.macs();
+    return total;
+}
+
+double
+Model::totalWeightBytes() const
+{
+    double total = 0.0;
+    for (const Layer& layer : layers)
+        total += layer.weightBytes();
+    return total;
+}
+
+void
+Model::finalize()
+{
+    SCAR_REQUIRE(!layers.empty(), "model ", name, " has no layers");
+    SCAR_REQUIRE(batch >= 1, "model ", name, " has batch ", batch);
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        layers[i].id = static_cast<int>(i);
+        layers[i].validate();
+    }
+}
+
+} // namespace scar

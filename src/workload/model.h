@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A model is an ordered (topologically sorted) sequence of layers plus
+ * a batch size (paper Table III pairs every model with a batch size).
+ *
+ * Layer dependencies within a model are linear in this representation:
+ * layer j consumes layer j-1's output. Branchy graphs (inception
+ * modules, U-Net skips) are flattened in topological order; the
+ * scheduler only requires a valid topological sequence (Section IV-C
+ * segments "topologically sorted model layers").
+ */
+
+#ifndef SCAR_WORKLOAD_MODEL_H
+#define SCAR_WORKLOAD_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "workload/layer.h"
+
+namespace scar
+{
+
+/** One DNN workload: named layer sequence with a batch size. */
+struct Model
+{
+    std::string name;
+    int batch = 1;
+    std::vector<Layer> layers;
+
+    /** Number of layers. */
+    int numLayers() const { return static_cast<int>(layers.size()); }
+
+    /** Total MACs for one sample. */
+    double totalMacs() const;
+
+    /** Total weight bytes across all layers. */
+    double totalWeightBytes() const;
+
+    /** Re-assigns layer ids to 0..n-1 and validates every layer. */
+    void finalize();
+};
+
+/** Contiguous [first, last] (inclusive) range of layer indices. */
+struct LayerRange
+{
+    int first = 0;
+    int last = -1; ///< inclusive; last < first encodes an empty range
+
+    bool empty() const { return last < first; }
+    int size() const { return empty() ? 0 : last - first + 1; }
+
+    bool
+    operator==(const LayerRange& other) const
+    {
+        return first == other.first && last == other.last;
+    }
+};
+
+} // namespace scar
+
+#endif // SCAR_WORKLOAD_MODEL_H

@@ -1,0 +1,371 @@
+#include "workload/model_zoo.h"
+
+#include "workload/cnn_builder.h"
+#include "workload/transformer_builder.h"
+
+namespace scar
+{
+namespace zoo
+{
+
+namespace
+{
+
+/**
+ * Appends one ResNet bottleneck block (1x1 -> 3x3 -> 1x1 + add).
+ * @param downsampleStride stride for the 3x3 (and projection) conv;
+ *        a projection conv is emitted when the block changes shape.
+ */
+void
+bottleneck(CnnBuilder& b, const std::string& tag, std::int64_t planes,
+           std::int64_t stride, bool project)
+{
+    b.conv(tag + ".conv1", planes, 1, 1, 1);
+    b.conv(tag + ".conv2", planes, 3, 3, stride);
+    b.conv(tag + ".conv3", planes * 4, 1, 1, 1);
+    if (project)
+        b.conv(tag + ".proj", planes * 4, 1, 1, 1);
+    b.eltwise(tag + ".add");
+}
+
+/** Appends one ResNet basic block (3x3 -> 3x3 + add). */
+void
+basicBlock(CnnBuilder& b, const std::string& tag, std::int64_t planes,
+           std::int64_t stride, bool project)
+{
+    b.conv(tag + ".conv1", planes, 3, 3, stride);
+    b.conv(tag + ".conv2", planes, 3, 3, 1);
+    if (project)
+        b.conv(tag + ".proj", planes, 1, 1, 1);
+    b.eltwise(tag + ".add");
+}
+
+/** Appends a ResNet-50 backbone (stem + 3,4,6,3 bottleneck stages). */
+void
+resNet50Backbone(CnnBuilder& b)
+{
+    b.conv("conv1", 64, 7, 7, 2);
+    b.pool("pool1", 3, 2);
+    const int stageBlocks[4] = {3, 4, 6, 3};
+    const std::int64_t stagePlanes[4] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int blk = 0; blk < stageBlocks[stage]; ++blk) {
+            const std::int64_t stride =
+                (stage > 0 && blk == 0) ? 2 : 1;
+            const std::string tag = "res" + std::to_string(stage + 2) +
+                                    "_" + std::to_string(blk);
+            bottleneck(b, tag, stagePlanes[stage], stride, blk == 0);
+        }
+    }
+}
+
+/** Appends one GoogleNet inception module, branches flattened. */
+void
+inception(CnnBuilder& b, const std::string& tag, std::int64_t c1,
+          std::int64_t c3r, std::int64_t c3, std::int64_t c5r,
+          std::int64_t c5, std::int64_t cp)
+{
+    const std::int64_t cIn = b.channels();
+    b.conv(tag + ".1x1", c1, 1, 1, 1);
+    b.setChannels(cIn).conv(tag + ".3x3r", c3r, 1, 1, 1);
+    b.conv(tag + ".3x3", c3, 3, 3, 1);
+    b.setChannels(cIn).conv(tag + ".5x5r", c5r, 1, 1, 1);
+    b.conv(tag + ".5x5", c5, 5, 5, 1);
+    b.setChannels(cIn).conv(tag + ".poolproj", cp, 1, 1, 1);
+    b.setChannels(c1 + c3 + c5 + cp); // concat of the four branches
+}
+
+/** Appends an inverted-residual (MobileNet-style) block. */
+void
+invertedResidual(CnnBuilder& b, const std::string& tag, std::int64_t expand,
+                 std::int64_t out, std::int64_t stride)
+{
+    b.conv(tag + ".expand", expand, 1, 1, 1);
+    b.dwConv(tag + ".dw", 3, 3, stride);
+    b.conv(tag + ".project", out, 1, 1, 1);
+}
+
+} // namespace
+
+Model
+gptL(int batch, std::int64_t seqLen)
+{
+    TransformerConfig config;
+    config.name = "GPT-L";
+    config.batch = batch;
+    config.seqLen = seqLen;
+    config.dModel = 1280;
+    config.dFf = 5120;
+    config.numBlocks = 36;
+    config.vocab = 50257;
+    return buildTransformer(config);
+}
+
+Model
+bertLarge(int batch, std::int64_t seqLen)
+{
+    TransformerConfig config;
+    config.name = "BERT-L";
+    config.batch = batch;
+    config.seqLen = seqLen;
+    config.dModel = 1024;
+    config.dFf = 4096;
+    config.numBlocks = 24;
+    return buildTransformer(config);
+}
+
+Model
+bertBase(int batch, std::int64_t seqLen)
+{
+    TransformerConfig config;
+    config.name = "BERT-B";
+    config.batch = batch;
+    config.seqLen = seqLen;
+    config.dModel = 768;
+    config.dFf = 3072;
+    config.numBlocks = 12;
+    return buildTransformer(config);
+}
+
+Model
+resNet50(int batch)
+{
+    CnnBuilder b("ResNet-50", batch, 3, 224, 224);
+    resNet50Backbone(b);
+    b.globalPool("avgpool");
+    b.fc("fc", 1000);
+    return b.build();
+}
+
+Model
+uNet(int batch)
+{
+    CnnBuilder b("U-Net", batch, 1, 512, 512);
+    const std::int64_t enc[4] = {64, 128, 256, 512};
+    for (int lvl = 0; lvl < 4; ++lvl) {
+        const std::string tag = "enc" + std::to_string(lvl);
+        b.conv(tag + ".conv1", enc[lvl], 3, 3, 1);
+        b.conv(tag + ".conv2", enc[lvl], 3, 3, 1);
+        b.pool(tag + ".pool", 2, 2);
+    }
+    b.conv("mid.conv1", 1024, 3, 3, 1);
+    b.conv("mid.conv2", 1024, 3, 3, 1);
+    for (int lvl = 3; lvl >= 0; --lvl) {
+        const std::string tag = "dec" + std::to_string(lvl);
+        b.upConv(tag + ".up", enc[lvl], 2);
+        // Skip connection doubles the input channels of the first conv.
+        b.setChannels(enc[lvl] * 2);
+        b.conv(tag + ".conv1", enc[lvl], 3, 3, 1);
+        b.conv(tag + ".conv2", enc[lvl], 3, 3, 1);
+    }
+    b.conv("head", 2, 1, 1, 1);
+    return b.build();
+}
+
+Model
+googleNet(int batch)
+{
+    CnnBuilder b("GoogleNet", batch, 3, 224, 224);
+    b.conv("conv1", 64, 7, 7, 2);
+    b.pool("pool1", 3, 2);
+    b.conv("conv2r", 64, 1, 1, 1);
+    b.conv("conv2", 192, 3, 3, 1);
+    b.pool("pool2", 3, 2);
+    inception(b, "3a", 64, 96, 128, 16, 32, 32);
+    inception(b, "3b", 128, 128, 192, 32, 96, 64);
+    b.pool("pool3", 3, 2);
+    inception(b, "4a", 192, 96, 208, 16, 48, 64);
+    inception(b, "4b", 160, 112, 224, 24, 64, 64);
+    inception(b, "4c", 128, 128, 256, 24, 64, 64);
+    inception(b, "4d", 112, 144, 288, 32, 64, 64);
+    inception(b, "4e", 256, 160, 320, 32, 128, 128);
+    b.pool("pool4", 3, 2);
+    inception(b, "5a", 256, 160, 320, 32, 128, 128);
+    inception(b, "5b", 384, 192, 384, 48, 128, 128);
+    b.globalPool("avgpool");
+    b.fc("fc", 1000);
+    return b.build();
+}
+
+Model
+d2go(int batch)
+{
+    // FBNetV3-style mobile backbone at 320x320 + SSD-like head.
+    CnnBuilder b("D2GO", batch, 3, 320, 320);
+    b.conv("stem", 16, 3, 3, 2);
+    invertedResidual(b, "ir1", 16, 16, 1);
+    invertedResidual(b, "ir2", 64, 24, 2);
+    invertedResidual(b, "ir3", 72, 24, 1);
+    invertedResidual(b, "ir4", 72, 40, 2);
+    invertedResidual(b, "ir5", 120, 40, 1);
+    invertedResidual(b, "ir6", 120, 80, 2);
+    invertedResidual(b, "ir7", 240, 80, 1);
+    invertedResidual(b, "ir8", 240, 112, 1);
+    invertedResidual(b, "ir9", 336, 112, 1);
+    invertedResidual(b, "ir10", 336, 160, 2);
+    invertedResidual(b, "ir11", 480, 160, 1);
+    b.conv("head.conv", 320, 1, 1, 1);
+    b.conv("head.cls", 240, 3, 3, 1);
+    b.conv("head.reg", 120, 3, 3, 1);
+    return b.build();
+}
+
+Model
+planeRcnn(int batch)
+{
+    // ResNet-50-FPN backbone at 480x640 + RPN and mask/plane heads.
+    CnnBuilder b("PlaneRCNN", batch, 3, 480, 640);
+    resNet50Backbone(b);
+    b.conv("fpn.lateral", 256, 1, 1, 1);
+    b.conv("fpn.out", 256, 3, 3, 1);
+    b.conv("rpn.conv", 256, 3, 3, 1);
+    b.conv("rpn.cls", 3, 1, 1, 1);
+    b.setChannels(256).conv("rpn.box", 12, 1, 1, 1);
+    b.setChannels(256);
+    for (int i = 0; i < 4; ++i)
+        b.conv("mask.conv" + std::to_string(i), 256, 3, 3, 1);
+    b.upConv("mask.up", 256, 2);
+    b.conv("mask.out", 1, 1, 1, 1);
+    b.setChannels(256).conv("depth.conv1", 128, 3, 3, 1);
+    b.conv("depth.conv2", 64, 3, 3, 1);
+    b.conv("depth.out", 1, 1, 1, 1);
+    return b.build();
+}
+
+Model
+midas(int batch)
+{
+    // ResNet-50 encoder at 384x384 + four-level refinement decoder.
+    CnnBuilder b("MiDaS", batch, 3, 384, 384);
+    resNet50Backbone(b);
+    const std::int64_t dec[4] = {1024, 512, 256, 128};
+    for (int lvl = 0; lvl < 4; ++lvl) {
+        const std::string tag = "ref" + std::to_string(lvl);
+        b.upConv(tag + ".up", dec[lvl], 2);
+        b.conv(tag + ".conv1", dec[lvl], 3, 3, 1);
+        b.conv(tag + ".conv2", dec[lvl], 3, 3, 1);
+    }
+    b.conv("out.conv1", 64, 3, 3, 1);
+    b.conv("out.conv2", 1, 1, 1, 1);
+    return b.build();
+}
+
+Model
+emformer(int batch)
+{
+    TransformerConfig config;
+    config.name = "Emformer";
+    config.batch = batch;
+    config.seqLen = 128; // streaming segment + right context
+    config.dModel = 512;
+    config.dFf = 2048;
+    config.numBlocks = 20;
+    return buildTransformer(config);
+}
+
+Model
+hrvit(int batch)
+{
+    // HRViT-b1 proxy: conv stem, then alternating local convs and
+    // attention GEMMs over progressively coarser token grids.
+    CnnBuilder b("HRViT", batch, 3, 512, 512);
+    b.conv("stem.conv1", 32, 3, 3, 2);
+    b.conv("stem.conv2", 64, 3, 3, 2);
+    Model model = b.build();
+    int id = model.numLayers();
+    auto attnStage = [&](const std::string& tag, std::int64_t tokens,
+                         std::int64_t dim, int blocks) {
+        for (int i = 0; i < blocks; ++i) {
+            const std::string p = tag + std::to_string(i);
+            model.layers.push_back(makeGemmLayer(
+                id++, p + ".mha", tokens, 4 * dim + 2 * tokens, dim));
+            model.layers.push_back(
+                makeGemmLayer(id++, p + ".ffn1", tokens, 4 * dim, dim));
+            model.layers.push_back(
+                makeGemmLayer(id++, p + ".ffn2", tokens, dim, 4 * dim));
+        }
+    };
+    attnStage("s1_", 128 * 128, 64, 1);
+    attnStage("s2_", 64 * 64, 128, 2);
+    attnStage("s3_", 32 * 32, 256, 6);
+    attnStage("s4_", 16 * 16, 512, 2);
+    // Segmentation head at 1/4 resolution.
+    Layer head;
+    head.id = id++;
+    head.name = "seg.head";
+    head.type = OpType::Conv2D;
+    head.dims = LayerDims{19, 256, 1, 1, 128, 128, 1, 1};
+    model.layers.push_back(head);
+    model.finalize();
+    return model;
+}
+
+Model
+handSP(int batch)
+{
+    // Hand shape-and-pose hourglass CNN on 256x256 crops.
+    CnnBuilder b("HandSP", batch, 3, 256, 256);
+    b.conv("stem", 64, 7, 7, 2);
+    basicBlock(b, "enc1_0", 64, 1, false);
+    basicBlock(b, "enc2_0", 128, 2, true);
+    basicBlock(b, "enc2_1", 128, 1, false);
+    basicBlock(b, "enc3_0", 256, 2, true);
+    basicBlock(b, "enc3_1", 256, 1, false);
+    basicBlock(b, "enc4_0", 512, 2, true);
+    b.upConv("dec3.up", 256, 2);
+    b.conv("dec3.conv", 256, 3, 3, 1);
+    b.upConv("dec2.up", 128, 2);
+    b.conv("dec2.conv", 128, 3, 3, 1);
+    b.conv("heatmap", 21, 1, 1, 1);
+    b.setChannels(128).globalPool("gap");
+    b.fc("pose", 63);
+    return b.build();
+}
+
+Model
+eyeCod(int batch)
+{
+    // Compact gaze-estimation CNN on 128x128 eye crops.
+    CnnBuilder b("EyeCod", batch, 1, 128, 128);
+    b.conv("conv1", 32, 5, 5, 2);
+    b.conv("conv2", 64, 3, 3, 1);
+    b.pool("pool1", 2, 2);
+    b.conv("conv3", 96, 3, 3, 1);
+    b.conv("conv4", 128, 3, 3, 2);
+    b.conv("conv5", 192, 3, 3, 1);
+    b.pool("pool2", 2, 2);
+    b.conv("conv6", 256, 3, 3, 1);
+    b.globalPool("gap");
+    b.fc("fc1", 128);
+    b.fc("gaze", 3);
+    return b.build();
+}
+
+Model
+sp2Dense(int batch)
+{
+    // Sparse-to-dense depth network: ResNet-18-style encoder +
+    // transposed-conv decoder at 228x304 (paper's KITTI crop scale).
+    CnnBuilder b("Sp2Dense", batch, 4, 228, 304);
+    b.conv("stem", 64, 7, 7, 2);
+    b.pool("pool1", 3, 2);
+    basicBlock(b, "enc1_0", 64, 1, false);
+    basicBlock(b, "enc1_1", 64, 1, false);
+    basicBlock(b, "enc2_0", 128, 2, true);
+    basicBlock(b, "enc2_1", 128, 1, false);
+    basicBlock(b, "enc3_0", 256, 2, true);
+    basicBlock(b, "enc3_1", 256, 1, false);
+    basicBlock(b, "enc4_0", 512, 2, true);
+    basicBlock(b, "enc4_1", 512, 1, false);
+    const std::int64_t dec[4] = {256, 128, 64, 32};
+    for (int lvl = 0; lvl < 4; ++lvl) {
+        const std::string tag = "dec" + std::to_string(lvl);
+        b.upConv(tag + ".up", dec[lvl], 2);
+        b.conv(tag + ".conv", dec[lvl], 3, 3, 1);
+    }
+    b.conv("out", 1, 3, 3, 1);
+    return b.build();
+}
+
+} // namespace zoo
+} // namespace scar

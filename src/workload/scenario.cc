@@ -1,0 +1,25 @@
+#include "workload/scenario.h"
+
+#include "common/error.h"
+
+namespace scar
+{
+
+int
+Scenario::totalLayers() const
+{
+    int total = 0;
+    for (const Model& model : models)
+        total += model.numLayers();
+    return total;
+}
+
+void
+Scenario::finalize()
+{
+    SCAR_REQUIRE(!models.empty(), "scenario ", name, " has no models");
+    for (Model& model : models)
+        model.finalize();
+}
+
+} // namespace scar

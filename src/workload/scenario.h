@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Multi-model workload scenario (paper Definition 1): the collection of
+ * all layers from the models deployed together.
+ */
+
+#ifndef SCAR_WORKLOAD_SCENARIO_H
+#define SCAR_WORKLOAD_SCENARIO_H
+
+#include <string>
+#include <vector>
+
+#include "workload/model.h"
+
+namespace scar
+{
+
+/** A named set of concurrently deployed models. */
+struct Scenario
+{
+    std::string name;
+    std::vector<Model> models;
+
+    /** Number of models |Sc|. */
+    int numModels() const { return static_cast<int>(models.size()); }
+
+    /** Total layer count L across all models. */
+    int totalLayers() const;
+
+    /** Validates all member models. */
+    void finalize();
+};
+
+} // namespace scar
+
+#endif // SCAR_WORKLOAD_SCENARIO_H

@@ -1,0 +1,60 @@
+#include "workload/transformer_builder.h"
+
+#include "common/error.h"
+
+namespace scar
+{
+
+Model
+buildTransformer(const TransformerConfig& config)
+{
+    SCAR_REQUIRE(config.numBlocks >= 1, "transformer needs >= 1 block");
+    SCAR_REQUIRE(config.seqLen >= 1 && config.dModel >= 1 && config.dFf >= 1,
+                 "transformer dims must be positive");
+
+    Model model;
+    model.name = config.name;
+    model.batch = config.batch;
+
+    const std::int64_t sl = config.seqLen;
+    const std::int64_t d = config.dModel;
+    const std::int64_t ff = config.dFf;
+    int id = 0;
+
+    auto gemm = [&](const std::string& name, std::int64_t m, std::int64_t n,
+                    std::int64_t kRed) {
+        model.layers.push_back(makeGemmLayer(id++, name, m, n, kRed));
+    };
+
+    if (config.vocab > 0) {
+        // Token embedding lookup; modeled as a thin per-token gather
+        // GEMM (reduction 1) so it contributes its output traffic.
+        gemm("embed", sl, d, 1);
+    }
+
+    for (int b = 0; b < config.numBlocks; ++b) {
+        const std::string tag = "blk" + std::to_string(b) + ".";
+        if (config.granularity == TransformerGranularity::Coarse) {
+            // Fused MHA: MACs = sl*d*(4d) [QKV+out proj] + 2*sl^2*d
+            // [scores + context] == GEMM(M=sl, N=4d+2sl, K=d).
+            gemm(tag + "mha", sl, 4 * d + 2 * sl, d);
+        } else {
+            gemm(tag + "qkv", sl, 3 * d, d);
+            // Fused attention scores (sl x sl x d) + context
+            // (sl x d x sl): equals GEMM(M=sl, N=2sl, K=d) in MACs.
+            gemm(tag + "attn", sl, 2 * sl, d);
+            gemm(tag + "proj", sl, d, d);
+        }
+        gemm(tag + "ffn1", sl, ff, d);
+        gemm(tag + "ffn2", sl, d, ff);
+    }
+
+    if (config.vocab > 0) {
+        gemm("lm_head", sl, config.vocab, d);
+    }
+
+    model.finalize();
+    return model;
+}
+
+} // namespace scar

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Builder for transformer (encoder/decoder) layer sequences.
+ *
+ * Each block is emitted as GEMM layers. Two granularities are offered:
+ *
+ *  - Coarse (default, used by the paper-scale scenarios): 3 layers per
+ *    block — a fused multi-head-attention GEMM whose MAC count equals
+ *    QKV projection + score + context + output projection, followed by
+ *    the two feed-forward GEMMs. This matches the paper's layer counts
+ *    to within ~10% (e.g. GPT-L: 110 here vs 120 in Table VI).
+ *  - Fine: 5 layers per block (QKV, fused score/context, output
+ *    projection, FFN1, FFN2), exactly MAC-preserving per GEMM.
+ */
+
+#ifndef SCAR_WORKLOAD_TRANSFORMER_BUILDER_H
+#define SCAR_WORKLOAD_TRANSFORMER_BUILDER_H
+
+#include <cstdint>
+#include <string>
+
+#include "workload/model.h"
+
+namespace scar
+{
+
+/** Block decomposition granularity for transformer models. */
+enum class TransformerGranularity { Coarse, Fine };
+
+/** Static description of a transformer architecture. */
+struct TransformerConfig
+{
+    std::string name;
+    int batch = 1;
+    std::int64_t seqLen = 128;
+    std::int64_t dModel = 768;
+    std::int64_t dFf = 3072;
+    int numBlocks = 12;
+    std::int64_t vocab = 0; ///< adds embed + LM-head GEMMs when > 0
+    TransformerGranularity granularity = TransformerGranularity::Coarse;
+};
+
+/** Generates the layer sequence for the given transformer config. */
+Model buildTransformer(const TransformerConfig& config);
+
+} // namespace scar
+
+#endif // SCAR_WORKLOAD_TRANSFORMER_BUILDER_H

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the Standalone and NN-baton baseline schedulers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/mcm_templates.h"
+#include <set>
+
+#include "common/units.h"
+#include "baselines/nn_baton.h"
+#include "baselines/standalone.h"
+#include "workload/model_zoo.h"
+
+namespace scar
+{
+namespace
+{
+
+Scenario
+twoSmall()
+{
+    Scenario sc;
+    sc.name = "two";
+    sc.models = {zoo::eyeCod(4), zoo::handSP(2)};
+    sc.finalize();
+    return sc;
+}
+
+TEST(Standalone, OneChipletPerModel)
+{
+    const Scenario sc = twoSmall();
+    const Mcm mcm = templates::simba3x3(Dataflow::NvdlaWS,
+                                        templates::kArvrPes);
+    const ScheduleResult result = scheduleStandalone(sc, mcm);
+    ASSERT_EQ(result.windows.size(), 1u);
+    std::set<int> used;
+    for (const ModelPlacement& mp : result.windows[0].placement.models) {
+        EXPECT_EQ(mp.segments.size(), 1u);
+        EXPECT_TRUE(used.insert(mp.segments[0].chiplet).second);
+        EXPECT_EQ(mp.segments[0].range.first, 0);
+        EXPECT_EQ(mp.segments[0].range.last,
+                  sc.models[mp.modelIdx].numLayers() - 1);
+    }
+}
+
+TEST(Standalone, LatencyIsMaxOfConcurrentModels)
+{
+    // One-model scenarios vs the two-model scenario: the pair's
+    // latency equals the slower model (plus possible DRAM roofline).
+    const Mcm mcm = templates::simba3x3(Dataflow::NvdlaWS,
+                                        templates::kArvrPes);
+    Scenario a;
+    a.name = "a";
+    a.models = {zoo::eyeCod(4)};
+    a.finalize();
+    Scenario b;
+    b.name = "b";
+    b.models = {zoo::handSP(2)};
+    b.finalize();
+    const double la = scheduleStandalone(a, mcm).metrics.latencySec;
+    const double lb = scheduleStandalone(b, mcm).metrics.latencySec;
+    const double lab =
+        scheduleStandalone(twoSmall(), mcm).metrics.latencySec;
+    EXPECT_GE(lab, std::max(la, lb) * 0.999);
+    EXPECT_LE(lab, (la + lb) * 1.001);
+}
+
+TEST(Standalone, RejectsMoreModelsThanChiplets)
+{
+    Scenario sc;
+    sc.name = "five";
+    for (int i = 0; i < 5; ++i)
+        sc.models.push_back(zoo::eyeCod(1));
+    sc.finalize();
+    const Mcm mcm = templates::motivational2x2(templates::kArvrPes);
+    EXPECT_THROW(scheduleStandalone(sc, mcm), FatalError);
+}
+
+TEST(Standalone, ShiSlowerThanNvdOnTransformers)
+{
+    // The headline dataflow-affinity effect at baseline level
+    // (Table IV: Standalone (Shi) vs Standalone (NVD) on Sc1-like).
+    Scenario sc;
+    sc.name = "lm";
+    sc.models = {zoo::bertBase(1)};
+    sc.finalize();
+    const Mcm shi = templates::simba3x3(Dataflow::ShiOS);
+    const Mcm nvd = templates::simba3x3(Dataflow::NvdlaWS);
+    const Metrics ms = scheduleStandalone(sc, shi).metrics;
+    const Metrics mn = scheduleStandalone(sc, nvd).metrics;
+    EXPECT_GT(ms.latencySec, mn.latencySec);
+    EXPECT_GT(ms.edp(), mn.edp());
+}
+
+TEST(NnBaton, SequentialWindowsPerModel)
+{
+    const Scenario sc = twoSmall();
+    const Mcm mcm = templates::simba3x3(Dataflow::NvdlaWS,
+                                        templates::kArvrPes);
+    const ScheduleResult result = scheduleNnBaton(sc, mcm);
+    ASSERT_EQ(result.windows.size(), 2u);
+    // Sequential: total latency is the sum of the per-model windows.
+    const double sum =
+        cyclesToSeconds(result.windows[0].cost.latencyCycles +
+                        result.windows[1].cost.latencyCycles);
+    EXPECT_NEAR(result.metrics.latencySec, sum, 1e-12);
+}
+
+TEST(NnBaton, SmallModelsStayOnStartChiplet)
+{
+    Scenario sc;
+    sc.name = "tiny";
+    sc.models = {zoo::eyeCod(1)};
+    sc.finalize();
+    const Mcm mcm = templates::simba3x3(Dataflow::NvdlaWS,
+                                        templates::kArvrPes);
+    const ScheduleResult result = scheduleNnBaton(sc, mcm, 0);
+    ASSERT_EQ(result.windows.size(), 1u);
+    const auto& mp = result.windows[0].placement.models[0];
+    EXPECT_EQ(mp.segments.size(), 1u);
+    EXPECT_EQ(mp.segments[0].chiplet, 0);
+}
+
+TEST(NnBaton, LargeModelsPartitionAcrossChiplets)
+{
+    // GPT-L weights (~774 MB) vastly exceed a 10 MB L2: NN-baton must
+    // spread the model over several chiplets.
+    Scenario sc;
+    sc.name = "gpt";
+    sc.models = {zoo::gptL(1)};
+    sc.finalize();
+    const Mcm mcm = templates::simba3x3(Dataflow::NvdlaWS);
+    const ScheduleResult result = scheduleNnBaton(sc, mcm);
+    EXPECT_GT(result.windows[0].placement.models[0].segments.size(), 1u);
+}
+
+TEST(NnBaton, SequentialSlowerThanConcurrentStandalone)
+{
+    // NN-baton's model-serial execution loses to the concurrent
+    // standalone assignment on latency (Figure 2's premise).
+    const Scenario sc = twoSmall();
+    const Mcm mcm = templates::simba3x3(Dataflow::NvdlaWS,
+                                        templates::kArvrPes);
+    const double baton = scheduleNnBaton(sc, mcm).metrics.latencySec;
+    const double stand =
+        scheduleStandalone(sc, mcm).metrics.latencySec;
+    EXPECT_GT(baton, stand * 0.999);
+}
+
+TEST(NnBaton, RejectsBadStartChiplet)
+{
+    const Scenario sc = twoSmall();
+    const Mcm mcm = templates::simba3x3(Dataflow::NvdlaWS);
+    EXPECT_THROW(scheduleNnBaton(sc, mcm, 99), FatalError);
+}
+
+} // namespace
+} // namespace scar

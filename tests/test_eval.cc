@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the evaluation substrate: metrics, Pareto extraction,
+ * scenario suite, and the schedule reporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/mcm_templates.h"
+#include "eval/metrics.h"
+#include "eval/pareto.h"
+#include "eval/reporter.h"
+#include "eval/scenario_suite.h"
+#include "sched/scar.h"
+#include "workload/model_zoo.h"
+
+namespace scar
+{
+namespace
+{
+
+TEST(Metrics, EdpIsProduct)
+{
+    const Metrics m{2.0, 3.0};
+    EXPECT_DOUBLE_EQ(m.edp(), 6.0);
+    EXPECT_DOUBLE_EQ(m.value(OptTarget::Latency), 2.0);
+    EXPECT_DOUBLE_EQ(m.value(OptTarget::Energy), 3.0);
+    EXPECT_DOUBLE_EQ(m.value(OptTarget::Edp), 6.0);
+}
+
+TEST(Pareto, DominanceDefinition)
+{
+    EXPECT_TRUE(dominates({1.0, 1.0}, {2.0, 2.0}));
+    EXPECT_TRUE(dominates({1.0, 2.0}, {2.0, 2.0}));
+    EXPECT_FALSE(dominates({1.0, 3.0}, {2.0, 2.0}));
+    EXPECT_FALSE(dominates({2.0, 2.0}, {2.0, 2.0})); // equal: no
+}
+
+TEST(Pareto, FrontIsNonDominatedAndSorted)
+{
+    const std::vector<Metrics> pts{{3.0, 1.0}, {1.0, 3.0}, {2.0, 2.0},
+                                   {3.0, 3.0}, {2.5, 1.5}};
+    const auto front = paretoFront(pts);
+    ASSERT_EQ(front.size(), 4u); // (3,3) is dominated
+    for (std::size_t i = 0; i + 1 < front.size(); ++i) {
+        EXPECT_LT(front[i].latencySec, front[i + 1].latencySec);
+        EXPECT_GT(front[i].energyJ, front[i + 1].energyJ);
+    }
+    for (const Metrics& a : front) {
+        for (const Metrics& b : pts)
+            EXPECT_FALSE(dominates(b, a) && true);
+    }
+}
+
+TEST(Pareto, SinglePointFront)
+{
+    const auto front = paretoFront({{1.0, 1.0}});
+    EXPECT_EQ(front.size(), 1u);
+}
+
+TEST(Pareto, DuplicatePointsCollapse)
+{
+    const auto front = paretoFront({{1.0, 1.0}, {1.0, 1.0}});
+    EXPECT_EQ(front.size(), 1u);
+}
+
+class SuiteTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SuiteTest, ScenarioMatchesTable3)
+{
+    const Scenario sc = suite::byIndex(GetParam());
+    EXPECT_FALSE(sc.models.empty());
+    EXPECT_GT(sc.totalLayers(), 0);
+    EXPECT_STRNE(suite::scenarioLabel(GetParam()), "?");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, SuiteTest,
+                         ::testing::Range(1, 11));
+
+TEST(Suite, Scenario1HasGptAndBert)
+{
+    const Scenario sc = suite::datacenterScenario(1);
+    ASSERT_EQ(sc.models.size(), 2u);
+    EXPECT_EQ(sc.models[0].name, "GPT-L");
+    EXPECT_EQ(sc.models[0].batch, 1);
+    EXPECT_EQ(sc.models[1].name, "BERT-L");
+    EXPECT_EQ(sc.models[1].batch, 3);
+}
+
+TEST(Suite, Scenario5HasSixModels)
+{
+    EXPECT_EQ(suite::datacenterScenario(5).models.size(), 6u);
+}
+
+TEST(Suite, ArvrBatchesMatchTable3)
+{
+    const Scenario sc = suite::arvrScenario(10);
+    ASSERT_EQ(sc.models.size(), 2u);
+    EXPECT_EQ(sc.models[0].batch, 60); // EyeCod
+    EXPECT_EQ(sc.models[1].batch, 45); // HandSP
+}
+
+TEST(Suite, InvalidIndexThrows)
+{
+    EXPECT_THROW(suite::byIndex(0), FatalError);
+    EXPECT_THROW(suite::byIndex(11), FatalError);
+    EXPECT_THROW(suite::datacenterScenario(6), FatalError);
+    EXPECT_THROW(suite::arvrScenario(5), FatalError);
+}
+
+TEST(Suite, MotivationalMatchesFigure2)
+{
+    const Scenario sc = suite::motivational();
+    ASSERT_EQ(sc.models.size(), 2u);
+    EXPECT_EQ(sc.models[0].numLayers(), 3); // ResNet block convs
+    EXPECT_EQ(sc.models[1].numLayers(), 1); // GPT FFN
+    EXPECT_EQ(sc.models[1].layers[0].type, OpType::Gemm);
+}
+
+TEST(Reporter, DescribesScheduleAndBreakdown)
+{
+    Scenario sc;
+    sc.name = "rep";
+    sc.models = {zoo::eyeCod(2), zoo::handSP(1)};
+    sc.finalize();
+    const Mcm mcm = templates::hetSides3x3(templates::kArvrPes);
+    Scar scar(sc, mcm, ScarOptions{});
+    const ScheduleResult result = scar.run();
+
+    const std::string sched = describeSchedule(sc, mcm, result);
+    EXPECT_NE(sched.find("EyeCod"), std::string::npos);
+    EXPECT_NE(sched.find("HandSP"), std::string::npos);
+    EXPECT_NE(sched.find("chpl"), std::string::npos);
+    EXPECT_NE(sched.find("EDP"), std::string::npos);
+
+    const std::string breakdown = describeWindowBreakdown(sc, result);
+    EXPECT_NE(breakdown.find("ideal tot"), std::string::npos);
+    EXPECT_NE(breakdown.find("Window"), std::string::npos);
+}
+
+} // namespace
+} // namespace scar

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the row-stationary (Eyeriss-style) dataflow extension and
+ * the three-class Het-Tri MCM template — the |DF| > 2 generality the
+ * paper's formulation (Eq. 1) supports and its conclusion motivates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/mcm_templates.h"
+#include "cost/cost_db.h"
+#include "cost/maestro_lite.h"
+#include "sched/scar.h"
+#include "workload/model_zoo.h"
+
+namespace scar
+{
+namespace
+{
+
+ChipletSpec
+spec(Dataflow df, int pes = 4096)
+{
+    ChipletSpec s;
+    s.dataflow = df;
+    s.numPes = pes;
+    return s;
+}
+
+TEST(RowStationary, EnumIsDenselyIndexed)
+{
+    std::set<int> indices;
+    for (Dataflow df : kAllDataflows)
+        indices.insert(dataflowIndex(df));
+    EXPECT_EQ(static_cast<int>(indices.size()), kNumDataflows);
+    EXPECT_EQ(*indices.begin(), 0);
+    EXPECT_EQ(*indices.rbegin(), kNumDataflows - 1);
+    EXPECT_STREQ(dataflowName(Dataflow::EyerissRS), "RS");
+}
+
+TEST(RowStationary, UtilizationBoundedAcrossModels)
+{
+    const MaestroLite model;
+    for (const Layer& l : zoo::resNet50(1).layers) {
+        const LayerCost cost =
+            model.evalLayer(l, spec(Dataflow::EyerissRS));
+        EXPECT_GT(cost.utilization, 0.0) << l.name;
+        EXPECT_LE(cost.utilization, 1.0 + 1e-9) << l.name;
+        EXPECT_GE(cost.computeCycles * 4096.0, cost.macs * 0.999)
+            << l.name;
+    }
+}
+
+TEST(RowStationary, GeneralistBetweenWsAndOs)
+{
+    // On a GEMM, RS parallelizes K x rows: far better than OS (rows
+    // only), and within a small factor of WS.
+    const MaestroLite model;
+    const Layer gemm = makeGemmLayer(0, "g", 128, 5120, 1280);
+    const double ws =
+        model.evalLayer(gemm, spec(Dataflow::NvdlaWS)).intraCycles();
+    const double os =
+        model.evalLayer(gemm, spec(Dataflow::ShiOS)).intraCycles();
+    const double rs =
+        model.evalLayer(gemm, spec(Dataflow::EyerissRS)).intraCycles();
+    EXPECT_LT(rs, os);
+    EXPECT_LT(rs, ws * 4.0);
+}
+
+TEST(RowStationary, EarlyConvCompetitiveWithOs)
+{
+    // Early convs: RS parallelizes rows (large), beating WS.
+    const MaestroLite model;
+    Layer conv;
+    conv.type = OpType::Conv2D;
+    conv.dims = LayerDims{64, 3, 7, 7, 224, 224, 2, 2};
+    const double ws =
+        model.evalLayer(conv, spec(Dataflow::NvdlaWS)).intraCycles();
+    const double rs =
+        model.evalLayer(conv, spec(Dataflow::EyerissRS)).intraCycles();
+    EXPECT_LT(rs, ws);
+}
+
+TEST(RowStationary, BatchFoldingAddsRows)
+{
+    const MaestroLite model;
+    const Layer gemm = makeGemmLayer(0, "g", 32, 512, 512);
+    const LayerCost b1 =
+        model.evalLayer(gemm, spec(Dataflow::EyerissRS), 1);
+    const LayerCost b8 =
+        model.evalLayer(gemm, spec(Dataflow::EyerissRS), 8);
+    EXPECT_LE(b8.computeCycles, b1.computeCycles * 1.0001);
+}
+
+TEST(HetTriple, TemplateMixesThreeClasses)
+{
+    const Mcm mcm = templates::hetTriple3x3();
+    EXPECT_EQ(mcm.numChiplets(), 9);
+    EXPECT_EQ(mcm.numWithDataflow(Dataflow::NvdlaWS), 3);
+    EXPECT_EQ(mcm.numWithDataflow(Dataflow::EyerissRS), 3);
+    EXPECT_EQ(mcm.numWithDataflow(Dataflow::ShiOS), 3);
+}
+
+TEST(HetTriple, Eq1AveragesOverThreeClasses)
+{
+    Scenario sc;
+    sc.name = "tri";
+    sc.models = {zoo::eyeCod(2)};
+    sc.finalize();
+    const Mcm mcm = templates::hetTriple3x3();
+    const CostDb db(sc, mcm);
+    double manual = 0.0;
+    for (Dataflow df : kAllDataflows)
+        manual += db.layerCycles(0, 0, df) / 3.0;
+    EXPECT_NEAR(db.expectedLayerCycles(0, 0), manual, 1e-9);
+}
+
+TEST(HetTriple, ScarSchedulesOnThreeClassMcm)
+{
+    Scenario sc;
+    sc.name = "tri";
+    sc.models = {zoo::eyeCod(8), zoo::handSP(4)};
+    sc.finalize();
+    const Mcm mcm = templates::hetTriple3x3(templates::kArvrPes);
+    ScarOptions opts;
+    opts.nsplits = 2;
+    Scar scar(sc, mcm, opts);
+    const ScheduleResult result = scar.run();
+    EXPECT_GT(result.metrics.latencySec, 0.0);
+    // Full coverage of both models.
+    std::vector<int> next(sc.numModels(), 0);
+    for (const ScheduledWindow& sw : result.windows) {
+        for (const ModelPlacement& mp : sw.placement.models) {
+            for (const PlacedSegment& seg : mp.segments) {
+                EXPECT_EQ(seg.range.first, next[mp.modelIdx]);
+                next[mp.modelIdx] = seg.range.last + 1;
+            }
+        }
+    }
+    for (int m = 0; m < sc.numModels(); ++m)
+        EXPECT_EQ(next[m], sc.models[m].numLayers());
+}
+
+} // namespace
+} // namespace scar

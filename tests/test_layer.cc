@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the layer IR: shape math, MAC/traffic accounting,
+ * and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "workload/layer.h"
+
+namespace scar
+{
+namespace
+{
+
+Layer
+convLayer(std::int64_t k, std::int64_t c, std::int64_t r, std::int64_t s,
+          std::int64_t y, std::int64_t x, std::int64_t stride = 1)
+{
+    Layer layer;
+    layer.name = "conv";
+    layer.type = OpType::Conv2D;
+    layer.dims = LayerDims{k, c, r, s, y, x, stride, stride};
+    return layer;
+}
+
+TEST(Layer, ConvMacCount)
+{
+    // 64 filters of 3x64x3x3 over a 56x56 (stride 1, SAME) input.
+    const Layer l = convLayer(64, 3, 3, 3, 56, 56);
+    EXPECT_DOUBLE_EQ(l.macs(), 64.0 * 3 * 3 * 3 * 56 * 56);
+}
+
+TEST(Layer, StridedOutputDims)
+{
+    const Layer l = convLayer(64, 3, 7, 7, 224, 224, 2);
+    EXPECT_EQ(l.outY(), 112);
+    EXPECT_EQ(l.outX(), 112);
+    // Odd input with stride 2 rounds up (SAME padding).
+    const Layer odd = convLayer(8, 8, 3, 3, 7, 7, 2);
+    EXPECT_EQ(odd.outY(), 4);
+}
+
+TEST(Layer, GemmMapsToUnifiedShape)
+{
+    const Layer g = makeGemmLayer(0, "g", 128, 5120, 1280);
+    EXPECT_EQ(g.type, OpType::Gemm);
+    EXPECT_DOUBLE_EQ(g.macs(), 128.0 * 5120 * 1280);
+    EXPECT_DOUBLE_EQ(g.weightElems(), 5120.0 * 1280);
+    EXPECT_DOUBLE_EQ(g.inputElems(), 128.0 * 1280);
+    EXPECT_DOUBLE_EQ(g.outputElems(), 128.0 * 5120);
+}
+
+TEST(Layer, DepthwiseMacsAndWeights)
+{
+    Layer l;
+    l.type = OpType::DepthwiseConv;
+    l.dims = LayerDims{32, 32, 3, 3, 28, 28, 1, 1};
+    EXPECT_DOUBLE_EQ(l.macs(), 32.0 * 3 * 3 * 28 * 28);
+    EXPECT_DOUBLE_EQ(l.weightElems(), 32.0 * 3 * 3);
+}
+
+TEST(Layer, PoolHasNoWeights)
+{
+    Layer l;
+    l.type = OpType::Pool;
+    l.dims = LayerDims{64, 64, 2, 2, 56, 56, 2, 2};
+    EXPECT_DOUBLE_EQ(l.weightElems(), 0.0);
+    EXPECT_EQ(l.outY(), 28);
+}
+
+TEST(Layer, ElementwiseReadsTwoOperands)
+{
+    Layer l;
+    l.type = OpType::Elementwise;
+    l.dims = LayerDims{16, 16, 1, 1, 8, 8, 1, 1};
+    EXPECT_DOUBLE_EQ(l.inputElems(), 2.0 * 16 * 8 * 8);
+    EXPECT_DOUBLE_EQ(l.outputElems(), 16.0 * 8 * 8);
+}
+
+TEST(Layer, BytesScaleWithElementSize)
+{
+    const Layer g = makeGemmLayer(0, "g", 4, 8, 16);
+    EXPECT_DOUBLE_EQ(g.weightBytes(),
+                     g.weightElems() * kBytesPerElement);
+    EXPECT_DOUBLE_EQ(g.inputBytes(), g.inputElems() * kBytesPerElement);
+    EXPECT_DOUBLE_EQ(g.outputBytes(),
+                     g.outputElems() * kBytesPerElement);
+}
+
+TEST(Layer, ValidateRejectsBadDims)
+{
+    Layer l = convLayer(0, 3, 3, 3, 8, 8);
+    EXPECT_THROW(l.validate(), FatalError);
+    l = convLayer(4, 3, 3, 3, 0, 8);
+    EXPECT_THROW(l.validate(), FatalError);
+}
+
+TEST(Layer, ValidateRejectsChannelMismatchForPerChannelOps)
+{
+    Layer l;
+    l.type = OpType::DepthwiseConv;
+    l.dims = LayerDims{32, 16, 3, 3, 28, 28, 1, 1};
+    EXPECT_THROW(l.validate(), FatalError);
+}
+
+TEST(Layer, OpTypeNames)
+{
+    EXPECT_STREQ(opTypeName(OpType::Conv2D), "conv");
+    EXPECT_STREQ(opTypeName(OpType::Gemm), "gemm");
+    EXPECT_STREQ(opTypeName(OpType::Pool), "pool");
+}
+
+} // namespace
+} // namespace scar

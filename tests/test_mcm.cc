@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the MCM description and the Figure 6 template catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "arch/mcm_templates.h"
+#include "common/error.h"
+
+namespace scar
+{
+namespace
+{
+
+TEST(Mcm, RejectsIdMismatch)
+{
+    Topology topo = Topology::mesh(2, 1);
+    std::vector<Chiplet> chiplets(2);
+    chiplets[0].id = 1; // wrong
+    chiplets[1].id = 0;
+    chiplets[0].memInterface = true;
+    EXPECT_THROW(Mcm("bad", chiplets, topo), FatalError);
+}
+
+TEST(Mcm, RequiresMemoryInterface)
+{
+    Topology topo = Topology::mesh(2, 1);
+    std::vector<Chiplet> chiplets(2);
+    chiplets[0].id = 0;
+    chiplets[1].id = 1;
+    EXPECT_THROW(Mcm("bad", chiplets, topo), FatalError);
+}
+
+TEST(Mcm, NearestMemInterfaceOnMesh)
+{
+    const Mcm mcm = templates::simba3x3(Dataflow::NvdlaWS);
+    // Side columns host the interfaces; middle column is 1 hop away.
+    for (int c = 0; c < mcm.numChiplets(); ++c) {
+        const int hops = mcm.hopsToMem(c);
+        if (mcm.chiplet(c).memInterface) {
+            EXPECT_EQ(hops, 0);
+        } else {
+            EXPECT_EQ(hops, 1); // middle column of a 3x3
+        }
+    }
+}
+
+TEST(Mcm, SpecForMissingDataflowFallsBack)
+{
+    const Mcm mcm = templates::simba3x3(Dataflow::NvdlaWS);
+    const ChipletSpec spec = mcm.specForDataflow(Dataflow::ShiOS);
+    EXPECT_EQ(spec.dataflow, Dataflow::ShiOS);
+    EXPECT_EQ(spec.numPes, mcm.chiplet(0).spec.numPes);
+}
+
+struct TemplateCase
+{
+    const char* name;
+    std::function<Mcm()> make;
+    int chiplets;
+    int nvdla;
+    int shi;
+};
+
+class TemplateTest : public ::testing::TestWithParam<TemplateCase>
+{
+};
+
+TEST_P(TemplateTest, CompositionMatchesPattern)
+{
+    const Mcm mcm = GetParam().make();
+    EXPECT_EQ(mcm.numChiplets(), GetParam().chiplets);
+    EXPECT_EQ(mcm.numWithDataflow(Dataflow::NvdlaWS), GetParam().nvdla);
+    EXPECT_EQ(mcm.numWithDataflow(Dataflow::ShiOS), GetParam().shi);
+}
+
+TEST_P(TemplateTest, HasSideMemoryInterfaces)
+{
+    const Mcm mcm = GetParam().make();
+    EXPECT_FALSE(mcm.memInterfaces().empty());
+    for (int c = 0; c < mcm.numChiplets(); ++c)
+        EXPECT_GE(mcm.hopsToMem(c), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure6, TemplateTest,
+    ::testing::Values(
+        TemplateCase{"Simba3x3Shi",
+                     [] { return templates::simba3x3(Dataflow::ShiOS); },
+                     9, 0, 9},
+        TemplateCase{"Simba3x3Nvd",
+                     [] { return templates::simba3x3(Dataflow::NvdlaWS); },
+                     9, 9, 0},
+        TemplateCase{"HetCb", [] { return templates::hetCb3x3(); }, 9, 5,
+                     4},
+        TemplateCase{"HetSides", [] { return templates::hetSides3x3(); },
+                     9, 6, 3},
+        TemplateCase{"Simba6x6",
+                     [] { return templates::simba6x6(Dataflow::NvdlaWS); },
+                     36, 36, 0},
+        TemplateCase{"HetCross", [] { return templates::hetCross6x6(); },
+                     36, 20, 16},
+        TemplateCase{"SimbaT",
+                     [] {
+                         return templates::simbaTriangular(
+                             Dataflow::ShiOS);
+                     },
+                     9, 0, 9},
+        TemplateCase{"HetT", [] { return templates::hetTriangular(); }, 9,
+                     6, 3},
+        TemplateCase{"Mot2x2", [] { return templates::motivational2x2(); },
+                     4, 3, 1}),
+    [](const ::testing::TestParamInfo<TemplateCase>& info) {
+        return info.param.name;
+    });
+
+TEST(Templates, HetSidesColumnsAreHomogeneousPipelines)
+{
+    const Mcm mcm = templates::hetSides3x3();
+    // Left column ids 0,3,6 and right column 2,5,8 share a dataflow and
+    // are vertically adjacent (homogeneous pipelining chains).
+    for (int id : {0, 3, 6, 2, 5, 8})
+        EXPECT_EQ(mcm.chiplet(id).spec.dataflow, Dataflow::NvdlaWS);
+    for (int id : {1, 4, 7})
+        EXPECT_EQ(mcm.chiplet(id).spec.dataflow, Dataflow::ShiOS);
+}
+
+TEST(Templates, HetCbNeighborsAlwaysHeterogeneous)
+{
+    const Mcm mcm = templates::hetCb3x3();
+    for (int c = 0; c < mcm.numChiplets(); ++c) {
+        for (int n : mcm.topology().neighbors(c)) {
+            EXPECT_NE(mcm.chiplet(c).spec.dataflow,
+                      mcm.chiplet(n).spec.dataflow);
+        }
+    }
+}
+
+TEST(Templates, ArvrPeCount)
+{
+    const Mcm mcm = templates::simba3x3(Dataflow::NvdlaWS,
+                                        templates::kArvrPes);
+    EXPECT_EQ(mcm.chiplet(0).spec.numPes, 256);
+}
+
+TEST(Templates, PackageParamsMatchTable2)
+{
+    const Mcm mcm = templates::simba3x3(Dataflow::NvdlaWS);
+    EXPECT_DOUBLE_EQ(mcm.params().bwNopGBps, 100.0);
+    EXPECT_DOUBLE_EQ(mcm.params().nopHopLatencyNs, 35.0);
+    EXPECT_DOUBLE_EQ(mcm.params().nopEnergyPjPerBit, 2.04);
+    EXPECT_DOUBLE_EQ(mcm.params().bwOffchipGBps, 64.0);
+    EXPECT_DOUBLE_EQ(mcm.params().dramLatencyNs, 200.0);
+    EXPECT_DOUBLE_EQ(mcm.params().dramEnergyPjPerBit, 14.8);
+}
+
+} // namespace
+} // namespace scar

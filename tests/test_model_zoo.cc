@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the model zoo and the CNN/transformer builders: structural
+ * invariants for every model (parameterized) plus per-model checks
+ * against the published architectures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "workload/cnn_builder.h"
+#include "workload/model_zoo.h"
+#include "workload/transformer_builder.h"
+
+namespace scar
+{
+namespace
+{
+
+struct ZooEntry
+{
+    const char* name;
+    std::function<Model(int)> build;
+};
+
+class ZooModelTest : public ::testing::TestWithParam<ZooEntry>
+{
+};
+
+TEST_P(ZooModelTest, StructurallyValid)
+{
+    const Model m = GetParam().build(1);
+    EXPECT_FALSE(m.layers.empty());
+    // finalize() ran in the builder: ids are consecutive.
+    for (int i = 0; i < m.numLayers(); ++i)
+        EXPECT_EQ(m.layers[i].id, i);
+}
+
+TEST_P(ZooModelTest, PositiveComputeAndTraffic)
+{
+    const Model m = GetParam().build(1);
+    EXPECT_GT(m.totalMacs(), 0.0);
+    for (const Layer& l : m.layers) {
+        EXPECT_GT(l.macs(), 0.0) << l.name;
+        EXPECT_GT(l.inputBytes(), 0.0) << l.name;
+        EXPECT_GT(l.outputBytes(), 0.0) << l.name;
+    }
+}
+
+TEST_P(ZooModelTest, BatchIsCarried)
+{
+    const Model m = GetParam().build(7);
+    EXPECT_EQ(m.batch, 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ZooModelTest,
+    ::testing::Values(
+        ZooEntry{"gptL", [](int b) { return zoo::gptL(b); }},
+        ZooEntry{"bertLarge", [](int b) { return zoo::bertLarge(b); }},
+        ZooEntry{"bertBase", [](int b) { return zoo::bertBase(b); }},
+        ZooEntry{"resNet50", [](int b) { return zoo::resNet50(b); }},
+        ZooEntry{"uNet", [](int b) { return zoo::uNet(b); }},
+        ZooEntry{"googleNet", [](int b) { return zoo::googleNet(b); }},
+        ZooEntry{"d2go", [](int b) { return zoo::d2go(b); }},
+        ZooEntry{"planeRcnn", [](int b) { return zoo::planeRcnn(b); }},
+        ZooEntry{"midas", [](int b) { return zoo::midas(b); }},
+        ZooEntry{"emformer", [](int b) { return zoo::emformer(b); }},
+        ZooEntry{"hrvit", [](int b) { return zoo::hrvit(b); }},
+        ZooEntry{"handSP", [](int b) { return zoo::handSP(b); }},
+        ZooEntry{"eyeCod", [](int b) { return zoo::eyeCod(b); }},
+        ZooEntry{"sp2Dense", [](int b) { return zoo::sp2Dense(b); }}),
+    [](const ::testing::TestParamInfo<ZooEntry>& info) {
+        return info.param.name;
+    });
+
+TEST(ModelZoo, ResNet50MacsNearPublished)
+{
+    // ~4.1 GMACs for one 224x224 inference (published figure).
+    const Model m = zoo::resNet50(1);
+    EXPECT_GT(m.totalMacs(), 3.5e9);
+    EXPECT_LT(m.totalMacs(), 5.5e9);
+}
+
+TEST(ModelZoo, ResNet50WeightsNearPublished)
+{
+    // ~25.5 M parameters at one byte each.
+    const Model m = zoo::resNet50(1);
+    EXPECT_GT(m.totalWeightBytes(), 20.0e6);
+    EXPECT_LT(m.totalWeightBytes(), 30.0e6);
+}
+
+TEST(ModelZoo, GptLParameterCountNearPublished)
+{
+    // GPT-2 Large: ~774 M parameters (incl. 64 M embedding matrix).
+    const Model m = zoo::gptL(1);
+    EXPECT_GT(m.totalWeightBytes(), 6.0e8);
+    EXPECT_LT(m.totalWeightBytes(), 9.5e8);
+}
+
+TEST(ModelZoo, BertLargeDeeperThanBase)
+{
+    EXPECT_GT(zoo::bertLarge(1).numLayers(), zoo::bertBase(1).numLayers());
+    EXPECT_GT(zoo::bertLarge(1).totalMacs(), zoo::bertBase(1).totalMacs());
+}
+
+TEST(ModelZoo, UNetHas23Convolutions)
+{
+    const Model m = zoo::uNet(1);
+    int convs = 0;
+    for (const Layer& l : m.layers) {
+        if (l.type == OpType::Conv2D)
+            ++convs;
+    }
+    EXPECT_EQ(convs, 23); // classic U-Net configuration
+}
+
+TEST(ModelZoo, TransformersAreAllGemm)
+{
+    for (const Layer& l : zoo::bertLarge(1).layers)
+        EXPECT_EQ(l.type, OpType::Gemm) << l.name;
+}
+
+TEST(ModelZoo, CnnsStartSpatiallyLarge)
+{
+    // First conv of ResNet-50 has a large output grid (Shi-affine).
+    const Layer& first = zoo::resNet50(1).layers.front();
+    EXPECT_GT(first.outY() * first.outX(), 10000);
+    EXPECT_LT(first.dims.k * first.dims.c, 256);
+}
+
+TEST(TransformerBuilder, CoarseLayerCount)
+{
+    TransformerConfig cfg;
+    cfg.name = "t";
+    cfg.numBlocks = 4;
+    const Model m = buildTransformer(cfg);
+    EXPECT_EQ(m.numLayers(), 4 * 3); // MHA + FFN1 + FFN2 per block
+}
+
+TEST(TransformerBuilder, FineLayerCount)
+{
+    TransformerConfig cfg;
+    cfg.name = "t";
+    cfg.numBlocks = 4;
+    cfg.granularity = TransformerGranularity::Fine;
+    const Model m = buildTransformer(cfg);
+    EXPECT_EQ(m.numLayers(), 4 * 5);
+}
+
+TEST(TransformerBuilder, GranularitiesPreserveMacs)
+{
+    TransformerConfig coarse;
+    coarse.name = "t";
+    coarse.numBlocks = 6;
+    TransformerConfig fine = coarse;
+    fine.granularity = TransformerGranularity::Fine;
+    const double cm = buildTransformer(coarse).totalMacs();
+    const double fm = buildTransformer(fine).totalMacs();
+    EXPECT_NEAR(cm / fm, 1.0, 0.05); // fused MHA ~= exact decomposition
+}
+
+TEST(TransformerBuilder, VocabAddsEmbedAndHead)
+{
+    TransformerConfig cfg;
+    cfg.name = "t";
+    cfg.numBlocks = 2;
+    cfg.vocab = 1000;
+    const Model m = buildTransformer(cfg);
+    EXPECT_EQ(m.layers.front().name, "embed");
+    EXPECT_EQ(m.layers.back().name, "lm_head");
+    EXPECT_EQ(m.numLayers(), 2 * 3 + 2);
+}
+
+TEST(CnnBuilder, TracksShapesThroughLayers)
+{
+    CnnBuilder b("net", 1, 3, 224, 224);
+    b.conv("c1", 64, 7, 7, 2);
+    EXPECT_EQ(b.channels(), 64);
+    EXPECT_EQ(b.height(), 112);
+    b.pool("p1", 3, 2);
+    EXPECT_EQ(b.height(), 56);
+    b.globalPool("gap");
+    EXPECT_EQ(b.height(), 1);
+    b.fc("fc", 10);
+    EXPECT_EQ(b.channels(), 10);
+    const Model m = b.build();
+    EXPECT_EQ(m.numLayers(), 4);
+}
+
+TEST(CnnBuilder, UpConvDoublesSpatialDims)
+{
+    CnnBuilder b("net", 1, 8, 16, 16);
+    b.upConv("up", 4, 2);
+    EXPECT_EQ(b.height(), 32);
+    EXPECT_EQ(b.width(), 32);
+    EXPECT_EQ(b.channels(), 4);
+}
+
+TEST(CnnBuilder, SetChannelsModelsConcat)
+{
+    CnnBuilder b("net", 1, 8, 16, 16);
+    b.conv("c", 4, 3, 3, 1);
+    b.setChannels(12); // e.g. concat of two branches
+    b.conv("c2", 6, 1, 1, 1);
+    const Model m = b.build();
+    EXPECT_EQ(m.layers.back().dims.c, 12);
+}
+
+} // namespace
+} // namespace scar

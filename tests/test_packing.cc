@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the MCM-Reconfig engine: time-window plans, the greedy
+ * layer packing of Algorithm 1, and the uniform baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/mcm_templates.h"
+#include "common/error.h"
+#include "sched/greedy_packing.h"
+#include "workload/model_zoo.h"
+
+namespace scar
+{
+namespace
+{
+
+Scenario
+twoModelScenario()
+{
+    Scenario sc;
+    sc.name = "pack";
+    sc.models = {zoo::resNet50(2), zoo::bertBase(1)};
+    sc.finalize();
+    return sc;
+}
+
+class PackingTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PackingTest, GreedyPlanIsValidPartition)
+{
+    const Scenario sc = twoModelScenario();
+    const Mcm mcm = templates::hetSides3x3();
+    const CostDb db(sc, mcm);
+    const WindowPlan plan = packLayers(db, GetParam());
+    // packLayers validates internally; re-validate and check counts.
+    plan.validate(sc);
+    EXPECT_GE(static_cast<int>(plan.windows.size()), 1);
+    EXPECT_LE(static_cast<int>(plan.windows.size()), GetParam() + 1);
+    int layers = 0;
+    for (const WindowAssignment& wa : plan.windows)
+        layers += wa.totalLayers();
+    EXPECT_EQ(layers, sc.totalLayers());
+}
+
+TEST_P(PackingTest, UniformPlanIsValidPartition)
+{
+    const Scenario sc = twoModelScenario();
+    const Mcm mcm = templates::simba3x3(Dataflow::NvdlaWS);
+    const CostDb db(sc, mcm);
+    const WindowPlan plan =
+        packLayers(db, GetParam(), PackingPolicy::Uniform);
+    plan.validate(sc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nsplits, PackingTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 8));
+
+TEST(Packing, ZeroSplitsYieldsOneWindow)
+{
+    const Scenario sc = twoModelScenario();
+    const Mcm mcm = templates::simba3x3(Dataflow::NvdlaWS);
+    const CostDb db(sc, mcm);
+    const WindowPlan plan = packLayers(db, 0);
+    EXPECT_EQ(plan.windows.size(), 1u);
+    for (int m = 0; m < sc.numModels(); ++m) {
+        EXPECT_EQ(plan.windows[0].perModel[m].size(),
+                  sc.models[m].numLayers());
+    }
+}
+
+TEST(Packing, NoEmptyWindowsSurvive)
+{
+    const Scenario sc = twoModelScenario();
+    const Mcm mcm = templates::simba3x3(Dataflow::NvdlaWS);
+    const CostDb db(sc, mcm);
+    const WindowPlan plan = packLayers(db, 6);
+    for (const WindowAssignment& wa : plan.windows)
+        EXPECT_FALSE(wa.empty());
+}
+
+TEST(Packing, GreedyBalancesByExpectedTime)
+{
+    // With periodic boundaries, no window (except possibly the last)
+    // should exceed the boundary by more than one deferred layer.
+    const Scenario sc = twoModelScenario();
+    const Mcm mcm = templates::hetSides3x3();
+    const CostDb db(sc, mcm);
+    const int nsplits = 4;
+    const WindowPlan plan = packLayers(db, nsplits);
+
+    double horizon = 0.0;
+    for (int m = 0; m < sc.numModels(); ++m)
+        horizon = std::max(horizon, expectedModelCycles(db, m));
+    const double budget = horizon / (nsplits + 1);
+
+    // All windows but the last: per-model expected time within budget
+    // (first-fit never overfills a bounded window).
+    for (std::size_t w = 0; w + 1 < plan.windows.size(); ++w) {
+        for (int m = 0; m < sc.numModels(); ++m) {
+            const LayerRange& r = plan.windows[w].perModel[m];
+            if (r.empty())
+                continue;
+            double used = 0.0;
+            for (int l = r.first; l <= r.last; ++l)
+                used += db.expectedLayerCycles(m, l) *
+                        sc.models[m].batch;
+            EXPECT_LE(used, budget * (w + 1) + 1e-6)
+                << "window " << w << " model " << m;
+        }
+    }
+}
+
+TEST(Packing, HeavyLayersDeferToLaterWindows)
+{
+    // GPT-L layers are heavy; with many splits the early windows hold
+    // fewer GPT layers than a uniform split would give.
+    Scenario sc;
+    sc.name = "heavy";
+    sc.models = {zoo::gptL(1), zoo::eyeCod(1)};
+    sc.finalize();
+    const Mcm mcm = templates::simba3x3(Dataflow::NvdlaWS);
+    const CostDb db(sc, mcm);
+    const WindowPlan plan = packLayers(db, 4);
+    // EyeCod (small) finishes in the very first window.
+    EXPECT_EQ(plan.windows.front().perModel[1].size(),
+              sc.models[1].numLayers());
+}
+
+TEST(Packing, ExpectedModelCyclesScalesWithBatch)
+{
+    Scenario sc1;
+    sc1.name = "s1";
+    sc1.models = {zoo::eyeCod(1)};
+    sc1.finalize();
+    Scenario sc3;
+    sc3.name = "s3";
+    sc3.models = {zoo::eyeCod(3)};
+    sc3.finalize();
+    const Mcm mcm = templates::simba3x3(Dataflow::NvdlaWS);
+    // At a fixed chiplet mini-batch the expectation is linear in the
+    // batch; the auto mini-batch makes the batched model cheaper.
+    const CostDb db1(sc1, mcm, MaestroLite{}, CostDbOptions{1});
+    const CostDb db3(sc3, mcm, MaestroLite{}, CostDbOptions{1});
+    EXPECT_NEAR(expectedModelCycles(db3, 0),
+                3.0 * expectedModelCycles(db1, 0), 1e-6);
+    const CostDb db3Auto(sc3, mcm);
+    EXPECT_LE(expectedModelCycles(db3Auto, 0),
+              expectedModelCycles(db3, 0) * 1.0001);
+}
+
+TEST(WindowPlan, ValidateCatchesGaps)
+{
+    const Scenario sc = twoModelScenario();
+    WindowPlan plan;
+    plan.windows.resize(1);
+    plan.windows[0].perModel.resize(2);
+    plan.windows[0].perModel[0] =
+        LayerRange{0, sc.models[0].numLayers() - 2}; // one layer short
+    plan.windows[0].perModel[1] =
+        LayerRange{0, sc.models[1].numLayers() - 1};
+    EXPECT_THROW(plan.validate(sc), FatalError);
+}
+
+TEST(WindowPlan, ValidateCatchesOutOfOrderRanges)
+{
+    const Scenario sc = twoModelScenario();
+    WindowPlan plan;
+    plan.windows.resize(2);
+    for (auto& wa : plan.windows)
+        wa.perModel.resize(2);
+    const int n0 = sc.models[0].numLayers();
+    plan.windows[0].perModel[0] = LayerRange{5, n0 - 1};
+    plan.windows[1].perModel[0] = LayerRange{0, 4}; // wrong order
+    plan.windows[0].perModel[1] =
+        LayerRange{0, sc.models[1].numLayers() - 1};
+    EXPECT_THROW(plan.validate(sc), FatalError);
+}
+
+} // namespace
+} // namespace scar

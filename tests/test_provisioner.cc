@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the PROV engine: Eq. 2 rule-based allocation, the
+ * Heuristic-2 node cap, and exhaustive enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/mcm_templates.h"
+#include "common/error.h"
+#include "sched/provisioner.h"
+#include "workload/model_zoo.h"
+
+namespace scar
+{
+namespace
+{
+
+struct ProvFixture
+{
+    ProvFixture()
+        : mcm(templates::hetSides3x3())
+    {
+        sc.name = "prov";
+        sc.models = {zoo::gptL(1), zoo::eyeCod(1), zoo::bertBase(1)};
+        sc.finalize();
+        db = std::make_unique<CostDb>(sc, mcm);
+        wa.perModel = {
+            LayerRange{0, sc.models[0].numLayers() - 1},
+            LayerRange{0, sc.models[1].numLayers() - 1},
+            LayerRange{0, sc.models[2].numLayers() - 1},
+        };
+    }
+
+    Scenario sc;
+    Mcm mcm;
+    std::unique_ptr<CostDb> db;
+    WindowAssignment wa;
+};
+
+TEST(Provisioner, RuleAllocatesAtLeastOneNodeEach)
+{
+    ProvFixture f;
+    const auto allocs = provisionNodes(f.wa, *f.db, OptTarget::Edp,
+                                       ProvisionerOptions{});
+    ASSERT_EQ(allocs.size(), 1u);
+    int total = 0;
+    for (int m = 0; m < 3; ++m) {
+        EXPECT_GE(allocs[0][m], 1);
+        total += allocs[0][m];
+    }
+    EXPECT_LE(total, f.mcm.numChiplets());
+}
+
+TEST(Provisioner, RuleGivesHeavyModelsMoreNodes)
+{
+    ProvFixture f;
+    const auto allocs = provisionNodes(f.wa, *f.db, OptTarget::Latency,
+                                       ProvisionerOptions{});
+    // GPT-L dwarfs EyeCod in expected latency.
+    EXPECT_GT(allocs[0][0], allocs[0][1]);
+}
+
+TEST(Provisioner, AbsentModelsGetZeroNodes)
+{
+    ProvFixture f;
+    f.wa.perModel[1] = LayerRange{}; // EyeCod absent from this window
+    const auto allocs = provisionNodes(f.wa, *f.db, OptTarget::Edp,
+                                       ProvisionerOptions{});
+    EXPECT_EQ(allocs[0][1], 0);
+    EXPECT_GE(allocs[0][0], 1);
+    EXPECT_GE(allocs[0][2], 1);
+}
+
+TEST(Provisioner, Heuristic2CapIsRespected)
+{
+    ProvFixture f;
+    ProvisionerOptions opts;
+    opts.maxNodesPerModel = 2;
+    const auto allocs =
+        provisionNodes(f.wa, *f.db, OptTarget::Latency, opts);
+    for (int m = 0; m < 3; ++m)
+        EXPECT_LE(allocs[0][m], 2);
+}
+
+TEST(Provisioner, ExhaustiveEnumeratesCompositions)
+{
+    ProvFixture f;
+    ProvisionerOptions opts;
+    opts.mode = ProvisionerOptions::Mode::Exhaustive;
+    opts.maxCandidates = 0; // unlimited
+    const auto allocs =
+        provisionNodes(f.wa, *f.db, OptTarget::Edp, opts);
+    // Number of (n1,n2,n3) with ni>=1 and sum<=9 is C(9,3) = 84.
+    EXPECT_EQ(allocs.size(), 84u);
+    for (const auto& alloc : allocs) {
+        int total = 0;
+        for (int m = 0; m < 3; ++m) {
+            EXPECT_GE(alloc[m], 1);
+            total += alloc[m];
+        }
+        EXPECT_LE(total, 9);
+    }
+}
+
+TEST(Provisioner, ExhaustiveHonorsCandidateCap)
+{
+    ProvFixture f;
+    ProvisionerOptions opts;
+    opts.mode = ProvisionerOptions::Mode::Exhaustive;
+    opts.maxCandidates = 10;
+    const auto allocs =
+        provisionNodes(f.wa, *f.db, OptTarget::Edp, opts);
+    // The cap bounds the enumeration; the rule-based allocation is
+    // always appended so exhaustive search is a superset of the rule.
+    EXPECT_LE(allocs.size(), 11u);
+    EXPECT_GE(allocs.size(), 10u);
+    ProvisionerOptions ruleOpts;
+    const auto rule =
+        provisionNodes(f.wa, *f.db, OptTarget::Edp, ruleOpts);
+    EXPECT_NE(std::find(allocs.begin(), allocs.end(), rule.front()),
+              allocs.end());
+}
+
+TEST(Provisioner, ExhaustiveHonorsPerModelCap)
+{
+    ProvFixture f;
+    ProvisionerOptions opts;
+    opts.mode = ProvisionerOptions::Mode::Exhaustive;
+    opts.maxNodesPerModel = 3;
+    opts.maxCandidates = 0;
+    const auto allocs =
+        provisionNodes(f.wa, *f.db, OptTarget::Edp, opts);
+    for (const auto& alloc : allocs) {
+        for (int m = 0; m < 3; ++m)
+            EXPECT_LE(alloc[m], 3);
+    }
+}
+
+TEST(Provisioner, RejectsEmptyWindow)
+{
+    ProvFixture f;
+    WindowAssignment empty;
+    empty.perModel.assign(3, LayerRange{});
+    EXPECT_THROW(provisionNodes(empty, *f.db, OptTarget::Edp,
+                                ProvisionerOptions{}),
+                 FatalError);
+}
+
+TEST(Provisioner, TargetChangesExpectationBasis)
+{
+    // The rule uses E(P_i) of the chosen metric; allocations under
+    // latency and energy may differ but both must be feasible.
+    ProvFixture f;
+    const auto lat = provisionNodes(f.wa, *f.db, OptTarget::Latency,
+                                    ProvisionerOptions{});
+    const auto nrg = provisionNodes(f.wa, *f.db, OptTarget::Energy,
+                                    ProvisionerOptions{});
+    int latTotal = 0;
+    int nrgTotal = 0;
+    for (int m = 0; m < 3; ++m) {
+        latTotal += lat[0][m];
+        nrgTotal += nrg[0][m];
+    }
+    EXPECT_LE(latTotal, 9);
+    EXPECT_LE(nrgTotal, 9);
+}
+
+} // namespace
+} // namespace scar

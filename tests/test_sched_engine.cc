@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the SCHED engine and the evolutionary SEG driver:
+ * feasibility, exclusivity, score ordering, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/mcm_templates.h"
+#include "sched/evolutionary.h"
+#include "sched/sched_engine.h"
+#include "workload/model_zoo.h"
+
+namespace scar
+{
+namespace
+{
+
+class SchedEngineTest : public ::testing::Test
+{
+  protected:
+    SchedEngineTest()
+        : mcm_(templates::hetSides3x3())
+    {
+        sc_.name = "sched";
+        sc_.models = {zoo::eyeCod(8), zoo::bertBase(2)};
+        sc_.finalize();
+        db_ = std::make_unique<CostDb>(sc_, mcm_);
+        wa_.perModel = {
+            LayerRange{0, sc_.models[0].numLayers() - 1},
+            LayerRange{0, 11},
+        };
+        nodes_ = {3, 3};
+    }
+
+    Scenario sc_;
+    Mcm mcm_;
+    std::unique_ptr<CostDb> db_;
+    WindowAssignment wa_;
+    NodeAllocation nodes_;
+};
+
+TEST_F(SchedEngineTest, FindsFeasiblePlacement)
+{
+    Rng rng(1);
+    const WindowScheduler sched(*db_, OptTarget::Edp);
+    const auto result = sched.search(wa_, nodes_, rng);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.best.placement.models.size(), 2u);
+    EXPECT_GT(result.best.cost.latencyCycles, 0.0);
+    EXPECT_GT(result.best.cost.energyNj, 0.0);
+}
+
+TEST_F(SchedEngineTest, PlacementRespectsExclusivity)
+{
+    Rng rng(1);
+    const WindowScheduler sched(*db_, OptTarget::Edp);
+    const auto result = sched.search(wa_, nodes_, rng);
+    ASSERT_TRUE(result.found);
+    std::set<int> used;
+    for (const ModelPlacement& mp : result.best.placement.models) {
+        for (const PlacedSegment& seg : mp.segments)
+            EXPECT_TRUE(used.insert(seg.chiplet).second)
+                << "chiplet reused: " << seg.chiplet;
+    }
+}
+
+TEST_F(SchedEngineTest, SegmentsRespectNodeAllocation)
+{
+    Rng rng(1);
+    const WindowScheduler sched(*db_, OptTarget::Edp);
+    const auto result = sched.search(wa_, nodes_, rng);
+    ASSERT_TRUE(result.found);
+    for (const ModelPlacement& mp : result.best.placement.models) {
+        EXPECT_LE(static_cast<int>(mp.segments.size()),
+                  nodes_[mp.modelIdx]);
+    }
+}
+
+TEST_F(SchedEngineTest, SegmentsOnAdjacentChiplets)
+{
+    Rng rng(1);
+    const WindowScheduler sched(*db_, OptTarget::Edp);
+    const auto result = sched.search(wa_, nodes_, rng);
+    ASSERT_TRUE(result.found);
+    for (const ModelPlacement& mp : result.best.placement.models) {
+        for (std::size_t k = 0; k + 1 < mp.segments.size(); ++k) {
+            EXPECT_EQ(mcm_.topology().hops(mp.segments[k].chiplet,
+                                           mp.segments[k + 1].chiplet),
+                      1);
+        }
+    }
+}
+
+TEST_F(SchedEngineTest, TopListIsSortedByScore)
+{
+    Rng rng(1);
+    const WindowScheduler sched(*db_, OptTarget::Edp);
+    const auto result = sched.search(wa_, nodes_, rng);
+    ASSERT_TRUE(result.found);
+    EXPECT_GE(result.top.size(), 2u);
+    for (std::size_t i = 0; i + 1 < result.top.size(); ++i)
+        EXPECT_LE(result.top[i].score, result.top[i + 1].score);
+    EXPECT_DOUBLE_EQ(result.best.score, result.top.front().score);
+}
+
+TEST_F(SchedEngineTest, DeterministicForFixedSeed)
+{
+    const WindowScheduler sched(*db_, OptTarget::Edp);
+    Rng rng1(42);
+    Rng rng2(42);
+    const auto a = sched.search(wa_, nodes_, rng1);
+    const auto b = sched.search(wa_, nodes_, rng2);
+    ASSERT_TRUE(a.found && b.found);
+    EXPECT_DOUBLE_EQ(a.best.score, b.best.score);
+}
+
+TEST_F(SchedEngineTest, LatencyTargetPrefersFasterWindows)
+{
+    Rng rng1(1);
+    Rng rng2(1);
+    const WindowScheduler latSched(*db_, OptTarget::Latency);
+    const WindowScheduler nrgSched(*db_, OptTarget::Energy);
+    const auto lat = latSched.search(wa_, nodes_, rng1);
+    const auto nrg = nrgSched.search(wa_, nodes_, rng2);
+    ASSERT_TRUE(lat.found && nrg.found);
+    // Both searches are heuristic (beam), so allow a small slack.
+    EXPECT_LE(lat.best.cost.latencyCycles,
+              nrg.best.cost.latencyCycles * 1.05);
+    EXPECT_LE(nrg.best.cost.energyNj, lat.best.cost.energyNj * 1.05);
+}
+
+TEST_F(SchedEngineTest, SingleNodePerModelStillWorks)
+{
+    Rng rng(1);
+    const WindowScheduler sched(*db_, OptTarget::Edp);
+    const auto result = sched.search(wa_, {1, 1}, rng);
+    ASSERT_TRUE(result.found);
+    for (const ModelPlacement& mp : result.best.placement.models)
+        EXPECT_EQ(mp.segments.size(), 1u);
+}
+
+TEST_F(SchedEngineTest, EntryChipletInfluencesPlacementCost)
+{
+    Rng rng1(1);
+    Rng rng2(1);
+    const WindowScheduler sched(*db_, OptTarget::Edp);
+    const auto fresh = sched.search(wa_, nodes_, rng1, {});
+    const auto continued = sched.search(wa_, nodes_, rng2, {0, 4});
+    ASSERT_TRUE(fresh.found && continued.found);
+    // Continuing from on-package data can only help (less DRAM).
+    EXPECT_LE(continued.best.cost.dramBytes,
+              fresh.best.cost.dramBytes + 1.0);
+}
+
+TEST_F(SchedEngineTest, MoreModelsThanFitFailsGracefully)
+{
+    // Allocation vector with a zero for a present model throws.
+    Rng rng(1);
+    const WindowScheduler sched(*db_, OptTarget::Edp);
+    EXPECT_THROW(sched.search(wa_, {0, 3}, rng), FatalError);
+}
+
+TEST(SchedEngineSmallMcm, WorksOnMotivational2x2)
+{
+    Scenario sc;
+    sc.name = "tiny";
+    sc.models = {zoo::eyeCod(2)};
+    sc.finalize();
+    const Mcm mcm = templates::motivational2x2();
+    const CostDb db(sc, mcm);
+    const WindowScheduler sched(db, OptTarget::Edp);
+    WindowAssignment wa;
+    wa.perModel = {LayerRange{0, sc.models[0].numLayers() - 1}};
+    Rng rng(1);
+    const auto result = sched.search(wa, {2}, rng);
+    ASSERT_TRUE(result.found);
+    EXPECT_LE(result.best.placement.models[0].segments.size(), 2u);
+}
+
+class EvoTest : public SchedEngineTest
+{
+};
+
+TEST_F(EvoTest, FindsFeasiblePlacement)
+{
+    Rng rng(1);
+    const EvolutionaryWindowSearch evo(*db_, OptTarget::Edp,
+                                       WindowSearchOptions{});
+    const auto result = evo.search(wa_, nodes_, rng);
+    ASSERT_TRUE(result.found);
+    std::set<int> used;
+    for (const ModelPlacement& mp : result.best.placement.models) {
+        EXPECT_LE(static_cast<int>(mp.segments.size()),
+                  nodes_[mp.modelIdx]);
+        for (const PlacedSegment& seg : mp.segments)
+            EXPECT_TRUE(used.insert(seg.chiplet).second);
+    }
+}
+
+TEST_F(EvoTest, DeterministicForFixedSeed)
+{
+    const EvolutionaryWindowSearch evo(*db_, OptTarget::Edp,
+                                       WindowSearchOptions{});
+    Rng rng1(7);
+    Rng rng2(7);
+    const auto a = evo.search(wa_, nodes_, rng1);
+    const auto b = evo.search(wa_, nodes_, rng2);
+    ASSERT_TRUE(a.found && b.found);
+    EXPECT_DOUBLE_EQ(a.best.score, b.best.score);
+}
+
+TEST_F(EvoTest, SeededGenomeMakesEvoCompetitiveWithBruteForce)
+{
+    Rng rng1(1);
+    Rng rng2(1);
+    const WindowScheduler brute(*db_, OptTarget::Edp);
+    const EvolutionaryWindowSearch evo(*db_, OptTarget::Edp,
+                                       WindowSearchOptions{});
+    const auto b = brute.search(wa_, nodes_, rng1);
+    const auto e = evo.search(wa_, nodes_, rng2);
+    ASSERT_TRUE(b.found && e.found);
+    // The EA population is seeded with the quick-ranked segmentation,
+    // so it should come within 2x of the brute-force score.
+    EXPECT_LE(e.best.score, b.best.score * 2.0);
+}
+
+TEST_F(EvoTest, RespectsPopulationAndGenerationKnobs)
+{
+    EvoOptions opts;
+    opts.population = 4;
+    opts.generations = 2;
+    const EvolutionaryWindowSearch evo(*db_, OptTarget::Edp,
+                                       WindowSearchOptions{}, opts);
+    Rng rng(1);
+    EXPECT_TRUE(evo.search(wa_, nodes_, rng).found);
+}
+
+TEST_F(EvoTest, RejectsDegenerateOptions)
+{
+    EvoOptions bad;
+    bad.population = 1;
+    EXPECT_THROW(EvolutionaryWindowSearch(*db_, OptTarget::Edp,
+                                          WindowSearchOptions{}, bad),
+                 FatalError);
+}
+
+} // namespace
+} // namespace scar

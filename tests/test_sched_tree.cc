@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for scheduling-tree path enumeration (constrained DFS over the
+ * chiplet adjacency, Section IV-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sched/sched_tree.h"
+
+namespace scar
+{
+namespace
+{
+
+TEST(SchedTree, LengthOnePathsAreRoots)
+{
+    const Topology topo = Topology::mesh(3, 3);
+    const std::vector<bool> blocked(9, false);
+    const auto paths = enumeratePaths(topo, 4, 1, blocked, 100);
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_EQ(paths[0], std::vector<int>{4});
+}
+
+TEST(SchedTree, PathsAreSimpleAndAdjacent)
+{
+    const Topology topo = Topology::mesh(3, 3);
+    const std::vector<bool> blocked(9, false);
+    const auto paths = enumeratePaths(topo, 0, 4, blocked, 10000);
+    EXPECT_FALSE(paths.empty());
+    for (const auto& path : paths) {
+        ASSERT_EQ(path.size(), 4u);
+        std::set<int> unique(path.begin(), path.end());
+        EXPECT_EQ(unique.size(), path.size()); // simple path
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            const auto& nbrs = topo.neighbors(path[i]);
+            EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), path[i + 1]),
+                      nbrs.end());
+        }
+    }
+}
+
+TEST(SchedTree, BlockedNodesAreAvoided)
+{
+    const Topology topo = Topology::mesh(3, 3);
+    std::vector<bool> blocked(9, false);
+    blocked[1] = blocked[3] = true;
+    const auto paths = enumeratePaths(topo, 0, 2, blocked, 100);
+    EXPECT_TRUE(paths.empty()); // 0's only neighbours are blocked
+}
+
+TEST(SchedTree, BlockedRootYieldsNothing)
+{
+    const Topology topo = Topology::mesh(3, 3);
+    std::vector<bool> blocked(9, false);
+    blocked[4] = true;
+    EXPECT_TRUE(enumeratePaths(topo, 4, 2, blocked, 100).empty());
+}
+
+TEST(SchedTree, MaxPathsCapIsRespected)
+{
+    const Topology topo = Topology::mesh(3, 3);
+    const std::vector<bool> blocked(9, false);
+    const auto paths = enumeratePaths(topo, 4, 5, blocked, 7);
+    EXPECT_EQ(paths.size(), 7u);
+}
+
+TEST(SchedTree, KnownCountOnSmallMesh)
+{
+    // 2x2 mesh, paths of length 2 from node 0: exactly 2 (right, down).
+    const Topology topo = Topology::mesh(2, 2);
+    const std::vector<bool> blocked(4, false);
+    EXPECT_EQ(enumeratePaths(topo, 0, 2, blocked, 100).size(), 2u);
+    // Length 4 (Hamiltonian) from a corner of a 2x2: 2 paths.
+    EXPECT_EQ(enumeratePaths(topo, 0, 4, blocked, 100).size(), 2u);
+}
+
+TEST(SchedTree, AllRootsCoversEveryFreeChiplet)
+{
+    const Topology topo = Topology::mesh(3, 3);
+    std::vector<bool> blocked(9, false);
+    blocked[8] = true;
+    const auto paths = enumeratePathsAllRoots(topo, 1, blocked, 100);
+    // Every unblocked node appears exactly once as a length-1 path.
+    EXPECT_EQ(paths.size(), 8u);
+    std::set<int> roots;
+    for (const auto& p : paths)
+        roots.insert(p[0]);
+    EXPECT_EQ(roots.size(), 8u);
+    EXPECT_EQ(roots.count(8), 0u);
+}
+
+TEST(SchedTree, AllRootsSplitsBudget)
+{
+    const Topology topo = Topology::mesh(3, 3);
+    const std::vector<bool> blocked(9, false);
+    const auto paths = enumeratePathsAllRoots(topo, 3, blocked, 18);
+    EXPECT_LE(paths.size(), 18u);
+    // Multiple roots represented (budget split, 2 per root).
+    std::set<int> roots;
+    for (const auto& p : paths)
+        roots.insert(p[0]);
+    EXPECT_GT(roots.size(), 4u);
+}
+
+TEST(SchedTree, TriangularTopologyWorks)
+{
+    const Topology topo = Topology::triangular(2, 3);
+    const std::vector<bool> blocked(topo.numNodes(), false);
+    const auto paths = enumeratePathsAllRoots(topo, 4, blocked, 50);
+    EXPECT_FALSE(paths.empty());
+    for (const auto& path : paths)
+        EXPECT_EQ(path.size(), 4u);
+}
+
+} // namespace
+} // namespace scar

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the SEG engine: enumeration correctness (Theorem 1
+ * validity: coverage + exclusivity), capping behaviour, and the
+ * Heuristic-1 quick ranking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/mcm_templates.h"
+#include "sched/segmentation.h"
+#include "workload/model_zoo.h"
+
+namespace scar
+{
+namespace
+{
+
+long
+binomial(int n, int k)
+{
+    long r = 1;
+    for (int i = 0; i < k; ++i)
+        r = r * (n - i) / (i + 1);
+    return r;
+}
+
+class SegEnumTest
+    : public ::testing::TestWithParam<std::pair<int, int>> // layers, maxSegs
+{
+};
+
+TEST_P(SegEnumTest, CandidatesAreValidPartitions)
+{
+    const auto [layers, maxSegs] = GetParam();
+    Rng rng(1);
+    const LayerRange range{3, 3 + layers - 1}; // offset start
+    const auto candidates =
+        enumerateSegmentations(range, maxSegs, 100000, rng);
+    for (const Segmentation& seg : candidates) {
+        // Theorem 1: coverage and exclusivity.
+        ASSERT_FALSE(seg.segments.empty());
+        EXPECT_EQ(seg.segments.front().first, range.first);
+        EXPECT_EQ(seg.segments.back().last, range.last);
+        for (std::size_t k = 0; k + 1 < seg.segments.size(); ++k) {
+            EXPECT_EQ(seg.segments[k + 1].first,
+                      seg.segments[k].last + 1);
+        }
+        EXPECT_LE(seg.numSegments(), maxSegs);
+    }
+}
+
+TEST_P(SegEnumTest, CountMatchesBinomialSum)
+{
+    const auto [layers, maxSegs] = GetParam();
+    Rng rng(1);
+    const LayerRange range{0, layers - 1};
+    const auto candidates =
+        enumerateSegmentations(range, maxSegs, 100000, rng);
+    long expected = 0;
+    for (int segs = 1; segs <= std::min(maxSegs, layers); ++segs)
+        expected += binomial(layers - 1, segs - 1);
+    EXPECT_EQ(static_cast<long>(candidates.size()), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SegEnumTest,
+    ::testing::Values(std::make_pair(1, 1), std::make_pair(5, 1),
+                      std::make_pair(5, 3), std::make_pair(8, 4),
+                      std::make_pair(12, 2), std::make_pair(10, 10)));
+
+TEST(SegEnum, CapLimitsEnumeration)
+{
+    Rng rng(1);
+    const LayerRange range{0, 59}; // C(59, 3) = 32509 > cap
+    const auto candidates = enumerateSegmentations(range, 4, 50, rng);
+    // Per segment count the cap applies; total stays modest.
+    EXPECT_LE(candidates.size(), 4u * 50u + 4u);
+    // Sampled candidates are still valid partitions.
+    for (const Segmentation& seg : candidates) {
+        EXPECT_EQ(seg.segments.front().first, 0);
+        EXPECT_EQ(seg.segments.back().last, 59);
+    }
+}
+
+TEST(SegEnum, MaxSegsClampedToLayerCount)
+{
+    Rng rng(1);
+    const auto candidates =
+        enumerateSegmentations(LayerRange{0, 2}, 9, 1000, rng);
+    for (const Segmentation& seg : candidates)
+        EXPECT_LE(seg.numSegments(), 3);
+}
+
+class RankFixture : public ::testing::Test
+{
+  protected:
+    RankFixture()
+        : mcm_(templates::hetSides3x3())
+    {
+        sc_.name = "rank";
+        sc_.models = {zoo::bertBase(8)};
+        sc_.finalize();
+        db_ = std::make_unique<CostDb>(sc_, mcm_);
+    }
+
+    Scenario sc_;
+    Mcm mcm_;
+    std::unique_ptr<CostDb> db_;
+};
+
+TEST_F(RankFixture, QuickScorePositiveAndFinite)
+{
+    Rng rng(3);
+    const LayerRange range{0, 11};
+    const auto candidates = enumerateSegmentations(range, 3, 1000, rng);
+    for (const Segmentation& seg : candidates) {
+        const double s = quickScore(*db_, 0, seg, OptTarget::Edp);
+        EXPECT_GT(s, 0.0);
+        EXPECT_TRUE(std::isfinite(s));
+    }
+}
+
+TEST_F(RankFixture, RankedListIsSortedByQuickScore)
+{
+    Rng rng(3);
+    SegmentationOptions opts;
+    opts.topK = 8;
+    opts.pruneK = 8;
+    const auto ranked = rankSegmentations(*db_, 0, LayerRange{0, 11}, 3,
+                                          OptTarget::Edp, opts, rng);
+    for (std::size_t i = 0; i + 1 < ranked.size(); ++i) {
+        EXPECT_LE(quickScore(*db_, 0, ranked[i], OptTarget::Edp),
+                  quickScore(*db_, 0, ranked[i + 1], OptTarget::Edp) +
+                      1e-12);
+    }
+}
+
+TEST_F(RankFixture, DiversityKeepsEverySegmentCount)
+{
+    Rng rng(3);
+    SegmentationOptions opts;
+    opts.pruneK = 6;
+    const auto ranked = rankSegmentations(*db_, 0, LayerRange{0, 11}, 3,
+                                          OptTarget::Edp, opts, rng);
+    std::set<int> counts;
+    for (const Segmentation& seg : ranked)
+        counts.insert(seg.numSegments());
+    EXPECT_EQ(counts.size(), 3u); // 1, 2 and 3-segment candidates kept
+}
+
+TEST_F(RankFixture, PipeliningLowersQuickLatencyForBatches)
+{
+    // For a batched model, the best 3-segment candidate must beat the
+    // single-segment candidate under the latency target.
+    Rng rng(3);
+    const LayerRange range{0, 11};
+    const auto candidates =
+        enumerateSegmentations(range, 3, 100000, rng);
+    double best1 = 1e30;
+    double best3 = 1e30;
+    for (const Segmentation& seg : candidates) {
+        const double s = quickScore(*db_, 0, seg, OptTarget::Latency);
+        if (seg.numSegments() == 1)
+            best1 = std::min(best1, s);
+        if (seg.numSegments() == 3)
+            best3 = std::min(best3, s);
+    }
+    EXPECT_LT(best3, best1);
+}
+
+} // namespace
+} // namespace scar

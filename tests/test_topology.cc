@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for NoP topologies: mesh XY routing, triangular lattices,
+ * adjacency-defined graphs, and routing invariants (property-style
+ * over all node pairs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "arch/topology.h"
+
+namespace scar
+{
+namespace
+{
+
+TEST(TopologyMesh, SizeAndNeighbors)
+{
+    const Topology t = Topology::mesh(3, 3);
+    EXPECT_EQ(t.numNodes(), 9);
+    EXPECT_TRUE(t.isMesh());
+    // Corner has 2 neighbours, center has 4.
+    EXPECT_EQ(t.neighbors(0).size(), 2u);
+    EXPECT_EQ(t.neighbors(4).size(), 4u);
+}
+
+TEST(TopologyMesh, HopsAreManhattan)
+{
+    const Topology t = Topology::mesh(3, 3);
+    for (int a = 0; a < 9; ++a) {
+        for (int b = 0; b < 9; ++b) {
+            const int manhattan = std::abs(a % 3 - b % 3) +
+                                  std::abs(a / 3 - b / 3);
+            EXPECT_EQ(t.hops(a, b), manhattan) << a << "->" << b;
+        }
+    }
+}
+
+TEST(TopologyMesh, XyRouteGoesXThenY)
+{
+    const Topology t = Topology::mesh(3, 3);
+    // 0 (0,0) -> 8 (2,2): X first: 0,1,2 then Y: 5,8.
+    const std::vector<int> expected{0, 1, 2, 5, 8};
+    EXPECT_EQ(t.route(0, 8), expected);
+}
+
+TEST(TopologyMesh, RouteLinksMatchRoute)
+{
+    const Topology t = Topology::mesh(4, 4);
+    const auto links = t.routeLinks(0, 15);
+    EXPECT_EQ(static_cast<int>(links.size()), t.hops(0, 15));
+    // Links chain: dst of one is src of next.
+    for (std::size_t i = 0; i + 1 < links.size(); ++i)
+        EXPECT_EQ(links[i].second, links[i + 1].first);
+}
+
+class MeshPairTest
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(MeshPairTest, RoutePropertiesHold)
+{
+    const auto [w, h] = GetParam();
+    const Topology t = Topology::mesh(w, h);
+    for (int a = 0; a < t.numNodes(); ++a) {
+        for (int b = 0; b < t.numNodes(); ++b) {
+            const auto path = t.route(a, b);
+            ASSERT_FALSE(path.empty());
+            EXPECT_EQ(path.front(), a);
+            EXPECT_EQ(path.back(), b);
+            EXPECT_EQ(static_cast<int>(path.size()) - 1, t.hops(a, b));
+            // Consecutive nodes on the path are adjacent.
+            for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+                const auto& nbrs = t.neighbors(path[i]);
+                EXPECT_NE(std::find(nbrs.begin(), nbrs.end(),
+                                    path[i + 1]),
+                          nbrs.end());
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MeshPairTest,
+    ::testing::Values(std::make_pair(2, 2), std::make_pair(3, 3),
+                      std::make_pair(6, 6), std::make_pair(1, 4),
+                      std::make_pair(5, 2)));
+
+TEST(TopologyTriangular, RowsOf234)
+{
+    const Topology t = Topology::triangular(2, 3);
+    EXPECT_EQ(t.numNodes(), 2 + 3 + 4);
+    EXPECT_FALSE(t.isMesh());
+    // Top-left node: right neighbour + two below.
+    EXPECT_EQ(t.neighbors(0).size(), 3u);
+}
+
+TEST(TopologyTriangular, ConnectedWithSymmetricHops)
+{
+    const Topology t = Topology::triangular(2, 3);
+    for (int a = 0; a < t.numNodes(); ++a) {
+        for (int b = 0; b < t.numNodes(); ++b) {
+            EXPECT_GE(t.hops(a, b), 0);
+            EXPECT_EQ(t.hops(a, b), t.hops(b, a));
+            EXPECT_EQ(t.hops(a, b) == 0, a == b);
+        }
+    }
+}
+
+TEST(TopologyTriangular, BfsRouteIsShortest)
+{
+    const Topology t = Topology::triangular(2, 3);
+    for (int a = 0; a < t.numNodes(); ++a) {
+        for (int b = 0; b < t.numNodes(); ++b) {
+            const auto path = t.route(a, b);
+            EXPECT_EQ(static_cast<int>(path.size()) - 1, t.hops(a, b));
+        }
+    }
+}
+
+TEST(TopologyAdjacency, CustomGraph)
+{
+    // A 4-node ring.
+    const Topology t = Topology::fromAdjacency(
+        {{1, 3}, {0, 2}, {1, 3}, {2, 0}});
+    EXPECT_EQ(t.numNodes(), 4);
+    EXPECT_EQ(t.hops(0, 2), 2);
+    EXPECT_EQ(t.hops(0, 1), 1);
+}
+
+TEST(TopologyAdjacency, RejectsDisconnectedGraph)
+{
+    EXPECT_THROW(Topology::fromAdjacency({{1}, {0}, {3}, {2}}),
+                 FatalError);
+}
+
+TEST(TopologyAdjacency, RejectsOutOfRangeIndex)
+{
+    EXPECT_THROW(Topology::fromAdjacency({{5}, {0}}), FatalError);
+}
+
+} // namespace
+} // namespace scar
