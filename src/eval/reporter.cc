@@ -88,4 +88,48 @@ describeWindowBreakdown(const Scenario& scenario,
     return table.render();
 }
 
+std::string
+describeServingReport(const runtime::ServingReport& report)
+{
+    std::ostringstream out;
+    out << "Serving report (" << report.offered << " offered, "
+        << report.completed << " completed, " << report.dispatches
+        << " dispatches over "
+        << TextTable::num(report.horizonSec, 3) << " s)\n";
+
+    TextTable table({"Metric", "Value"});
+    table.addRow({"Throughput (req/s)",
+                  TextTable::num(report.throughputRps, 2)});
+    table.addRow({"Latency mean (s)",
+                  TextTable::num(report.meanLatencySec, 4)});
+    table.addRow({"Latency p50 (s)",
+                  TextTable::num(report.p50LatencySec, 4)});
+    table.addRow({"Latency p95 (s)",
+                  TextTable::num(report.p95LatencySec, 4)});
+    table.addRow({"Latency p99 (s)",
+                  TextTable::num(report.p99LatencySec, 4)});
+    table.addRow({"Latency max (s)",
+                  TextTable::num(report.maxLatencySec, 4)});
+    table.addRow({"SLO violations",
+                  std::to_string(report.sloViolations) + " (" +
+                      TextTable::num(report.sloViolationRate * 100.0,
+                                     2) +
+                      "%)"});
+    table.addSeparator();
+    table.addRow({"Schedule searches (cache misses)",
+                  std::to_string(report.cache.misses)});
+    table.addRow({"Schedule cache hits",
+                  std::to_string(report.cache.hits)});
+    table.addRow({"Schedule cache hit rate",
+                  TextTable::num(report.cache.hitRate() * 100.0, 2) +
+                      "%"});
+    table.addRow({"Unique mixes scheduled",
+                  std::to_string(report.uniqueMixes)});
+    table.addRow({"Batch occupancy",
+                  TextTable::num(report.batchOccupancy * 100.0, 1) +
+                      "%"});
+    out << table.render();
+    return out.str();
+}
+
 } // namespace scar

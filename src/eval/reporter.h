@@ -10,6 +10,7 @@
 #include <string>
 
 #include "arch/mcm.h"
+#include "runtime/serving_report.h"
 #include "sched/scar.h"
 #include "workload/scenario.h"
 
@@ -30,6 +31,13 @@ std::string describeSchedule(const Scenario& scenario, const Mcm& mcm,
  */
 std::string describeWindowBreakdown(const Scenario& scenario,
                                     const ScheduleResult& result);
+
+/**
+ * Renders an online-serving run: traffic totals, latency
+ * percentiles, SLO accounting, and schedule-cache effectiveness
+ * (runtime/serving_sim.h).
+ */
+std::string describeServingReport(const runtime::ServingReport& report);
 
 } // namespace scar
 

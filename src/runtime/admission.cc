@@ -1,0 +1,136 @@
+#include "runtime/admission.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace scar
+{
+namespace runtime
+{
+namespace
+{
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Smallest power of two >= n. */
+int
+nextPow2(int n)
+{
+    int p = 1;
+    while (p < n)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
+AdmissionController::AdmissionController(
+    const std::vector<ServedModel>& catalog, AdmissionOptions options)
+    : catalog_(catalog), options_(options), queues_(catalog.size())
+{
+    SCAR_REQUIRE(!catalog_.empty(), "admission: empty catalog");
+    for (const ServedModel& sm : catalog_)
+        SCAR_REQUIRE(sm.model.batch >= 1, "admission: model ",
+                     sm.model.name, " has batch ", sm.model.batch);
+    SCAR_REQUIRE(options_.maxQueueDelaySec >= 0.0,
+                 "admission: negative maxQueueDelaySec");
+}
+
+void
+AdmissionController::enqueue(const Request& request)
+{
+    SCAR_REQUIRE(request.modelIdx >= 0 &&
+                     request.modelIdx <
+                         static_cast<int>(catalog_.size()),
+                 "admission: request model ", request.modelIdx,
+                 " outside catalog");
+    queues_[request.modelIdx].push_back(request);
+}
+
+int
+AdmissionController::queuedCount() const
+{
+    int total = 0;
+    for (const auto& q : queues_)
+        total += static_cast<int>(q.size());
+    return total;
+}
+
+bool
+AdmissionController::ready(double nowSec) const
+{
+    for (std::size_t m = 0; m < queues_.size(); ++m) {
+        const auto& q = queues_[m];
+        if (q.empty())
+            continue;
+        if (static_cast<int>(q.size()) >= catalog_[m].model.batch)
+            return true;
+        // Same expression as nextForcedDispatchSec so the two agree
+        // bit-for-bit at the timer instant (a - b >= d can round the
+        // other way and livelock the event loop).
+        if (nowSec >= q.front().arrivalSec + options_.maxQueueDelaySec)
+            return true;
+    }
+    return false;
+}
+
+int
+AdmissionController::dispatchBatch(std::size_t model) const
+{
+    const int queued = static_cast<int>(queues_[model].size());
+    const int cap = catalog_[model].model.batch;
+    if (queued >= cap)
+        return cap;
+    return options_.quantizeBatches
+               ? std::min(nextPow2(queued), cap)
+               : queued;
+}
+
+Dispatch
+AdmissionController::formDispatch(double nowSec)
+{
+    SCAR_REQUIRE(ready(nowSec), "admission: formDispatch while idle");
+    Dispatch dispatch;
+    dispatch.mix.name = "mix";
+    for (std::size_t m = 0; m < queues_.size(); ++m) {
+        auto& q = queues_[m];
+        if (q.empty())
+            continue;
+        BatchGroup group;
+        group.catalogIdx = static_cast<int>(m);
+        group.batch = dispatchBatch(m);
+        const int take =
+            std::min(static_cast<int>(q.size()), group.batch);
+        for (int i = 0; i < take; ++i) {
+            group.requests.push_back(q.front());
+            q.pop_front();
+        }
+        // The scheduled model carries the dispatched batch size: the
+        // mix signature (and so the schedule-cache key) reflects the
+        // padded batch, not the raw queue depth.
+        Model scheduled = catalog_[m].model;
+        scheduled.batch = group.batch;
+        dispatch.mix.models.push_back(std::move(scheduled));
+        dispatch.catalogIdx.push_back(static_cast<int>(m));
+        dispatch.groups.push_back(std::move(group));
+    }
+    return dispatch;
+}
+
+double
+AdmissionController::nextForcedDispatchSec() const
+{
+    double earliest = kInf;
+    for (const auto& q : queues_) {
+        if (q.empty())
+            continue;
+        earliest = std::min(earliest, q.front().arrivalSec +
+                                          options_.maxQueueDelaySec);
+    }
+    return earliest;
+}
+
+} // namespace runtime
+} // namespace scar

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Admission and batching policy for the serving runtime.
+ *
+ * Requests queue per catalog model. A model becomes "ready" when a
+ * full batch (its catalog batch size, the one the cost model's
+ * mini-batch derivation understands) is queued, or when its oldest
+ * request has waited longer than maxQueueDelaySec. When the MCM is
+ * free and at least one model is ready, the controller drains every
+ * model with pending work into one dispatch: the co-scheduled mix.
+ *
+ * Partially filled batches are rounded up to the next power of two
+ * (capped at the catalog batch) so the space of dispatched batch
+ * sizes — and therefore of mix signatures that trigger a fresh
+ * Scar::run() — stays small; the unfilled slots model the padding a
+ * real batching server would submit. Re-scheduling is thereby driven
+ * purely by mix changes: the schedule cache re-runs the search only
+ * when the dispatched (model, batch) signature is new.
+ */
+
+#ifndef SCAR_RUNTIME_ADMISSION_H
+#define SCAR_RUNTIME_ADMISSION_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "runtime/request.h"
+#include "workload/scenario.h"
+
+namespace scar
+{
+namespace runtime
+{
+
+/** Batching knobs. */
+struct AdmissionOptions
+{
+    /**
+     * Oldest-request age that forces a partial-batch dispatch, in
+     * seconds. Smaller values favor latency, larger values favor
+     * full batches (throughput).
+     */
+    double maxQueueDelaySec = 0.05;
+    /** Round partial batches up to powers of two (signature hygiene). */
+    bool quantizeBatches = true;
+};
+
+/** One model's share of a dispatch. */
+struct BatchGroup
+{
+    int catalogIdx = -1;
+    /** Dispatched batch size (>= requests.size() when padded). */
+    int batch = 0;
+    /** Requests riding in this batch, oldest first. */
+    std::vector<Request> requests;
+};
+
+/** A co-scheduled batch of requests: the unit the executor replays. */
+struct Dispatch
+{
+    Scenario mix;                 ///< scenario handed to the scheduler
+    std::vector<int> catalogIdx;  ///< mix.models[i] -> catalog index
+    std::vector<BatchGroup> groups; ///< aligned with mix.models
+};
+
+/** Per-model queues plus the dispatch-forming policy. */
+class AdmissionController
+{
+  public:
+    AdmissionController(const std::vector<ServedModel>& catalog,
+                        AdmissionOptions options = AdmissionOptions{});
+
+    /** Admits an arrived request into its model queue. */
+    void enqueue(const Request& request);
+
+    /** Total queued requests across models. */
+    int queuedCount() const;
+
+    /**
+     * True when some model has a ready batch at the given time: a
+     * full batch queued, or an oldest request older than
+     * maxQueueDelaySec.
+     */
+    bool ready(double nowSec) const;
+
+    /**
+     * Forms a dispatch at nowSec, consuming the queued requests. All
+     * models with pending work join the mix (partial batches
+     * included) so the package is shared the way the offline
+     * scheduler optimizes for. Requires ready(nowSec).
+     */
+    Dispatch formDispatch(double nowSec);
+
+    /**
+     * Earliest future instant at which a queued request's age crosses
+     * maxQueueDelaySec (infinity when no requests are queued). Used
+     * by the event loop to schedule its batching timer.
+     */
+    double nextForcedDispatchSec() const;
+
+    const std::vector<ServedModel>& catalog() const { return catalog_; }
+
+  private:
+    int dispatchBatch(std::size_t model) const;
+
+    std::vector<ServedModel> catalog_;
+    AdmissionOptions options_;
+    std::vector<std::deque<Request>> queues_; ///< per model, FIFO
+};
+
+} // namespace runtime
+} // namespace scar
+
+#endif // SCAR_RUNTIME_ADMISSION_H

@@ -1,0 +1,95 @@
+#include "runtime/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace scar
+{
+namespace runtime
+{
+namespace
+{
+
+/** Exponential inter-arrival gap at the given rate. */
+double
+expGap(Rng& rng, double rateRps)
+{
+    // Invert the CDF on a (0, 1] uniform so the log argument is
+    // never zero.
+    const double u = 1.0 - rng.uniform();
+    return -std::log(u) / rateRps;
+}
+
+} // namespace
+
+std::vector<Request>
+poissonTrace(const std::vector<ServedModel>& catalog, int numRequests,
+             std::uint64_t seed)
+{
+    SCAR_REQUIRE(!catalog.empty(), "poissonTrace: empty catalog");
+    SCAR_REQUIRE(numRequests >= 0, "poissonTrace: negative count");
+    for (const ServedModel& sm : catalog)
+        SCAR_REQUIRE(sm.rateRps > 0.0, "poissonTrace: model ",
+                     sm.model.name, " has non-positive rate");
+
+    Rng rng(seed);
+    // Next pending arrival per model; the merge repeatedly commits the
+    // earliest one and redraws that model's gap. Draw order is fully
+    // determined by the arrival order, so the trace is reproducible.
+    std::vector<double> next(catalog.size());
+    for (std::size_t m = 0; m < catalog.size(); ++m)
+        next[m] = expGap(rng, catalog[m].rateRps);
+
+    std::vector<Request> trace;
+    trace.reserve(numRequests);
+    for (int i = 0; i < numRequests; ++i) {
+        std::size_t pick = 0;
+        for (std::size_t m = 1; m < catalog.size(); ++m) {
+            if (next[m] < next[pick])
+                pick = m;
+        }
+        Request req;
+        req.id = i;
+        req.modelIdx = static_cast<int>(pick);
+        req.arrivalSec = next[pick];
+        req.deadlineSec = next[pick] + catalog[pick].sloSec;
+        trace.push_back(req);
+        next[pick] += expGap(rng, catalog[pick].rateRps);
+    }
+    return trace;
+}
+
+std::vector<Request>
+traceFromArrivals(const std::vector<ServedModel>& catalog,
+                  std::vector<std::pair<double, int>> arrivals)
+{
+    SCAR_REQUIRE(!catalog.empty(), "traceFromArrivals: empty catalog");
+    std::stable_sort(arrivals.begin(), arrivals.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                     });
+    std::vector<Request> trace;
+    trace.reserve(arrivals.size());
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        const auto& [timeSec, modelIdx] = arrivals[i];
+        SCAR_REQUIRE(modelIdx >= 0 &&
+                         modelIdx < static_cast<int>(catalog.size()),
+                     "traceFromArrivals: model index ", modelIdx,
+                     " outside catalog of ", catalog.size());
+        SCAR_REQUIRE(timeSec >= 0.0,
+                     "traceFromArrivals: negative arrival time");
+        Request req;
+        req.id = static_cast<std::int64_t>(i);
+        req.modelIdx = modelIdx;
+        req.arrivalSec = timeSec;
+        req.deadlineSec = timeSec + catalog[modelIdx].sloSec;
+        trace.push_back(req);
+    }
+    return trace;
+}
+
+} // namespace runtime
+} // namespace scar

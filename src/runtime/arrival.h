@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Request stream generation: deterministic-seeded Poisson arrivals per
+ * catalog model, and trace-driven arrivals for replaying recorded
+ * traffic.
+ *
+ * Poisson streams draw exponential inter-arrival gaps per model (rate
+ * = ServedModel::rateRps) from one seeded Rng and merge the per-model
+ * streams in time order, so a (catalog, seed, count) triple always
+ * yields the identical trace — experiments are reproducible from the
+ * seed recorded in the logs, matching the determinism convention of
+ * common/rng.h.
+ */
+
+#ifndef SCAR_RUNTIME_ARRIVAL_H
+#define SCAR_RUNTIME_ARRIVAL_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "runtime/request.h"
+
+namespace scar
+{
+namespace runtime
+{
+
+/**
+ * Generates a merged Poisson request trace over the catalog.
+ *
+ * @param catalog served models; rateRps must be > 0 for every model
+ * @param numRequests total requests across all models
+ * @param seed Rng seed; same (catalog, numRequests, seed) -> same trace
+ * @return requests sorted by arrival time with ids 0..numRequests-1
+ *         and deadlines set from each model's sloSec
+ */
+std::vector<Request> poissonTrace(const std::vector<ServedModel>& catalog,
+                                  int numRequests,
+                                  std::uint64_t seed = 0xC0FFEEuLL);
+
+/**
+ * Builds a request trace from explicit (arrivalSec, modelIdx) pairs,
+ * e.g. replayed from a recorded production trace. Arrivals are sorted
+ * by time; deadlines come from the catalog SLOs.
+ */
+std::vector<Request> traceFromArrivals(
+    const std::vector<ServedModel>& catalog,
+    std::vector<std::pair<double, int>> arrivals);
+
+} // namespace runtime
+} // namespace scar
+
+#endif // SCAR_RUNTIME_ARRIVAL_H

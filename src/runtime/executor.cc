@@ -1,0 +1,70 @@
+#include "runtime/executor.h"
+
+#include "common/error.h"
+
+namespace scar
+{
+namespace runtime
+{
+
+void
+ReplayExecutor::start(const CachedSchedule& schedule, Dispatch dispatch,
+                      double startSec)
+{
+    SCAR_REQUIRE(!busy_, "executor: start while a dispatch is running");
+    SCAR_REQUIRE(schedule.mix.models.size() ==
+                     dispatch.mix.models.size(),
+                 "executor: schedule/dispatch mix arity mismatch");
+    SCAR_REQUIRE(!schedule.windowSec.empty(),
+                 "executor: schedule has no windows");
+    busy_ = true;
+    schedule_ = &schedule;
+    dispatch_ = std::move(dispatch);
+    window_ = 0;
+    windowEndSec_ = startSec + schedule.windowSec.front();
+    ++dispatches_;
+    for (BatchGroup& group : dispatch_.groups) {
+        for (Request& req : group.requests)
+            req.dispatchSec = startSec;
+    }
+}
+
+double
+ReplayExecutor::nextBoundarySec() const
+{
+    SCAR_REQUIRE(busy_, "executor: nextBoundarySec while idle");
+    return windowEndSec_;
+}
+
+WindowTick
+ReplayExecutor::advance()
+{
+    SCAR_REQUIRE(busy_, "executor: advance while idle");
+    WindowTick tick;
+    tick.timeSec = windowEndSec_;
+    tick.windowIdx = static_cast<int>(window_);
+
+    // A dispatch group's model index within the mix equals its
+    // position: formDispatch builds mix.models and groups in lockstep.
+    for (std::size_t m = 0; m < dispatch_.groups.size(); ++m) {
+        if (schedule_->lastWindow[m] != static_cast<int>(window_))
+            continue;
+        for (Request req : dispatch_.groups[m].requests) {
+            req.completionSec = windowEndSec_;
+            tick.completed.push_back(req);
+        }
+    }
+
+    ++window_;
+    if (window_ == schedule_->windowSec.size()) {
+        tick.dispatchDone = true;
+        busy_ = false;
+        schedule_ = nullptr;
+    } else {
+        windowEndSec_ += schedule_->windowSec[window_];
+    }
+    return tick;
+}
+
+} // namespace runtime
+} // namespace scar

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Discrete-event replay executor: plays a cached SCAR schedule
+ * window-by-window on a virtual clock.
+ *
+ * One dispatch occupies the whole MCM (the offline schedule already
+ * time-shares the package across the mix's models), so the executor
+ * models the accelerator as a single resource replaying the cached
+ * windows back to back — the Section III-E execution semantics. Each
+ * window boundary is one event: crossing the end of window w
+ * completes every request whose model placed its final layers in w
+ * (the WindowEvaluator latencies captured in the cached schedule
+ * determine each boundary's instant). Requests in later windows keep
+ * running until their own boundary.
+ */
+
+#ifndef SCAR_RUNTIME_EXECUTOR_H
+#define SCAR_RUNTIME_EXECUTOR_H
+
+#include <vector>
+
+#include "runtime/admission.h"
+#include "runtime/schedule_cache.h"
+
+namespace scar
+{
+namespace runtime
+{
+
+/** The executor's report for one crossed window boundary. */
+struct WindowTick
+{
+    double timeSec = 0.0;  ///< absolute end instant of the window
+    int windowIdx = -1;    ///< which schedule window just finished
+    /** Requests completed at this boundary, completionSec filled in. */
+    std::vector<Request> completed;
+    /** True when this was the dispatch's last window (MCM now free). */
+    bool dispatchDone = false;
+};
+
+/** Replays cached schedules for one dispatch at a time. */
+class ReplayExecutor
+{
+  public:
+    /** True while a dispatch is replaying. */
+    bool busy() const { return busy_; }
+
+    /**
+     * Begins replaying the cached schedule of a dispatch at startSec.
+     * The schedule must have been computed for the dispatch's mix
+     * (same model count and order). Requires !busy().
+     */
+    void start(const CachedSchedule& schedule, Dispatch dispatch,
+               double startSec);
+
+    /**
+     * Absolute time of the next window boundary. Requires busy().
+     */
+    double nextBoundarySec() const;
+
+    /**
+     * Crosses the next window boundary, completing the requests whose
+     * models end there. Requires busy(); clears busy() on the last
+     * window.
+     */
+    WindowTick advance();
+
+    /** Dispatches started so far (for report bookkeeping). */
+    long dispatchCount() const { return dispatches_; }
+
+  private:
+    bool busy_ = false;
+    const CachedSchedule* schedule_ = nullptr;
+    Dispatch dispatch_;
+    std::size_t window_ = 0;   ///< next boundary to cross
+    double windowEndSec_ = 0.0; ///< absolute end of that window
+    long dispatches_ = 0;
+};
+
+} // namespace runtime
+} // namespace scar
+
+#endif // SCAR_RUNTIME_EXECUTOR_H

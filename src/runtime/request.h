@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Online serving request types.
+ *
+ * The offline scheduler (sched/scar.h) answers "how should this model
+ * mix share the MCM"; the serving runtime answers "what happens when
+ * requests for those models arrive continuously". A Request is one
+ * inference demand for one catalog model, carrying an arrival time and
+ * an SLO deadline:
+ *  - datacenter models use MLPerf-style per-request latency targets;
+ *  - AR/VR models use frame deadlines (1/fps of the XRBench cadence).
+ *
+ * Times are virtual seconds on the simulator clock (the window replay
+ * converts schedule cycles through common/units.h).
+ */
+
+#ifndef SCAR_RUNTIME_REQUEST_H
+#define SCAR_RUNTIME_REQUEST_H
+
+#include <cstdint>
+#include <limits>
+
+#include "workload/model.h"
+
+namespace scar
+{
+namespace runtime
+{
+
+/** One model offered for serving, with its traffic and SLO profile. */
+struct ServedModel
+{
+    Model model;          ///< layers + max batch the cost model sees
+    double rateRps = 1.0; ///< mean Poisson arrival rate (requests/s)
+    /**
+     * Per-request latency SLO in seconds (arrival to completion).
+     * Infinity disables SLO accounting for the model.
+     */
+    double sloSec = std::numeric_limits<double>::infinity();
+};
+
+/** Frame-deadline SLO for an AR/VR model running at the given fps. */
+inline double
+frameDeadlineSec(double fps)
+{
+    return 1.0 / fps;
+}
+
+/** One inference request against a catalog model. */
+struct Request
+{
+    std::int64_t id = -1;
+    int modelIdx = -1;       ///< index into the serving catalog
+    double arrivalSec = 0.0;
+    /** Absolute deadline: arrival + the model's SLO. */
+    double deadlineSec = std::numeric_limits<double>::infinity();
+    /** When the request's batch started executing (-1 = not yet). */
+    double dispatchSec = -1.0;
+    /** When the request's model finished its layers (-1 = not yet). */
+    double completionSec = -1.0;
+
+    bool completed() const { return completionSec >= 0.0; }
+
+    /** End-to-end latency; only meaningful once completed. */
+    double latencySec() const { return completionSec - arrivalSec; }
+
+    /** True when the request completed past its deadline. */
+    bool
+    sloViolated() const
+    {
+        return completed() && completionSec > deadlineSec;
+    }
+};
+
+} // namespace runtime
+} // namespace scar
+
+#endif // SCAR_RUNTIME_REQUEST_H

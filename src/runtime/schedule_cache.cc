@@ -1,0 +1,58 @@
+#include "runtime/schedule_cache.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace scar
+{
+namespace runtime
+{
+
+void
+buildReplayView(CachedSchedule& entry)
+{
+    entry.windowSec.clear();
+    entry.lastWindow.assign(entry.mix.numModels(), -1);
+    entry.makespanSec = 0.0;
+    for (std::size_t w = 0; w < entry.result.windows.size(); ++w) {
+        const ScheduledWindow& sw = entry.result.windows[w];
+        const double sec = cyclesToSeconds(sw.cost.latencyCycles);
+        entry.windowSec.push_back(sec);
+        entry.makespanSec += sec;
+        for (const ModelPlacement& mp : sw.placement.models) {
+            if (!mp.segments.empty())
+                entry.lastWindow[mp.modelIdx] = static_cast<int>(w);
+        }
+    }
+    for (int m = 0; m < entry.mix.numModels(); ++m)
+        SCAR_REQUIRE(entry.lastWindow[m] >= 0,
+                     "schedule for mix ", entry.mix.signature(),
+                     " never places model ", entry.mix.models[m].name);
+}
+
+const CachedSchedule&
+ScheduleCache::getOrCompute(const Scenario& mix,
+                            const ComputeFn& compute)
+{
+    const std::string key = mix.signature();
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        ++stats_.hits;
+        return it->second;
+    }
+    ++stats_.misses;
+    debug("schedule cache miss #", stats_.misses, ": scheduling mix ",
+          key);
+    CachedSchedule entry;
+    entry.mix = mix;
+    entry.result = compute(mix);
+    SCAR_REQUIRE(!entry.result.windows.empty(),
+                 "schedule cache: compute returned an empty schedule ",
+                 "for mix ", key);
+    buildReplayView(entry);
+    return entries_.emplace(key, std::move(entry)).first->second;
+}
+
+} // namespace runtime
+} // namespace scar

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Schedule cache: memoizes the expensive two-level SCAR search per
+ * unique model mix.
+ *
+ * The offline search (Scar::run) depends only on the scheduled mix —
+ * which models at which batch sizes — and on the fixed MCM, never on
+ * request identities or arrival times. The serving runtime therefore
+ * keys cached ScheduleResults by Scenario::signature(): the first
+ * dispatch of a mix pays the search (a miss), every later dispatch of
+ * the same mix replays the cached schedule (a hit). Hit/miss counts
+ * are exposed so serving reports can show how much search the cache
+ * avoided.
+ *
+ * Each entry also precomputes the replay view the discrete-event
+ * executor needs: per-window durations in seconds and, per model, the
+ * index of the last window holding its layers (a model's requests
+ * complete when that window's end boundary is crossed).
+ */
+
+#ifndef SCAR_RUNTIME_SCHEDULE_CACHE_H
+#define SCAR_RUNTIME_SCHEDULE_CACHE_H
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sched/scar.h"
+#include "workload/scenario.h"
+
+namespace scar
+{
+namespace runtime
+{
+
+/** A memoized schedule plus its replay view. */
+struct CachedSchedule
+{
+    Scenario mix;               ///< the scenario that was scheduled
+    ScheduleResult result;
+
+    /** Duration of each schedule window in seconds, replay order. */
+    std::vector<double> windowSec;
+    /** Per mix-model index of its last populated window. */
+    std::vector<int> lastWindow;
+    /** Total back-to-back makespan of one replay, in seconds. */
+    double makespanSec = 0.0;
+};
+
+/** Cache effectiveness counters. */
+struct ScheduleCacheStats
+{
+    long hits = 0;
+    long misses = 0; ///< == number of Scar::run invocations
+
+    long lookups() const { return hits + misses; }
+
+    double
+    hitRate() const
+    {
+        return lookups() == 0
+                   ? 0.0
+                   : static_cast<double>(hits) / lookups();
+    }
+};
+
+/** Signature-keyed store of scheduling results. */
+class ScheduleCache
+{
+  public:
+    /** Runs the schedule search for a mix on a cache miss. */
+    using ComputeFn = std::function<ScheduleResult(const Scenario&)>;
+
+    /**
+     * Returns the cached schedule for the mix, invoking compute only
+     * when the mix signature has not been seen. The returned
+     * reference stays valid for the cache's lifetime (entries are
+     * never evicted).
+     */
+    const CachedSchedule& getOrCompute(const Scenario& mix,
+                                       const ComputeFn& compute);
+
+    const ScheduleCacheStats& stats() const { return stats_; }
+
+    /** Number of distinct mixes scheduled so far. */
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::map<std::string, CachedSchedule> entries_;
+    ScheduleCacheStats stats_;
+};
+
+/** Builds the replay view of a schedule (exposed for testing). */
+void buildReplayView(CachedSchedule& entry);
+
+} // namespace runtime
+} // namespace scar
+
+#endif // SCAR_RUNTIME_SCHEDULE_CACHE_H

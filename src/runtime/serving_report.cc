@@ -1,0 +1,83 @@
+#include "runtime/serving_report.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace scar
+{
+namespace runtime
+{
+
+namespace
+{
+
+/** Nearest-rank percentile of an ascending-sorted sample. */
+double
+sortedPercentile(const std::vector<double>& sorted, double p)
+{
+    SCAR_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    if (sorted.empty())
+        return 0.0;
+    // The ceil(p/100 * n)-th smallest value (1-based).
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * sorted.size()));
+    return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+} // namespace
+
+double
+percentileSec(std::vector<double> latencies, double p)
+{
+    std::sort(latencies.begin(), latencies.end());
+    return sortedPercentile(latencies, p);
+}
+
+ServingReport
+summarizeServing(const std::vector<Request>& requests, long offered,
+                 long dispatches, long paddedSlots,
+                 const ScheduleCacheStats& cacheStats, long uniqueMixes)
+{
+    ServingReport report;
+    report.offered = offered;
+    report.dispatches = dispatches;
+    report.cache = cacheStats;
+    report.uniqueMixes = uniqueMixes;
+
+    std::vector<double> latencies;
+    latencies.reserve(requests.size());
+    double sum = 0.0;
+    for (const Request& req : requests) {
+        if (!req.completed())
+            continue;
+        ++report.completed;
+        const double lat = req.latencySec();
+        latencies.push_back(lat);
+        sum += lat;
+        report.maxLatencySec = std::max(report.maxLatencySec, lat);
+        report.horizonSec =
+            std::max(report.horizonSec, req.completionSec);
+        if (req.sloViolated())
+            ++report.sloViolations;
+    }
+    if (report.completed > 0) {
+        report.meanLatencySec = sum / report.completed;
+        std::sort(latencies.begin(), latencies.end());
+        report.p50LatencySec = sortedPercentile(latencies, 50.0);
+        report.p95LatencySec = sortedPercentile(latencies, 95.0);
+        report.p99LatencySec = sortedPercentile(latencies, 99.0);
+        report.sloViolationRate =
+            static_cast<double>(report.sloViolations) / report.completed;
+    }
+    if (report.horizonSec > 0.0)
+        report.throughputRps = report.completed / report.horizonSec;
+    if (paddedSlots > 0)
+        report.batchOccupancy =
+            static_cast<double>(report.completed) / paddedSlots;
+    return report;
+}
+
+} // namespace runtime
+} // namespace scar

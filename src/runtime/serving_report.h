@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Serving-quality metrics aggregated over one simulated run: the
+ * online counterpart of eval/metrics.h's offline Metrics.
+ *
+ * Latency percentiles follow the serving-benchmark convention
+ * (MLPerf server scenario): per-request end-to-end latency from
+ * arrival to completion, ranked; pX is the smallest observed latency
+ * with at least X% of requests at or below it.
+ */
+
+#ifndef SCAR_RUNTIME_SERVING_REPORT_H
+#define SCAR_RUNTIME_SERVING_REPORT_H
+
+#include <vector>
+
+#include "runtime/request.h"
+#include "runtime/schedule_cache.h"
+
+namespace scar
+{
+namespace runtime
+{
+
+/** Aggregate serving statistics for one simulated stream. */
+struct ServingReport
+{
+    long offered = 0;      ///< requests in the input stream
+    long completed = 0;    ///< requests that finished
+    long dispatches = 0;   ///< co-scheduled batches executed
+    double horizonSec = 0.0; ///< virtual time at last completion
+
+    double throughputRps = 0.0; ///< completed / horizon
+
+    double meanLatencySec = 0.0;
+    double p50LatencySec = 0.0;
+    double p95LatencySec = 0.0;
+    double p99LatencySec = 0.0;
+    double maxLatencySec = 0.0;
+
+    long sloViolations = 0;
+    double sloViolationRate = 0.0; ///< violations / completed
+
+    ScheduleCacheStats cache; ///< misses == Scar::run invocations
+    long uniqueMixes = 0;     ///< distinct schedules in the cache
+
+    /** Mean dispatched-batch occupancy: requests / padded slots. */
+    double batchOccupancy = 0.0;
+};
+
+/**
+ * Empirical percentile of a latency sample (p in [0, 100]), using the
+ * nearest-rank definition. Returns 0 for an empty sample.
+ */
+double percentileSec(std::vector<double> latencies, double p);
+
+/**
+ * Builds the report from completed per-request records and the run's
+ * cache statistics.
+ * @param requests completed requests (records with completionSec set)
+ * @param offered size of the input stream
+ * @param dispatches number of executed dispatches
+ * @param paddedSlots total dispatched batch slots (incl. padding)
+ * @param cacheStats schedule-cache counters after the run
+ * @param uniqueMixes distinct mixes scheduled
+ */
+ServingReport summarizeServing(const std::vector<Request>& requests,
+                               long offered, long dispatches,
+                               long paddedSlots,
+                               const ScheduleCacheStats& cacheStats,
+                               long uniqueMixes);
+
+} // namespace runtime
+} // namespace scar
+
+#endif // SCAR_RUNTIME_SERVING_REPORT_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Online serving simulator: the top-level runtime loop that turns the
+ * offline Scar facade into a streaming backend.
+ *
+ * The discrete-event loop interleaves three event sources on one
+ * virtual clock:
+ *  - request arrivals (the input trace, runtime/arrival.h);
+ *  - batching timers (admission's forced-dispatch deadline);
+ *  - window boundaries of the dispatch currently replaying.
+ *
+ * Whenever the MCM is free and the admission controller has a ready
+ * batch, the queued requests are drained into a dispatch, its mix is
+ * resolved through the schedule cache (Scar::run only on a new mix
+ * signature), and the cached schedule replays window-by-window on the
+ * executor. Completed requests accumulate per-request records from
+ * which the ServingReport is summarized.
+ */
+
+#ifndef SCAR_RUNTIME_SERVING_SIM_H
+#define SCAR_RUNTIME_SERVING_SIM_H
+
+#include <vector>
+
+#include "arch/mcm.h"
+#include "runtime/admission.h"
+#include "runtime/arrival.h"
+#include "runtime/executor.h"
+#include "runtime/schedule_cache.h"
+#include "runtime/serving_report.h"
+#include "sched/scar.h"
+
+namespace scar
+{
+namespace runtime
+{
+
+/** Serving-simulation configuration. */
+struct ServingOptions
+{
+    ScarOptions scar;           ///< options for each cache-miss search
+    AdmissionOptions admission; ///< batching policy
+};
+
+/** Simulates serving a request stream on one MCM. */
+class ServingSimulator
+{
+  public:
+    /**
+     * @param catalog the served models (traffic profile + SLOs); each
+     *        model's batch is the maximum dispatched batch size
+     * @param mcm the accelerator; copied, shared by every schedule
+     * @param options scheduler + batching knobs
+     */
+    ServingSimulator(std::vector<ServedModel> catalog, Mcm mcm,
+                     ServingOptions options = ServingOptions{});
+
+    /**
+     * Serves one request trace to completion (every request admitted
+     * and executed) and returns the aggregate report. The schedule
+     * cache persists across run() calls, so a second run over the
+     * same traffic pattern is served entirely from cache; the
+     * returned report's cache counters cover this run only.
+     */
+    ServingReport run(const std::vector<Request>& trace);
+
+    /** Per-request completion records of the most recent run. */
+    const std::vector<Request>& records() const { return records_; }
+
+    /** The (persistent) schedule cache. */
+    const ScheduleCache& cache() const { return cache_; }
+
+    const std::vector<ServedModel>& catalog() const { return catalog_; }
+    const Mcm& mcm() const { return mcm_; }
+
+  private:
+    std::vector<ServedModel> catalog_;
+    Mcm mcm_;
+    ServingOptions options_;
+    ScheduleCache cache_;
+    std::vector<Request> records_;
+};
+
+} // namespace runtime
+} // namespace scar
+
+#endif // SCAR_RUNTIME_SERVING_SIM_H

@@ -1,5 +1,7 @@
 #include "workload/scenario.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace scar
@@ -12,6 +14,25 @@ Scenario::totalLayers() const
     for (const Model& model : models)
         total += model.numLayers();
     return total;
+}
+
+std::string
+Scenario::signature() const
+{
+    std::vector<std::string> parts;
+    parts.reserve(models.size());
+    for (const Model& model : models)
+        parts.push_back(model.name + "#" +
+                        std::to_string(model.numLayers()) + "=" +
+                        std::to_string(model.batch));
+    std::sort(parts.begin(), parts.end());
+    std::string sig;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            sig += '+';
+        sig += parts[i];
+    }
+    return sig;
 }
 
 void

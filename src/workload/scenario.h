@@ -27,6 +27,18 @@ struct Scenario
     /** Total layer count L across all models. */
     int totalLayers() const;
 
+    /**
+     * Canonical signature of the model mix: the sorted
+     * "name#layers=batch" triples joined with '+'. Two scenarios with
+     * the same models at the same batch sizes produce the same
+     * signature regardless of model order, so the signature can key
+     * caches of scheduling results (the schedule search depends only
+     * on the mix, not on its listing order or the scenario's display
+     * name). Distinct models must carry distinct names — the serving
+     * runtime enforces that for its catalog.
+     */
+    std::string signature() const;
+
     /** Validates all member models. */
     void finalize();
 };
