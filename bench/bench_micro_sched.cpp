@@ -45,8 +45,7 @@ BM_WindowSearch(benchmark::State& state)
     wa.perModel = {LayerRange{0, sc.models[0].numLayers() - 1},
                    LayerRange{0, 11}};
     for (auto _ : state) {
-        Rng rng(1);
-        benchmark::DoNotOptimize(sched.search(wa, {3, 3}, rng));
+        benchmark::DoNotOptimize(sched.search(wa, {3, 3}, /*seed=*/1));
     }
 }
 BENCHMARK(BM_WindowSearch);

@@ -43,7 +43,13 @@ namespace detail
 void
 logMessage(LogLevel level, const std::string& msg)
 {
-    std::cerr << "[scar:" << levelTag(level) << "] " << msg << "\n";
+    // One composed insertion: schedule solves log from pool worker
+    // threads, and separate insertions would interleave mid-line.
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line.append("[scar:").append(levelTag(level)).append("] ");
+    line.append(msg).append("\n");
+    std::cerr << line;
 }
 
 } // namespace detail

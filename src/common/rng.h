@@ -17,6 +17,23 @@
 namespace scar
 {
 
+/**
+ * Derives an independent stream seed from a base seed and a stream
+ * index (splitmix64 finalizer). The parallel search uses this to give
+ * every window, segmentation pass, and combo its own deterministic
+ * RNG stream: results no longer depend on how much entropy a
+ * previously run task consumed, so loops can fan out across threads
+ * and still reproduce the serial schedule bit for bit.
+ */
+inline std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15uLL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9uLL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBuLL;
+    return z ^ (z >> 31);
+}
+
 /** Seeded pseudo-random source wrapping std::mt19937_64. */
 class Rng
 {

@@ -128,7 +128,31 @@ describeServingReport(const runtime::ServingReport& report)
     table.addRow({"Batch occupancy",
                   TextTable::num(report.batchOccupancy * 100.0, 1) +
                       "%"});
+    table.addSeparator();
+    table.addRow({"Solve stall (s)",
+                  TextTable::num(report.solveStallSec, 4)});
+    table.addRow({"Switch overhead (s)",
+                  TextTable::num(report.switchOverheadSec, 4)});
     out << table.render();
+
+    if (!report.shards.empty()) {
+        out << "\nPer-shard utilization ("
+            << report.shards.size() << " package"
+            << (report.shards.size() == 1 ? "" : "s") << ")\n";
+        TextTable shardTable({"Shard", "Dispatches", "Busy (s)",
+                              "Utilization", "Solve stall (s)",
+                              "Switch ovh (s)"});
+        for (const runtime::ShardReport& shard : report.shards) {
+            shardTable.addRow(
+                {std::to_string(shard.shardIdx),
+                 std::to_string(shard.dispatches),
+                 TextTable::num(shard.busySec, 3),
+                 TextTable::num(shard.utilization * 100.0, 1) + "%",
+                 TextTable::num(shard.solveStallSec, 4),
+                 TextTable::num(shard.switchOverheadSec, 4)});
+        }
+        out << shardTable.render();
+    }
     return out.str();
 }
 

@@ -103,9 +103,57 @@ AdmissionController::formDispatch(double nowSec)
         group.batch = dispatchBatch(m);
         const int take =
             std::min(static_cast<int>(q.size()), group.batch);
-        for (int i = 0; i < take; ++i) {
-            group.requests.push_back(q.front());
-            q.pop_front();
+        if (options_.order == QueueOrder::EarliestDeadline &&
+            take < static_cast<int>(q.size())) {
+            // Overload boarding. Starvation bound: the queue front —
+            // the oldest request, the one driving the forced-dispatch
+            // timer — always boards, so every dispatch makes
+            // head-of-line progress and a request admitted behind k
+            // others boards within k dispatches, whatever its
+            // deadline. The remaining slots go to requests that have
+            // waited past maxQueueDelaySec first (older traffic
+            // outranks fresh tight-deadline arrivals), then earliest
+            // deadline, with the queue-position tie-break making the
+            // order total and deterministic.
+            auto agedOut = [&](const Request& req) {
+                return nowSec >=
+                       req.arrivalSec + options_.maxQueueDelaySec;
+            };
+            // Only the `take` best boarders are needed, so a partial
+            // sort over indices suffices.
+            std::vector<std::size_t> byDeadline(q.size());
+            for (std::size_t i = 0; i < q.size(); ++i)
+                byDeadline[i] = i;
+            std::partial_sort(
+                byDeadline.begin(), byDeadline.begin() + take,
+                byDeadline.end(),
+                [&](std::size_t a, std::size_t b) {
+                    if (a == 0 || b == 0)
+                        return a == 0; // oldest always boards
+                    const bool agedA = agedOut(q[a]);
+                    const bool agedB = agedOut(q[b]);
+                    if (agedA != agedB)
+                        return agedA;
+                    if (q[a].deadlineSec != q[b].deadlineSec)
+                        return q[a].deadlineSec < q[b].deadlineSec;
+                    return a < b;
+                });
+            std::vector<bool> boarded(q.size(), false);
+            for (int i = 0; i < take; ++i) {
+                boarded[byDeadline[i]] = true;
+                group.requests.push_back(q[byDeadline[i]]);
+            }
+            std::deque<Request> remaining;
+            for (std::size_t i = 0; i < q.size(); ++i) {
+                if (!boarded[i])
+                    remaining.push_back(q[i]);
+            }
+            q = std::move(remaining);
+        } else {
+            for (int i = 0; i < take; ++i) {
+                group.requests.push_back(q.front());
+                q.pop_front();
+            }
         }
         // The scheduled model carries the dispatched batch size: the
         // mix signature (and so the schedule-cache key) reflects the
@@ -117,6 +165,21 @@ AdmissionController::formDispatch(double nowSec)
         dispatch.groups.push_back(std::move(group));
     }
     return dispatch;
+}
+
+Scenario
+AdmissionController::peekMix() const
+{
+    Scenario mix;
+    mix.name = "mix";
+    for (std::size_t m = 0; m < queues_.size(); ++m) {
+        if (queues_[m].empty())
+            continue;
+        Model scheduled = catalog_[m].model;
+        scheduled.batch = dispatchBatch(m);
+        mix.models.push_back(std::move(scheduled));
+    }
+    return mix;
 }
 
 double

@@ -33,6 +33,24 @@ namespace scar
 namespace runtime
 {
 
+/**
+ * Which queued requests ride when a dispatch cannot take everyone.
+ */
+enum class QueueOrder
+{
+    /** Oldest arrivals first (the PR 1 behavior). */
+    FifoArrival,
+    /**
+     * Earliest SLO deadline first (EDF). Under overload — more
+     * queued requests than the batch cap — the deadline-critical
+     * requests board the next dispatch instead of waiting out the
+     * backlog, which lowers the tail violation rate whenever request
+     * deadlines are heterogeneous (e.g. interactive vs background
+     * traffic against the same model).
+     */
+    EarliestDeadline,
+};
+
 /** Batching knobs. */
 struct AdmissionOptions
 {
@@ -44,6 +62,8 @@ struct AdmissionOptions
     double maxQueueDelaySec = 0.05;
     /** Round partial batches up to powers of two (signature hygiene). */
     bool quantizeBatches = true;
+    /** Boarding order when a queue exceeds the batch cap. */
+    QueueOrder order = QueueOrder::FifoArrival;
 };
 
 /** One model's share of a dispatch. */
@@ -91,6 +111,14 @@ class AdmissionController
      * scheduler optimizes for. Requires ready(nowSec).
      */
     Dispatch formDispatch(double nowSec);
+
+    /**
+     * The mix formDispatch would build right now, without consuming
+     * any queue. The serving loop uses this to begin a speculative
+     * background schedule solve while every shard is still busy; the
+     * actual dispatch later re-checks the (possibly grown) mix.
+     */
+    Scenario peekMix() const;
 
     /**
      * Earliest future instant at which a queued request's age crosses

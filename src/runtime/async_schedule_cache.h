@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Asynchronous schedule cache: future-backed schedule solves on the
+ * worker pool, so a cache miss no longer stalls the serving event
+ * loop while Scar::run searches.
+ *
+ * Two clocks are in play and must not be confused:
+ *  - Wall time: how long the background Scar::run actually takes on
+ *    the pool. The event loop only blocks on it at join(), the moment
+ *    a shard actually needs the schedule to start replaying.
+ *  - Virtual time: the simulator clock. A solve started at virtual
+ *    instant t is *usable* from t + modeledSolveSec — the modeled
+ *    latency of running the search on the package's host. Keeping the
+ *    usable instant virtual (recorded at solve start) makes serving
+ *    results bit-identical regardless of how fast the wall-clock
+ *    solve happens to finish.
+ *
+ * Lifecycle of a signature:
+ *   absent --prefetch/lookup--> in flight (future + virtual readySec)
+ *          --join (at virtual readySec)--> stored (ScheduleCache LRU)
+ *
+ * In-flight entries are promoted to the LRU store only by join() (the
+ * deterministic event loop) or drainInFlight() (end of run), never by
+ * the background worker, so the store's contents — and therefore LRU
+ * eviction order — depend only on virtual time.
+ *
+ * getOrCompute() is the blocking convenience path (and the
+ * concurrency contract: racing callers on one signature run the solve
+ * exactly once); the serving loop uses prefetch/lookup/join.
+ *
+ * Counters: misses = solves launched (speculative prefetches
+ * included), hits = dispatch-time lookups served without launching a
+ * solve (ready or already in flight).
+ */
+
+#ifndef SCAR_RUNTIME_ASYNC_SCHEDULE_CACHE_H
+#define SCAR_RUNTIME_ASYNC_SCHEDULE_CACHE_H
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "runtime/schedule_cache.h"
+
+namespace scar
+{
+namespace runtime
+{
+
+/** Outcome of a dispatch-time cache consultation. */
+struct AsyncLookup
+{
+    /** The schedule when already usable, nullptr while solving. */
+    std::shared_ptr<const CachedSchedule> schedule;
+    /** Virtual instant the schedule is (or becomes) usable. */
+    double readySec = 0.0;
+    /** True when this lookup launched a new background solve. */
+    bool startedSolve = false;
+};
+
+/** Thread-safe, future-backed schedule cache over a worker pool. */
+class AsyncScheduleCache
+{
+  public:
+    using ComputeFn = ScheduleCache::ComputeFn;
+
+    /**
+     * @param pool workers for background solves (not owned); with
+     *        concurrency 1 solves run inline — the blocking PR 1 path
+     * @param options LRU bound for the completed-schedule store
+     */
+    explicit AsyncScheduleCache(
+        ThreadPool& pool,
+        ScheduleCacheOptions options = ScheduleCacheOptions{});
+
+    /**
+     * Blocks until every background solve has finished: solve tasks
+     * reference caller-owned state (the compute closure), so they
+     * must never outlive the cache — even when a run aborts with an
+     * exception before its normal drainInFlight().
+     */
+    ~AsyncScheduleCache();
+
+    /**
+     * Blocking path: returns the schedule for the mix, solving at
+     * most once per signature even under concurrent callers — the
+     * first caller computes (on its own thread), the rest wait on the
+     * shared future.
+     */
+    std::shared_ptr<const CachedSchedule>
+    getOrCompute(const Scenario& mix, const ComputeFn& compute);
+
+    /**
+     * Begins a background solve for the mix unless its signature is
+     * already stored or in flight (idempotent — the serving loop
+     * calls this speculatively whenever a batch is ready but every
+     * shard is busy).
+     * @param readySec virtual instant the result becomes usable
+     */
+    void prefetch(const Scenario& mix, const ComputeFn& compute,
+                  double readySec);
+
+    /**
+     * Dispatch-time consultation: a usable schedule counts a hit; an
+     * in-flight solve counts a hit and reports when it lands; an
+     * unknown signature counts a miss and launches the solve with
+     * readySec = nowSec + modeledSolveSec.
+     */
+    AsyncLookup lookup(const Scenario& mix, const ComputeFn& compute,
+                       double nowSec, double modeledSolveSec);
+
+    /**
+     * Waits (wall clock) for the signature's solve and promotes it
+     * into the store. The signature must be stored or in flight —
+     * i.e. join() only follows a prefetch/lookup/getOrCompute.
+     */
+    std::shared_ptr<const CachedSchedule>
+    join(const std::string& signature);
+
+    /**
+     * Joins every in-flight solve (end of a serving run), so
+     * speculative solves are stored before stats are read and no
+     * background work bleeds past run boundaries.
+     */
+    void drainInFlight();
+
+    /** Counter snapshot (copy taken under the lock). */
+    ScheduleCacheStats stats() const;
+
+    /** Completed schedules in the store (in-flight excluded). */
+    std::size_t size() const;
+
+    std::size_t capacity() const { return store_.capacity(); }
+
+  private:
+    using Future =
+        std::shared_future<std::shared_ptr<const CachedSchedule>>;
+
+    struct Inflight
+    {
+        Future future;
+        double readySec = 0.0;
+    };
+
+    /**
+     * Registers the signature as in flight and returns the solve
+     * task for the caller to submit *after releasing mu_* (a
+     * zero-worker pool runs submissions inline, and the solve must
+     * never execute under the cache lock). Caller must hold mu_ and
+     * have checked absence.
+     */
+    std::function<void()> launchLocked(const std::string& signature,
+                                       const Scenario& mix,
+                                       const ComputeFn& compute,
+                                       double readySec);
+
+    ThreadPool& pool_;
+    mutable std::mutex mu_;
+    ScheduleCache store_;
+    std::map<std::string, Inflight> inflight_;
+    ScheduleCacheStats stats_;
+};
+
+} // namespace runtime
+} // namespace scar
+
+#endif // SCAR_RUNTIME_ASYNC_SCHEDULE_CACHE_H

@@ -8,20 +8,21 @@ namespace runtime
 {
 
 void
-ReplayExecutor::start(const CachedSchedule& schedule, Dispatch dispatch,
-                      double startSec)
+ReplayExecutor::start(std::shared_ptr<const CachedSchedule> schedule,
+                      Dispatch dispatch, double startSec)
 {
     SCAR_REQUIRE(!busy_, "executor: start while a dispatch is running");
-    SCAR_REQUIRE(schedule.mix.models.size() ==
+    SCAR_REQUIRE(schedule != nullptr, "executor: start without schedule");
+    SCAR_REQUIRE(schedule->mix.models.size() ==
                      dispatch.mix.models.size(),
                  "executor: schedule/dispatch mix arity mismatch");
-    SCAR_REQUIRE(!schedule.windowSec.empty(),
+    SCAR_REQUIRE(!schedule->windowSec.empty(),
                  "executor: schedule has no windows");
     busy_ = true;
-    schedule_ = &schedule;
+    schedule_ = std::move(schedule);
     dispatch_ = std::move(dispatch);
     window_ = 0;
-    windowEndSec_ = startSec + schedule.windowSec.front();
+    windowEndSec_ = startSec + schedule_->windowSec.front();
     ++dispatches_;
     for (BatchGroup& group : dispatch_.groups) {
         for (Request& req : group.requests)
@@ -59,7 +60,7 @@ ReplayExecutor::advance()
     if (window_ == schedule_->windowSec.size()) {
         tick.dispatchDone = true;
         busy_ = false;
-        schedule_ = nullptr;
+        schedule_.reset();
     } else {
         windowEndSec_ += schedule_->windowSec[window_];
     }

@@ -17,6 +17,7 @@
 #ifndef SCAR_RUNTIME_EXECUTOR_H
 #define SCAR_RUNTIME_EXECUTOR_H
 
+#include <memory>
 #include <vector>
 
 #include "runtime/admission.h"
@@ -48,10 +49,12 @@ class ReplayExecutor
     /**
      * Begins replaying the cached schedule of a dispatch at startSec.
      * The schedule must have been computed for the dispatch's mix
-     * (same model count and order). Requires !busy().
+     * (same model count and order); the executor holds a reference,
+     * so an LRU-evicted schedule stays valid until the replay ends.
+     * Requires !busy().
      */
-    void start(const CachedSchedule& schedule, Dispatch dispatch,
-               double startSec);
+    void start(std::shared_ptr<const CachedSchedule> schedule,
+               Dispatch dispatch, double startSec);
 
     /**
      * Absolute time of the next window boundary. Requires busy().
@@ -70,7 +73,7 @@ class ReplayExecutor
 
   private:
     bool busy_ = false;
-    const CachedSchedule* schedule_ = nullptr;
+    std::shared_ptr<const CachedSchedule> schedule_;
     Dispatch dispatch_;
     std::size_t window_ = 0;   ///< next boundary to cross
     double windowEndSec_ = 0.0; ///< absolute end of that window

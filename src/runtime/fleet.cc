@@ -1,0 +1,404 @@
+#include "runtime/fleet.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace scar
+{
+namespace runtime
+{
+namespace
+{
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** FNV-1a: a stable signature hash (std::hash varies per platform). */
+std::size_t
+fnv1a(const std::string& s)
+{
+    std::uint64_t h = 1469598103934665603uLL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211uLL;
+    }
+    return static_cast<std::size_t>(h);
+}
+
+} // namespace
+
+const char*
+routingPolicyName(RoutingPolicy policy)
+{
+    switch (policy) {
+      case RoutingPolicy::RoundRobin:  return "round-robin";
+      case RoutingPolicy::LeastLoaded: return "least-loaded";
+      case RoutingPolicy::MixAffinity: return "mix-affinity";
+    }
+    return "unknown";
+}
+
+FleetSimulator::FleetSimulator(std::vector<ServedModel> catalog,
+                               Mcm mcm, FleetOptions options)
+    : catalog_(std::move(catalog)), mcm_(std::move(mcm)),
+      options_(options)
+{
+    SCAR_REQUIRE(!catalog_.empty(), "fleet: empty catalog");
+    SCAR_REQUIRE(options_.shards >= 1, "fleet: need >= 1 shard");
+    SCAR_REQUIRE(static_cast<int>(catalog_.size()) <=
+                     mcm_.numChiplets(),
+                 "fleet: more catalog models than chiplets");
+    SCAR_REQUIRE(options_.serving.modeledSolveSec >= 0.0,
+                 "fleet: negative modeledSolveSec");
+    SCAR_REQUIRE(options_.serving.switchOverheadSec >= 0.0,
+                 "fleet: negative switchOverheadSec");
+    // Mix signatures key the schedule cache by model name, so two
+    // catalog entries sharing a name would silently replay each
+    // other's schedules — as would names containing the signature's
+    // own delimiter characters.
+    std::set<std::string> names;
+    for (const ServedModel& sm : catalog_) {
+        SCAR_REQUIRE(sm.model.name.find_first_of("#=+") ==
+                         std::string::npos,
+                     "fleet: catalog model name '", sm.model.name,
+                     "' contains a signature delimiter (#, =, +)");
+        SCAR_REQUIRE(names.insert(sm.model.name).second,
+                     "fleet: duplicate catalog model name ",
+                     sm.model.name);
+    }
+
+    pool_ = options_.serving.pool != nullptr ? options_.serving.pool
+                                             : &ThreadPool::global();
+    const ScheduleCacheOptions cacheOpts{
+        options_.serving.cacheCapacity};
+    const int numCaches =
+        options_.sharedCache ? 1 : options_.shards;
+    for (int c = 0; c < numCaches; ++c)
+        caches_.push_back(
+            std::make_unique<AsyncScheduleCache>(*pool_, cacheOpts));
+    shards_.resize(options_.shards);
+    for (int s = 0; s < options_.shards; ++s)
+        shards_[s].cache =
+            caches_[options_.sharedCache ? 0 : s].get();
+}
+
+const AsyncScheduleCache&
+FleetSimulator::cache(int shard) const
+{
+    SCAR_REQUIRE(shard >= 0 &&
+                     shard < static_cast<int>(shards_.size()),
+                 "fleet: cache index ", shard, " out of range");
+    return *shards_[shard].cache;
+}
+
+AsyncScheduleCache&
+FleetSimulator::cacheForSpeculation(const std::string& signature)
+{
+    if (options_.sharedCache)
+        return *caches_[0];
+    if (options_.routing == RoutingPolicy::MixAffinity)
+        return *caches_[fnv1a(signature) % caches_.size()];
+    // Round-robin / least-loaded: the dispatch will consult whichever
+    // shard becomes available first — mid-replay (busyUntilSec) or
+    // parked waiting on a solve (pendingReadySec) — so warm that
+    // shard's cache.
+    int target = -1;
+    double freeAt = 0.0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        double availableAt;
+        if (shards_[s].executor.busy())
+            availableAt = shards_[s].busyUntilSec;
+        else if (shards_[s].hasPending)
+            availableAt = shards_[s].pendingReadySec;
+        else
+            continue;
+        if (target < 0 || availableAt < freeAt) {
+            target = static_cast<int>(s);
+            freeAt = availableAt;
+        }
+    }
+    return *shards_[target < 0 ? 0 : target].cache;
+}
+
+int
+FleetSimulator::routeDispatch(const std::string& signature)
+{
+    const std::size_t n = shards_.size();
+    auto isCandidate = [&](std::size_t s) {
+        return !shards_[s].executor.busy() && !shards_[s].hasPending;
+    };
+    auto leastLoaded = [&]() {
+        int best = -1;
+        for (std::size_t s = 0; s < n; ++s) {
+            if (!isCandidate(s))
+                continue;
+            if (best < 0 || shards_[s].busySec < shards_[best].busySec)
+                best = static_cast<int>(s);
+        }
+        return best;
+    };
+    switch (options_.routing) {
+      case RoutingPolicy::RoundRobin:
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t s = (rrNext_ + k) % n;
+            if (isCandidate(s)) {
+                rrNext_ = s + 1;
+                return static_cast<int>(s);
+            }
+        }
+        return -1;
+      case RoutingPolicy::LeastLoaded:
+        return leastLoaded();
+      case RoutingPolicy::MixAffinity: {
+        const std::size_t target = fnv1a(signature) % n;
+        if (isCandidate(target))
+            return static_cast<int>(target);
+        return leastLoaded();
+      }
+    }
+    return -1;
+}
+
+ServingReport
+FleetSimulator::run(const std::vector<Request>& trace)
+{
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        SCAR_REQUIRE(trace[i - 1].arrivalSec <= trace[i].arrivalSec,
+                     "fleet: trace not sorted by arrival time");
+
+    // Per-run accounting reset; caches persist across runs.
+    ScheduleCacheStats before;
+    for (const auto& cache : caches_) {
+        const ScheduleCacheStats s = cache->stats();
+        before.hits += s.hits;
+        before.misses += s.misses;
+        before.evictions += s.evictions;
+    }
+    for (Shard& shard : shards_) {
+        SCAR_REQUIRE(!shard.executor.busy() && !shard.hasPending,
+                     "fleet: run() while a shard is mid-dispatch");
+        shard.dispatchesBefore = shard.executor.dispatchCount();
+        shard.busySec = 0.0;
+        shard.solveStallSec = 0.0;
+        shard.switchOverheadSec = 0.0;
+        shard.lastSig.clear();
+    }
+    AdmissionController admission(catalog_,
+                                  options_.serving.admission);
+    records_.clear();
+    records_.reserve(trace.size());
+    long paddedSlots = 0;
+
+    const ScheduleCache::ComputeFn compute =
+        [this](const Scenario& mix) {
+            ScarOptions so = options_.serving.scar;
+            // Default the search onto the fleet's pool, but let an
+            // explicit scar.pool or scar.threads setting win — the
+            // ScarOptions contract (threads = 1 forces a serial
+            // search) must keep working inside the serving runtime.
+            if (so.pool == nullptr && so.threads == 0)
+                so.pool = pool_;
+            Scar scar(mix, mcm_, so);
+            return scar.run();
+        };
+
+    auto anyBusyOrPending = [&]() {
+        for (const Shard& shard : shards_) {
+            if (shard.executor.busy() || shard.hasPending)
+                return true;
+        }
+        return false;
+    };
+    auto anyCandidate = [&]() {
+        for (const Shard& shard : shards_) {
+            if (!shard.executor.busy() && !shard.hasPending)
+                return true;
+        }
+        return false;
+    };
+
+    std::size_t next = 0; // next arrival to admit
+    double nowSec = 0.0;
+    // The speculative peek only changes when the queues do; skip the
+    // Scenario/signature rebuild on the (frequent) other events.
+    long queueEpoch = 0;
+    long lastSpeculativeEpoch = -1;
+    while (next < trace.size() || admission.queuedCount() > 0 ||
+           anyBusyOrPending()) {
+        // 1. Start parked dispatches whose schedule is usable now.
+        bool started = false;
+        for (Shard& shard : shards_) {
+            if (!shard.hasPending || shard.executor.busy() ||
+                shard.pendingReadySec > nowSec)
+                continue;
+            // Wall-clock join: blocks only if the background solve is
+            // still running; the virtual clock is unaffected. Cache
+            // hits parked their schedule at lookup time.
+            auto schedule =
+                shard.pendingSchedule != nullptr
+                    ? std::move(shard.pendingSchedule)
+                    : shard.cache->join(shard.pendingSig);
+            double startSec = nowSec;
+            if (!shard.lastSig.empty() &&
+                shard.lastSig != shard.pendingSig &&
+                options_.serving.switchOverheadSec > 0.0) {
+                startSec += options_.serving.switchOverheadSec;
+                shard.switchOverheadSec +=
+                    options_.serving.switchOverheadSec;
+            }
+            shard.busySec += schedule->makespanSec;
+            shard.busyUntilSec = startSec + schedule->makespanSec;
+            shard.lastSig = shard.pendingSig;
+            shard.executor.start(std::move(schedule),
+                                 std::move(shard.pending), startSec);
+            shard.hasPending = false;
+            shard.pendingSig.clear();
+            shard.pendingSchedule.reset();
+            started = true;
+        }
+        if (started)
+            continue;
+
+        // 2. Free shard + ready batch: form and park a dispatch.
+        if (admission.ready(nowSec) && anyCandidate()) {
+            ++queueEpoch;
+            Dispatch dispatch = admission.formDispatch(nowSec);
+            for (const BatchGroup& group : dispatch.groups)
+                paddedSlots += group.batch;
+            const std::string sig = dispatch.mix.signature();
+            const int target = routeDispatch(sig);
+            SCAR_ASSERT(target >= 0, "fleet: no routable shard");
+            Shard& shard = shards_[target];
+            const AsyncLookup found = shard.cache->lookup(
+                dispatch.mix, compute, nowSec,
+                options_.serving.modeledSolveSec);
+            shard.hasPending = true;
+            shard.pending = std::move(dispatch);
+            shard.pendingSig = sig;
+            shard.pendingReadySec = found.readySec;
+            shard.pendingSchedule = found.schedule;
+            shard.solveStallSec +=
+                std::max(0.0, found.readySec - nowSec);
+            continue;
+        }
+
+        // 3. Ready batch but every shard occupied: solve the would-be
+        // mix in the background so the search overlaps the replays.
+        // Only worthwhile when solves cost virtual time — with a free
+        // (modeledSolveSec = 0) solve there is no stall to hide, and
+        // speculating on transient peek mixes would just burn extra
+        // searches and distort the hit-rate counters.
+        if (options_.speculativeSolve &&
+            options_.serving.modeledSolveSec > 0.0 &&
+            admission.ready(nowSec) &&
+            queueEpoch != lastSpeculativeEpoch) {
+            lastSpeculativeEpoch = queueEpoch;
+            const Scenario peeked = admission.peekMix();
+            cacheForSpeculation(peeked.signature())
+                .prefetch(peeked, compute,
+                          nowSec +
+                              options_.serving.modeledSolveSec);
+        }
+
+        // 4. Advance the virtual clock to the next event.
+        const double tArrival =
+            next < trace.size() ? trace[next].arrivalSec : kInf;
+        double tBoundary = kInf;
+        int boundaryShard = -1;
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            if (!shards_[s].executor.busy())
+                continue;
+            const double t = shards_[s].executor.nextBoundarySec();
+            if (t < tBoundary) {
+                tBoundary = t;
+                boundaryShard = static_cast<int>(s);
+            }
+        }
+        double tPending = kInf;
+        for (const Shard& shard : shards_) {
+            if (shard.hasPending && !shard.executor.busy())
+                tPending = std::min(tPending, shard.pendingReadySec);
+        }
+        // The batching timer only matters while a shard can accept a
+        // dispatch: busy shards dispatch as soon as they free up.
+        const double tTimer =
+            (anyCandidate() && admission.queuedCount() > 0)
+                ? admission.nextForcedDispatchSec()
+                : kInf;
+
+        const double tNext =
+            std::min({tArrival, tBoundary, tPending, tTimer});
+        SCAR_REQUIRE(tNext < kInf,
+                     "fleet: event loop stalled with ",
+                     admission.queuedCount(), " queued requests");
+        nowSec = std::max(nowSec, tNext);
+
+        if (tArrival <= tBoundary && tArrival <= tPending &&
+            tArrival <= tTimer) {
+            admission.enqueue(trace[next]);
+            ++next;
+            ++queueEpoch;
+        } else if (tBoundary <= tPending && tBoundary <= tTimer) {
+            WindowTick tick = shards_[boundaryShard].executor.advance();
+            for (Request& req : tick.completed)
+                records_.push_back(req);
+        }
+        // Pending-ready and timer events need no action beyond
+        // advancing the clock: the loop head fires next iteration.
+    }
+
+    // Promote stray speculative solves so stats and cache sizes are
+    // settled (and no background work bleeds past the run).
+    for (const auto& cache : caches_)
+        cache->drainInFlight();
+
+    ScheduleCacheStats delta;
+    long cachedMixes = 0;
+    for (const auto& cache : caches_) {
+        const ScheduleCacheStats s = cache->stats();
+        delta.hits += s.hits;
+        delta.misses += s.misses;
+        delta.evictions += s.evictions;
+        cachedMixes += static_cast<long>(cache->size());
+    }
+    delta.hits -= before.hits;
+    delta.misses -= before.misses;
+    delta.evictions -= before.evictions;
+
+    long dispatches = 0;
+    for (const Shard& shard : shards_)
+        dispatches +=
+            shard.executor.dispatchCount() - shard.dispatchesBefore;
+
+    ServingReport report = summarizeServing(
+        records_, static_cast<long>(trace.size()), dispatches,
+        paddedSlots, delta, cachedMixes);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        const Shard& shard = shards_[s];
+        ShardReport sr;
+        sr.shardIdx = static_cast<int>(s);
+        sr.dispatches =
+            shard.executor.dispatchCount() - shard.dispatchesBefore;
+        sr.busySec = shard.busySec;
+        sr.utilization = report.horizonSec > 0.0
+                             ? shard.busySec / report.horizonSec
+                             : 0.0;
+        sr.solveStallSec = shard.solveStallSec;
+        sr.switchOverheadSec = shard.switchOverheadSec;
+        report.solveStallSec += shard.solveStallSec;
+        report.switchOverheadSec += shard.switchOverheadSec;
+        report.shards.push_back(sr);
+    }
+    inform("fleet: ", report.completed, "/", report.offered,
+           " requests over ", shards_.size(), " shard(s) (",
+           routingPolicyName(options_.routing), ") in ",
+           report.dispatches, " dispatches, ", delta.misses,
+           " schedule solves (", cachedMixes, " mixes cached)");
+    return report;
+}
+
+} // namespace runtime
+} // namespace scar

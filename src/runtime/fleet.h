@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Multi-MCM fleet serving: one admission front-end routing batched
+ * dispatches across N identical accelerator packages, with
+ * asynchronous (future-backed) schedule solves — the step from one
+ * package toward the "millions of users" scale of the roadmap.
+ *
+ * Event loop (one virtual clock across the fleet):
+ *  - arrivals enqueue into the shared admission controller;
+ *  - when a batch is ready and a shard is free, the dispatch forms
+ *    and consults that shard's AsyncScheduleCache: a ready schedule
+ *    starts replaying immediately (plus a modeled weight re-staging
+ *    overhead when the shard switches mixes); an unsolved mix starts
+ *    a background solve and the shard waits until the solve's
+ *    *virtual* ready instant — that wait is the reported solve-stall
+ *    time;
+ *  - when a batch is ready but every shard is busy, the would-be
+ *    mix's solve is started speculatively in the background, so the
+ *    search overlaps the in-flight replays instead of stalling them
+ *    (the PR 1 executor blocked the whole loop here).
+ *
+ * Routing policies pick the shard for a formed dispatch among the
+ * currently idle shards: round-robin (fair rotation), least-loaded
+ * (lowest accumulated busy time), or mix-affinity (hash of the mix
+ * signature, which concentrates each mix's schedules — and weight
+ * residency — on one shard; particularly effective with per-shard
+ * caches).
+ *
+ * Determinism: everything observable (latencies, routing, stall
+ * accounting, cache contents) is a function of virtual time only;
+ * wall-clock solve speed affects how long run() takes, never what it
+ * returns.
+ */
+
+#ifndef SCAR_RUNTIME_FLEET_H
+#define SCAR_RUNTIME_FLEET_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/mcm.h"
+#include "common/thread_pool.h"
+#include "runtime/admission.h"
+#include "runtime/arrival.h"
+#include "runtime/async_schedule_cache.h"
+#include "runtime/executor.h"
+#include "runtime/serving_report.h"
+#include "sched/scar.h"
+
+namespace scar
+{
+namespace runtime
+{
+
+/** How a formed dispatch picks among idle shards. */
+enum class RoutingPolicy
+{
+    RoundRobin,  ///< fair rotation over idle shards
+    LeastLoaded, ///< idle shard with the least accumulated busy time
+    MixAffinity, ///< hash(mix signature) -> shard, fallback least-loaded
+};
+
+const char* routingPolicyName(RoutingPolicy policy);
+
+/** Serving-simulation configuration (single package). */
+struct ServingOptions
+{
+    ScarOptions scar;           ///< options for each cache-miss search
+    AdmissionOptions admission; ///< batching policy
+    /**
+     * Modeled virtual latency of one schedule solve (the time the
+     * package's host would spend searching). 0 keeps the PR 1
+     * semantics: solves are free on the virtual clock and only cost
+     * wall time.
+     */
+    double modeledSolveSec = 0.0;
+    /**
+     * Modeled weight re-staging overhead charged before a shard
+     * starts replaying a different mix than its previous dispatch.
+     */
+    double switchOverheadSec = 0.0;
+    /** LRU capacity per schedule cache (0 = unbounded). */
+    std::size_t cacheCapacity = 0;
+    /**
+     * Worker pool for background solves and the search fan-out
+     * inside each solve (not owned); nullptr uses
+     * ThreadPool::global().
+     */
+    ThreadPool* pool = nullptr;
+};
+
+/** Fleet-level configuration. */
+struct FleetOptions
+{
+    ServingOptions serving;
+    int shards = 1;                ///< identical MCM packages
+    RoutingPolicy routing = RoutingPolicy::RoundRobin;
+    /**
+     * Start a background solve for the would-be mix whenever a batch
+     * is ready but every shard is busy, hiding the modeled solve
+     * latency behind in-flight replays. Disabling reproduces the
+     * PR 1 blocking pipeline: a new mix's search begins only at
+     * dispatch time and the shard idles through all of it.
+     */
+    bool speculativeSolve = true;
+    /**
+     * One schedule cache shared by every shard (each mix solved
+     * once fleet-wide) versus a private cache per shard (mixes
+     * re-solved per shard, but no cross-shard coupling — pair with
+     * MixAffinity routing to keep each mix on one shard).
+     */
+    bool sharedCache = true;
+};
+
+/** Simulates serving one request stream on a fleet of MCMs. */
+class FleetSimulator
+{
+  public:
+    /**
+     * @param catalog the served models (traffic profile + SLOs)
+     * @param mcm the package template; every shard is a copy
+     * @param options fleet + serving knobs
+     */
+    FleetSimulator(std::vector<ServedModel> catalog, Mcm mcm,
+                   FleetOptions options = FleetOptions{});
+
+    /**
+     * Serves one request trace to completion and returns the
+     * aggregate report (per-shard utilization, solve-stall and
+     * switch-overhead totals included). Schedule caches persist
+     * across run() calls; the report's cache counters cover this run
+     * only.
+     */
+    ServingReport run(const std::vector<Request>& trace);
+
+    /** Per-request completion records of the most recent run. */
+    const std::vector<Request>& records() const { return records_; }
+
+    /** The schedule cache of a shard (all shards share cache 0 when
+     *  sharedCache is set). */
+    const AsyncScheduleCache& cache(int shard = 0) const;
+
+    int shardCount() const
+    {
+        return static_cast<int>(shards_.size());
+    }
+
+    const std::vector<ServedModel>& catalog() const { return catalog_; }
+    const Mcm& mcm() const { return mcm_; }
+
+  private:
+    struct Shard
+    {
+        ReplayExecutor executor;
+        AsyncScheduleCache* cache = nullptr;
+        // Formed dispatch waiting for its schedule's virtual ready
+        // instant (the executor is idle while one is parked here).
+        bool hasPending = false;
+        Dispatch pending;
+        std::string pendingSig;
+        double pendingReadySec = 0.0;
+        /** Set when the dispatch-time lookup already had the
+         *  schedule; spares the join() re-lookup on cache hits. */
+        std::shared_ptr<const CachedSchedule> pendingSchedule;
+        // Per-run accounting.
+        long dispatchesBefore = 0; ///< executor count at run start
+        double busyUntilSec = 0.0; ///< end of the current replay
+        double busySec = 0.0;
+        double solveStallSec = 0.0;
+        double switchOverheadSec = 0.0;
+        std::string lastSig; ///< mix of the previous replay
+    };
+
+    /** Picks the target among idle pending-free shards (-1 = none). */
+    int routeDispatch(const std::string& signature);
+
+    /**
+     * The cache a speculative solve for this signature lands in: the
+     * shared cache, the affinity shard's cache, or — for the other
+     * routing policies with per-shard caches — the cache of the busy
+     * shard that frees up first, the likeliest dispatch target.
+     */
+    AsyncScheduleCache& cacheForSpeculation(const std::string& signature);
+
+    std::vector<ServedModel> catalog_;
+    Mcm mcm_;
+    FleetOptions options_;
+    ThreadPool* pool_;
+    std::vector<std::unique_ptr<AsyncScheduleCache>> caches_;
+    std::vector<Shard> shards_;
+    std::vector<Request> records_;
+    std::size_t rrNext_ = 0; ///< round-robin cursor
+};
+
+} // namespace runtime
+} // namespace scar
+
+#endif // SCAR_RUNTIME_FLEET_H

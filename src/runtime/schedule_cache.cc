@@ -31,27 +31,81 @@ buildReplayView(CachedSchedule& entry)
                      " never places model ", entry.mix.models[m].name);
 }
 
-const CachedSchedule&
+std::shared_ptr<const CachedSchedule>
+makeCachedSchedule(const Scenario& mix,
+                   const ScheduleCache::ComputeFn& compute)
+{
+    auto entry = std::make_shared<CachedSchedule>();
+    entry->mix = mix;
+    entry->result = compute(mix);
+    SCAR_REQUIRE(!entry->result.windows.empty(),
+                 "schedule cache: compute returned an empty schedule ",
+                 "for mix ", mix.signature());
+    buildReplayView(*entry);
+    return entry;
+}
+
+ScheduleCache::ScheduleCache(ScheduleCacheOptions options)
+    : options_(options)
+{
+}
+
+void
+ScheduleCache::touch(Entry& entry)
+{
+    lru_.splice(lru_.begin(), lru_, entry.lruIt);
+}
+
+std::shared_ptr<const CachedSchedule>
+ScheduleCache::find(const std::string& signature)
+{
+    auto it = entries_.find(signature);
+    if (it == entries_.end())
+        return nullptr;
+    touch(it->second);
+    return it->second.schedule;
+}
+
+void
+ScheduleCache::insert(const std::string& signature,
+                      std::shared_ptr<const CachedSchedule> schedule)
+{
+    SCAR_REQUIRE(schedule != nullptr,
+                 "schedule cache: inserting null schedule for ",
+                 signature);
+    auto it = entries_.find(signature);
+    if (it != entries_.end()) {
+        it->second.schedule = std::move(schedule);
+        touch(it->second);
+        return;
+    }
+    lru_.push_front(signature);
+    entries_.emplace(signature,
+                     Entry{std::move(schedule), lru_.begin()});
+    if (options_.capacity > 0 && entries_.size() > options_.capacity) {
+        const std::string& victim = lru_.back();
+        debug("schedule cache: evicting LRU mix ", victim);
+        entries_.erase(victim);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+std::shared_ptr<const CachedSchedule>
 ScheduleCache::getOrCompute(const Scenario& mix,
                             const ComputeFn& compute)
 {
     const std::string key = mix.signature();
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
+    if (auto hit = find(key)) {
         ++stats_.hits;
-        return it->second;
+        return hit;
     }
     ++stats_.misses;
     debug("schedule cache miss #", stats_.misses, ": scheduling mix ",
           key);
-    CachedSchedule entry;
-    entry.mix = mix;
-    entry.result = compute(mix);
-    SCAR_REQUIRE(!entry.result.windows.empty(),
-                 "schedule cache: compute returned an empty schedule ",
-                 "for mix ", key);
-    buildReplayView(entry);
-    return entries_.emplace(key, std::move(entry)).first->second;
+    auto entry = makeCachedSchedule(mix, compute);
+    insert(key, entry);
+    return entry;
 }
 
 } // namespace runtime

@@ -12,17 +12,28 @@
  * are exposed so serving reports can show how much search the cache
  * avoided.
  *
+ * Entries are handed out as shared_ptr<const CachedSchedule>: the
+ * cache may be bounded by an LRU capacity, and eviction must not
+ * invalidate a schedule an executor is still replaying — the replay
+ * keeps its own reference alive.
+ *
  * Each entry also precomputes the replay view the discrete-event
  * executor needs: per-window durations in seconds and, per model, the
  * index of the last window holding its layers (a model's requests
  * complete when that window's end boundary is crossed).
+ *
+ * This class is single-threaded; the serving runtime wraps it in
+ * AsyncScheduleCache (runtime/async_schedule_cache.h) for concurrent
+ * background solves.
  */
 
 #ifndef SCAR_RUNTIME_SCHEDULE_CACHE_H
 #define SCAR_RUNTIME_SCHEDULE_CACHE_H
 
 #include <functional>
+#include <list>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,7 +63,8 @@ struct CachedSchedule
 struct ScheduleCacheStats
 {
     long hits = 0;
-    long misses = 0; ///< == number of Scar::run invocations
+    long misses = 0;     ///< == number of Scar::run invocations
+    long evictions = 0;  ///< LRU entries dropped at capacity
 
     long lookups() const { return hits + misses; }
 
@@ -65,31 +77,77 @@ struct ScheduleCacheStats
     }
 };
 
-/** Signature-keyed store of scheduling results. */
+/** Cache sizing knobs. */
+struct ScheduleCacheOptions
+{
+    /**
+     * Maximum cached schedules; the least-recently-used entry is
+     * evicted beyond this. 0 keeps every schedule (the PR 1
+     * behavior). Evicted entries stay alive for any executor still
+     * holding their shared_ptr.
+     */
+    std::size_t capacity = 0;
+};
+
+/** Signature-keyed LRU store of scheduling results. */
 class ScheduleCache
 {
   public:
     /** Runs the schedule search for a mix on a cache miss. */
     using ComputeFn = std::function<ScheduleResult(const Scenario&)>;
 
+    explicit ScheduleCache(
+        ScheduleCacheOptions options = ScheduleCacheOptions{});
+
     /**
      * Returns the cached schedule for the mix, invoking compute only
-     * when the mix signature has not been seen. The returned
-     * reference stays valid for the cache's lifetime (entries are
-     * never evicted).
+     * when the mix signature is absent. The returned shared_ptr stays
+     * valid after eviction.
      */
-    const CachedSchedule& getOrCompute(const Scenario& mix,
-                                       const ComputeFn& compute);
+    std::shared_ptr<const CachedSchedule>
+    getOrCompute(const Scenario& mix, const ComputeFn& compute);
+
+    /**
+     * The cached schedule for a signature, or nullptr. Touches the
+     * LRU order but not the hit/miss counters (the async layer keeps
+     * its own).
+     */
+    std::shared_ptr<const CachedSchedule>
+    find(const std::string& signature);
+
+    /** Inserts a computed schedule, evicting LRU beyond capacity. */
+    void insert(const std::string& signature,
+                std::shared_ptr<const CachedSchedule> schedule);
 
     const ScheduleCacheStats& stats() const { return stats_; }
 
-    /** Number of distinct mixes scheduled so far. */
+    /** Number of distinct mixes currently cached. */
     std::size_t size() const { return entries_.size(); }
 
+    std::size_t capacity() const { return options_.capacity; }
+
   private:
-    std::map<std::string, CachedSchedule> entries_;
+    struct Entry
+    {
+        std::shared_ptr<const CachedSchedule> schedule;
+        std::list<std::string>::iterator lruIt;
+    };
+
+    void touch(Entry& entry);
+
+    ScheduleCacheOptions options_;
+    std::map<std::string, Entry> entries_;
+    std::list<std::string> lru_; ///< most recently used at the front
     ScheduleCacheStats stats_;
 };
+
+/**
+ * Computes, validates, and replay-views a schedule for a mix: the
+ * shared miss path of the sync and async caches.
+ */
+std::shared_ptr<const CachedSchedule>
+makeCachedSchedule(const Scenario& mix,
+                   const ScheduleCache::ComputeFn& compute);
 
 /** Builds the replay view of a schedule (exposed for testing). */
 void buildReplayView(CachedSchedule& entry);

@@ -22,6 +22,19 @@ namespace scar
 namespace runtime
 {
 
+/** Per-package accounting in a fleet run. */
+struct ShardReport
+{
+    int shardIdx = 0;
+    long dispatches = 0;
+    double busySec = 0.0;        ///< virtual time spent replaying
+    double utilization = 0.0;    ///< busySec / report horizon
+    /** Virtual idle time spent waiting for a schedule solve. */
+    double solveStallSec = 0.0;
+    /** Modeled weight re-staging paid on mix switches. */
+    double switchOverheadSec = 0.0;
+};
+
 /** Aggregate serving statistics for one simulated stream. */
 struct ServingReport
 {
@@ -42,10 +55,16 @@ struct ServingReport
     double sloViolationRate = 0.0; ///< violations / completed
 
     ScheduleCacheStats cache; ///< misses == Scar::run invocations
-    long uniqueMixes = 0;     ///< distinct schedules in the cache
+    long uniqueMixes = 0;     ///< cached schedules across all shards
 
     /** Mean dispatched-batch occupancy: requests / padded slots. */
     double batchOccupancy = 0.0;
+
+    /** Per-shard accounting (one entry per MCM package). */
+    std::vector<ShardReport> shards;
+    /** Fleet totals of the per-shard stall/overhead columns. */
+    double solveStallSec = 0.0;
+    double switchOverheadSec = 0.0;
 };
 
 /**

@@ -1,124 +1,30 @@
 #include "runtime/serving_sim.h"
 
-#include <algorithm>
-#include <limits>
-#include <set>
-
-#include "common/error.h"
-#include "common/logging.h"
-
 namespace scar
 {
 namespace runtime
 {
-namespace
+
+FleetOptions
+ServingSimulator::singleShard(ServingOptions options)
 {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-} // namespace
+    FleetOptions fleet;
+    fleet.serving = std::move(options);
+    fleet.shards = 1;
+    return fleet;
+}
 
 ServingSimulator::ServingSimulator(std::vector<ServedModel> catalog,
                                    Mcm mcm, ServingOptions options)
-    : catalog_(std::move(catalog)), mcm_(std::move(mcm)),
-      options_(options)
+    : fleet_(std::move(catalog), std::move(mcm),
+             singleShard(std::move(options)))
 {
-    SCAR_REQUIRE(!catalog_.empty(), "serving: empty catalog");
-    SCAR_REQUIRE(static_cast<int>(catalog_.size()) <=
-                     mcm_.numChiplets(),
-                 "serving: more catalog models than chiplets");
-    // Mix signatures key the schedule cache by model name, so two
-    // catalog entries sharing a name would silently replay each
-    // other's schedules — as would names containing the signature's
-    // own delimiter characters.
-    std::set<std::string> names;
-    for (const ServedModel& sm : catalog_) {
-        SCAR_REQUIRE(sm.model.name.find_first_of("#=+") ==
-                         std::string::npos,
-                     "serving: catalog model name '", sm.model.name,
-                     "' contains a signature delimiter (#, =, +)");
-        SCAR_REQUIRE(names.insert(sm.model.name).second,
-                     "serving: duplicate catalog model name ",
-                     sm.model.name);
-    }
 }
 
 ServingReport
 ServingSimulator::run(const std::vector<Request>& trace)
 {
-    for (std::size_t i = 1; i < trace.size(); ++i)
-        SCAR_REQUIRE(trace[i - 1].arrivalSec <= trace[i].arrivalSec,
-                     "serving: trace not sorted by arrival time");
-
-    const ScheduleCacheStats before = cache_.stats();
-    AdmissionController admission(catalog_, options_.admission);
-    ReplayExecutor executor;
-    records_.clear();
-    records_.reserve(trace.size());
-    long paddedSlots = 0;
-
-    const ScheduleCache::ComputeFn compute =
-        [this](const Scenario& mix) {
-            Scar scar(mix, mcm_, options_.scar);
-            return scar.run();
-        };
-
-    std::size_t next = 0; // next arrival to admit
-    double nowSec = 0.0;
-    while (next < trace.size() || admission.queuedCount() > 0 ||
-           executor.busy()) {
-        // Free MCM + ready batch: dispatch before advancing time.
-        if (!executor.busy() && admission.ready(nowSec)) {
-            Dispatch dispatch = admission.formDispatch(nowSec);
-            for (const BatchGroup& group : dispatch.groups)
-                paddedSlots += group.batch;
-            const CachedSchedule& schedule =
-                cache_.getOrCompute(dispatch.mix, compute);
-            executor.start(schedule, std::move(dispatch), nowSec);
-            continue;
-        }
-
-        const double tArrival =
-            next < trace.size() ? trace[next].arrivalSec : kInf;
-        const double tWindow =
-            executor.busy() ? executor.nextBoundarySec() : kInf;
-        // The batching timer only matters while the MCM is idle: a
-        // busy package dispatches again as soon as it frees up.
-        const double tTimer =
-            (!executor.busy() && admission.queuedCount() > 0)
-                ? admission.nextForcedDispatchSec()
-                : kInf;
-
-        const double tNext = std::min({tArrival, tWindow, tTimer});
-        SCAR_REQUIRE(tNext < kInf,
-                     "serving: event loop stalled with ",
-                     admission.queuedCount(), " queued requests");
-        nowSec = std::max(nowSec, tNext);
-
-        if (tArrival <= tWindow && tArrival <= tTimer) {
-            admission.enqueue(trace[next]);
-            ++next;
-        } else if (tWindow <= tTimer) {
-            WindowTick tick = executor.advance();
-            for (Request& req : tick.completed)
-                records_.push_back(req);
-        }
-        // Timer events need no action beyond advancing the clock:
-        // the dispatch check at the loop head fires next iteration.
-    }
-
-    ScheduleCacheStats delta = cache_.stats();
-    delta.hits -= before.hits;
-    delta.misses -= before.misses;
-    ServingReport report = summarizeServing(
-        records_, static_cast<long>(trace.size()),
-        executor.dispatchCount(), paddedSlots, delta,
-        static_cast<long>(cache_.size()));
-    inform("serving: ", report.completed, "/", report.offered,
-           " requests in ", report.dispatches, " dispatches, ",
-           delta.misses, " schedule searches (",
-           cache_.size(), " mixes cached)");
-    return report;
+    return fleet_.run(trace);
 }
 
 } // namespace runtime

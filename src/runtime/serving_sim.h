@@ -3,18 +3,17 @@
  * Online serving simulator: the top-level runtime loop that turns the
  * offline Scar facade into a streaming backend.
  *
- * The discrete-event loop interleaves three event sources on one
- * virtual clock:
- *  - request arrivals (the input trace, runtime/arrival.h);
- *  - batching timers (admission's forced-dispatch deadline);
- *  - window boundaries of the dispatch currently replaying.
+ * Since the fleet refactor this is a thin facade over FleetSimulator
+ * with a single shard: one admission controller, one replay executor,
+ * and an asynchronous schedule cache whose misses solve on the worker
+ * pool instead of blocking the event loop (runtime/fleet.h documents
+ * the loop; runtime/async_schedule_cache.h the virtual/wall clock
+ * split). With the default options — no modeled solve latency, no
+ * switch overhead, unbounded cache — the virtual-time behavior is
+ * exactly the original blocking simulator's.
  *
- * Whenever the MCM is free and the admission controller has a ready
- * batch, the queued requests are drained into a dispatch, its mix is
- * resolved through the schedule cache (Scar::run only on a new mix
- * signature), and the cached schedule replays window-by-window on the
- * executor. Completed requests accumulate per-request records from
- * which the ServingReport is summarized.
+ * For multiple packages, routing policies, or per-shard caches, use
+ * FleetSimulator directly.
  */
 
 #ifndef SCAR_RUNTIME_SERVING_SIM_H
@@ -23,24 +22,12 @@
 #include <vector>
 
 #include "arch/mcm.h"
-#include "runtime/admission.h"
-#include "runtime/arrival.h"
-#include "runtime/executor.h"
-#include "runtime/schedule_cache.h"
-#include "runtime/serving_report.h"
-#include "sched/scar.h"
+#include "runtime/fleet.h"
 
 namespace scar
 {
 namespace runtime
 {
-
-/** Serving-simulation configuration. */
-struct ServingOptions
-{
-    ScarOptions scar;           ///< options for each cache-miss search
-    AdmissionOptions admission; ///< batching policy
-};
 
 /** Simulates serving a request stream on one MCM. */
 class ServingSimulator
@@ -50,7 +37,7 @@ class ServingSimulator
      * @param catalog the served models (traffic profile + SLOs); each
      *        model's batch is the maximum dispatched batch size
      * @param mcm the accelerator; copied, shared by every schedule
-     * @param options scheduler + batching knobs
+     * @param options scheduler + batching + async-solve knobs
      */
     ServingSimulator(std::vector<ServedModel> catalog, Mcm mcm,
                      ServingOptions options = ServingOptions{});
@@ -65,20 +52,24 @@ class ServingSimulator
     ServingReport run(const std::vector<Request>& trace);
 
     /** Per-request completion records of the most recent run. */
-    const std::vector<Request>& records() const { return records_; }
+    const std::vector<Request>& records() const
+    {
+        return fleet_.records();
+    }
 
     /** The (persistent) schedule cache. */
-    const ScheduleCache& cache() const { return cache_; }
+    const AsyncScheduleCache& cache() const { return fleet_.cache(); }
 
-    const std::vector<ServedModel>& catalog() const { return catalog_; }
-    const Mcm& mcm() const { return mcm_; }
+    const std::vector<ServedModel>& catalog() const
+    {
+        return fleet_.catalog();
+    }
+    const Mcm& mcm() const { return fleet_.mcm(); }
 
   private:
-    std::vector<ServedModel> catalog_;
-    Mcm mcm_;
-    ServingOptions options_;
-    ScheduleCache cache_;
-    std::vector<Request> records_;
+    static FleetOptions singleShard(ServingOptions options);
+
+    FleetSimulator fleet_;
 };
 
 } // namespace runtime

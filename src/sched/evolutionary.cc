@@ -13,7 +13,7 @@ EvolutionaryWindowSearch::EvolutionaryWindowSearch(
     const CostDb& db, OptTarget target, WindowSearchOptions schedOpts,
     EvoOptions evoOpts)
     : db_(db), target_(target), scheduler_(db, target, schedOpts),
-      evo_(evoOpts)
+      evo_(evoOpts), pool_(schedOpts.pool)
 {
     SCAR_REQUIRE(evo_.population >= 2, "population must be >= 2");
     SCAR_REQUIRE(evo_.generations >= 1, "generations must be >= 1");
@@ -98,11 +98,13 @@ EvolutionaryWindowSearch::decode(const Genome& genome,
 WindowScheduler::Result
 EvolutionaryWindowSearch::search(const WindowAssignment& wa,
                                  const NodeAllocation& nodes,
-                                 Rng& rng,
+                                 std::uint64_t seed,
                                  const std::vector<int>& entry) const
 {
     const std::vector<int> present = WindowScheduler::presentModels(wa);
     SCAR_REQUIRE(!present.empty(), "window has no layers to schedule");
+
+    Rng rng(mixSeed(seed, 0x5EEDuLL));
 
     struct Individual
     {
@@ -139,28 +141,46 @@ EvolutionaryWindowSearch::search(const WindowAssignment& wa,
         population.push_back(std::move(ind));
     }
 
+    // Fitness evaluation is the expensive step (beam placement + full
+    // window evaluation) and carries no RNG, so a batch of
+    // individuals evaluates in parallel; the shared solo-cost cache
+    // only memoizes deterministic values. Candidate lists then merge
+    // in population index order for pool-size-independent results.
     WindowScheduler::Result global;
-    auto evaluate = [&](Individual& ind) {
-        ind.result = scheduler_.placeSegmentations(
-            present, decode(ind.genome, present, wa), entry);
-        ind.fitness = ind.result.found
-                          ? ind.result.best.score
-                          : std::numeric_limits<double>::infinity();
-        if (ind.result.found) {
-            global.top.insert(global.top.end(), ind.result.top.begin(),
-                              ind.result.top.end());
+    WindowScheduler::SoloCache soloCache;
+    auto evaluateBatch = [&](std::vector<Individual*>& batch) {
+        forEachIndex(pool_, batch.size(), [&](std::size_t i) {
+            Individual& ind = *batch[i];
+            ind.result = scheduler_.placeSegmentations(
+                present, decode(ind.genome, present, wa), entry,
+                &soloCache);
+            ind.fitness = ind.result.found
+                              ? ind.result.best.score
+                              : std::numeric_limits<double>::infinity();
+        });
+        for (Individual* ind : batch) {
+            if (ind->result.found) {
+                global.top.insert(global.top.end(),
+                                  ind->result.top.begin(),
+                                  ind->result.top.end());
+            }
         }
     };
 
-    for (Individual& ind : population)
-        evaluate(ind);
+    {
+        std::vector<Individual*> batch;
+        for (Individual& ind : population)
+            batch.push_back(&ind);
+        evaluateBatch(batch);
+    }
 
     auto byFitness = [](const Individual& a, const Individual& b) {
         return a.fitness < b.fitness;
     };
 
     for (int gen = 1; gen < evo_.generations; ++gen) {
-        std::sort(population.begin(), population.end(), byFitness);
+        std::stable_sort(population.begin(), population.end(),
+                         byFitness);
         std::vector<Individual> next(
             population.begin(), population.begin() + evo_.eliteCount);
         auto tournament = [&]() -> const Individual& {
@@ -168,6 +188,9 @@ EvolutionaryWindowSearch::search(const WindowAssignment& wa,
             const Individual& b = population[rng.index(population.size())];
             return a.fitness < b.fitness ? a : b;
         };
+        // Selection/crossover/mutation only read the previous
+        // generation's fitness, so all children are bred first (one
+        // serial RNG stream) and evaluated as one parallel batch.
         while (static_cast<int>(next.size()) < evo_.population) {
             Individual child;
             child.genome = tournament().genome;
@@ -179,18 +202,22 @@ EvolutionaryWindowSearch::search(const WindowAssignment& wa,
                 }
             }
             mutate(child.genome, present, wa, nodes, rng);
-            evaluate(child);
             next.push_back(std::move(child));
         }
+        std::vector<Individual*> batch;
+        for (std::size_t i = evo_.eliteCount; i < next.size(); ++i)
+            batch.push_back(&next[i]);
+        evaluateBatch(batch);
         population = std::move(next);
     }
 
     if (global.top.empty())
         return global;
-    std::sort(global.top.begin(), global.top.end(),
-              [](const ScoredPlacement& a, const ScoredPlacement& b) {
-                  return a.score < b.score;
-              });
+    std::stable_sort(global.top.begin(), global.top.end(),
+                     [](const ScoredPlacement& a,
+                        const ScoredPlacement& b) {
+                         return a.score < b.score;
+                     });
     global.best = global.top.front();
     global.found = true;
     return global;

@@ -8,10 +8,20 @@
  * splits). Fitness: beam placement + full window evaluation, exactly
  * the SCHED pipeline. Defaults follow the paper: population 10,
  * 4 generations.
+ *
+ * Parallelism: genome creation (selection, crossover, mutation) stays
+ * serial on one seeded stream — it is cheap and order-sensitive — but
+ * fitness evaluation, the expensive placement step, fans out across
+ * the worker pool. Tournament selection only reads the previous
+ * generation, so deferring child evaluations to a per-generation
+ * batch changes nothing; candidate lists merge in population index
+ * order, keeping results bit-identical at any pool size.
  */
 
 #ifndef SCAR_SCHED_EVOLUTIONARY_H
 #define SCAR_SCHED_EVOLUTIONARY_H
+
+#include <cstdint>
 
 #include "sched/sched_engine.h"
 
@@ -37,10 +47,10 @@ class EvolutionaryWindowSearch
                              EvoOptions evoOpts = EvoOptions{});
 
     /** Runs the EA for one window; same contract as
-     *  WindowScheduler::search. */
+     *  WindowScheduler::search (re-entrant, seed-deterministic). */
     WindowScheduler::Result search(const WindowAssignment& wa,
                                    const NodeAllocation& nodes,
-                                   Rng& rng,
+                                   std::uint64_t seed,
                                    const std::vector<int>& entry = {}) const;
 
   private:
@@ -61,6 +71,7 @@ class EvolutionaryWindowSearch
     OptTarget target_;
     WindowScheduler scheduler_;
     EvoOptions evo_;
+    ThreadPool* pool_;
 };
 
 } // namespace scar

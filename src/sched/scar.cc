@@ -9,31 +9,52 @@
 namespace scar
 {
 
+namespace
+{
+
+/** Stream tag separating the candidate-cloud RNG from window seeds. */
+constexpr std::uint64_t kCloudStream = 0xC10DuLL;
+
+} // namespace
+
 Scar::Scar(Scenario scenario, Mcm mcm, ScarOptions options)
     : scenario_(std::move(scenario)), mcm_(std::move(mcm)),
       options_(options), db_(scenario_, mcm_)
 {
     SCAR_REQUIRE(scenario_.numModels() >= 1, "scenario has no models");
     SCAR_REQUIRE(options_.nsplits >= 0, "nsplits must be >= 0");
+    SCAR_REQUIRE(options_.threads >= 0, "threads must be >= 0");
+    if (options_.pool != nullptr) {
+        pool_ = options_.pool;
+    } else if (options_.threads == 1) {
+        pool_ = nullptr; // fully serial search
+    } else if (options_.threads > 1) {
+        ownedPool_ = std::make_unique<ThreadPool>(options_.threads);
+        pool_ = ownedPool_.get();
+    } else {
+        pool_ = &ThreadPool::global();
+    }
 }
 
 WindowScheduler::Result
 Scar::searchWindow(const WindowAssignment& wa, const NodeAllocation& nodes,
-                   Rng& rng, const std::vector<int>& entry) const
+                   std::uint64_t seed,
+                   const std::vector<int>& entry) const
 {
+    WindowSearchOptions wopts = options_.window;
+    wopts.pool = pool_;
     if (options_.mode == SearchMode::Evolutionary) {
-        EvolutionaryWindowSearch evo(db_, options_.target,
-                                     options_.window, options_.evo);
-        return evo.search(wa, nodes, rng, entry);
+        EvolutionaryWindowSearch evo(db_, options_.target, wopts,
+                                     options_.evo);
+        return evo.search(wa, nodes, seed, entry);
     }
-    WindowScheduler scheduler(db_, options_.target, options_.window);
-    return scheduler.search(wa, nodes, rng, entry);
+    WindowScheduler scheduler(db_, options_.target, wopts);
+    return scheduler.search(wa, nodes, seed, entry);
 }
 
 ScheduleResult
 Scar::run()
 {
-    Rng rng(options_.seed);
     const WindowPlan plan =
         packLayers(db_, options_.nsplits, options_.packing);
     inform("SCAR: ", scenario_.name, " on ", mcm_.name(), ": ",
@@ -45,14 +66,25 @@ Scar::run()
     // Where each model's live data sits as windows progress (-1 = DRAM).
     std::vector<int> entry(scenario_.numModels(), -1);
 
-    for (const WindowAssignment& wa : plan.windows) {
+    // Windows run serially — each window's entry chiplets depend on
+    // the previous window's best placement — but every (window,
+    // allocation) search gets its own seed stream and parallelizes
+    // internally.
+    for (std::size_t w = 0; w < plan.windows.size(); ++w) {
+        const WindowAssignment& wa = plan.windows[w];
         const auto allocations =
             provisionNodes(wa, db_, options_.target, options_.prov);
+        const std::uint64_t windowSeed =
+            mixSeed(options_.seed, static_cast<std::uint64_t>(w));
 
         WindowScheduler::Result best;
         std::vector<ScoredPlacement> mergedTop;
-        for (const NodeAllocation& nodes : allocations) {
-            const auto found = searchWindow(wa, nodes, rng, entry);
+        for (std::size_t a = 0; a < allocations.size(); ++a) {
+            const auto found =
+                searchWindow(wa, allocations[a],
+                             mixSeed(windowSeed,
+                                     static_cast<std::uint64_t>(a)),
+                             entry);
             if (!found.found)
                 continue;
             mergedTop.insert(mergedTop.end(), found.top.begin(),
@@ -66,10 +98,11 @@ Scar::run()
                      "no feasible placement found for a window of ",
                      scenario_.name, " on ", mcm_.name());
 
-        std::sort(mergedTop.begin(), mergedTop.end(),
-                  [](const ScoredPlacement& a, const ScoredPlacement& b) {
-                      return a.score < b.score;
-                  });
+        std::stable_sort(
+            mergedTop.begin(), mergedTop.end(),
+            [](const ScoredPlacement& a, const ScoredPlacement& b) {
+                return a.score < b.score;
+            });
         if (static_cast<int>(mergedTop.size()) >
             options_.window.maxTopCandidates)
             mergedTop.resize(options_.window.maxTopCandidates);
@@ -100,7 +133,10 @@ Scar::run()
         Metrics{cyclesToSeconds(cycles), njToJoules(energyNj)};
 
     // Scenario-level candidate cloud for Pareto plots: the i-th ranked
-    // placement of each window combined, plus random cross picks.
+    // placement of each window combined, plus random cross picks from
+    // a dedicated stream (independent of how much entropy the window
+    // searches consumed).
+    Rng cloudRng(mixSeed(options_.seed, kCloudStream));
     std::size_t maxRank = 0;
     for (const auto& top : windowTops)
         maxRank = std::max(maxRank, top.size());
@@ -121,7 +157,7 @@ Scar::run()
     for (int i = 0; i < 48; ++i) {
         std::vector<std::size_t> pick(windowTops.size());
         for (std::size_t w = 0; w < pick.size(); ++w)
-            pick[w] = rng.index(std::max<std::size_t>(
+            pick[w] = cloudRng.index(std::max<std::size_t>(
                 windowTops[w].size(), 1));
         combine(pick);
     }

@@ -17,13 +17,23 @@
  *   Scar scar(sc, mcm, ScarOptions{});
  *   ScheduleResult result = scar.run();
  * @endcode
+ *
+ * Parallelism: the per-window search (combo fan-out, EA population
+ * evaluation) runs on a worker pool selected by ScarOptions::threads.
+ * Every randomized stage draws from its own mixSeed-derived stream,
+ * so run() returns a bit-identical ScheduleResult at any pool size —
+ * including fully serial — and is safe to invoke concurrently from
+ * multiple threads (e.g. background schedule solves in the serving
+ * runtime).
  */
 
 #ifndef SCAR_SCHED_SCAR_H
 #define SCAR_SCHED_SCAR_H
 
 #include <cstdint>
+#include <memory>
 
+#include "common/thread_pool.h"
 #include "sched/evolutionary.h"
 #include "sched/greedy_packing.h"
 #include "sched/sched_engine.h"
@@ -50,6 +60,16 @@ struct ScarOptions
     SearchMode mode = SearchMode::BruteForce;
     EvoOptions evo;
     std::uint64_t seed = 0xC0FFEEuLL;
+    /**
+     * Search parallelism: 0 uses the process-wide ThreadPool::global()
+     * (SCAR_THREADS env / hardware size), 1 forces a fully serial
+     * search, N > 1 gives this scheduler a dedicated pool of that
+     * concurrency. Ignored when `pool` is set. Results are identical
+     * for every setting.
+     */
+    int threads = 0;
+    /** Explicit worker pool override (not owned); wins over threads. */
+    ThreadPool* pool = nullptr;
 };
 
 /** One scheduled time window of the final schedule. */
@@ -91,7 +111,7 @@ class Scar
   private:
     WindowScheduler::Result searchWindow(const WindowAssignment& wa,
                                          const NodeAllocation& nodes,
-                                         Rng& rng,
+                                         std::uint64_t seed,
                                          const std::vector<int>& entry)
         const;
 
@@ -99,6 +119,8 @@ class Scar
     const Mcm mcm_;
     ScarOptions options_;
     CostDb db_;
+    std::unique_ptr<ThreadPool> ownedPool_; ///< when threads > 1
+    ThreadPool* pool_ = nullptr;            ///< null = serial search
 };
 
 } // namespace scar

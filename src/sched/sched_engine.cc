@@ -1,5 +1,6 @@
 #include "sched/sched_engine.h"
 #include <functional>
+#include <limits>
 #include <set>
 
 #include <algorithm>
@@ -83,9 +84,9 @@ WindowScheduler::soloCost(int model, const Segmentation& seg,
     key.push_back(-2);
     key.insert(key.end(), path.begin(), path.end());
 
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+    std::pair<double, double> cached;
+    if (cache.find(key, cached))
+        return cached;
 
     WindowPlacement placement;
     placement.entryChiplet.assign(
@@ -100,7 +101,7 @@ WindowScheduler::soloCost(int model, const Segmentation& seg,
     const WindowCost cost = soloEval_.evaluate(placement);
     const std::pair<double, double> result{cost.latencyCycles,
                                            cost.energyNj};
-    cache.emplace(std::move(key), result);
+    cache.insert(std::move(key), result);
     return result;
 }
 
@@ -112,8 +113,12 @@ WindowScheduler::refineSegmentations(int model,
     const Topology& topo = db_.mcm().topology();
     const std::vector<bool> noneBlocked(topo.numNodes(), false);
 
-    std::vector<std::pair<double, std::size_t>> scored;
-    for (std::size_t i = 0; i < pruned.size(); ++i) {
+    // Candidate scoring is independent per candidate; fan out and
+    // collect by index so the ranking below sees a fixed order.
+    std::vector<double> bestScore(
+        pruned.size(), std::numeric_limits<double>::infinity());
+    std::vector<char> placeable(pruned.size(), 0);
+    forEachIndex(opts_.pool, pruned.size(), [&](std::size_t i) {
         const int numSegs = pruned[i].numSegments();
         const auto paths = enumeratePathsAllRoots(
             topo, numSegs, noneBlocked, opts_.maxPathsPerModel);
@@ -125,8 +130,14 @@ WindowScheduler::refineSegmentations(int model,
                                   njToJoules(energy)};
             best = std::min(best, metrics.value(target_));
         }
-        if (!paths.empty())
-            scored.emplace_back(best, i);
+        bestScore[i] = best;
+        placeable[i] = paths.empty() ? 0 : 1;
+    });
+
+    std::vector<std::pair<double, std::size_t>> scored;
+    for (std::size_t i = 0; i < pruned.size(); ++i) {
+        if (placeable[i])
+            scored.emplace_back(bestScore[i], i);
     }
     std::sort(scored.begin(), scored.end());
 
@@ -213,11 +224,13 @@ WindowScheduler::placeCombo(const std::vector<int>& present,
                   " segments");
             return;
         }
-        std::sort(next.begin(), next.end(),
-                  [&](const BeamState& a, const BeamState& b) {
-                      return partialScore(a.maxLatency, a.sumEnergy) <
-                             partialScore(b.maxLatency, b.sumEnergy);
-                  });
+        std::stable_sort(next.begin(), next.end(),
+                         [&](const BeamState& a, const BeamState& b) {
+                             return partialScore(a.maxLatency,
+                                                 a.sumEnergy) <
+                                    partialScore(b.maxLatency,
+                                                 b.sumEnergy);
+                         });
         if (static_cast<int>(next.size()) > opts_.beamWidth)
             next.resize(opts_.beamWidth);
         beam = std::move(next);
@@ -239,7 +252,7 @@ WindowScheduler::placeCombo(const std::vector<int>& present,
 
 WindowScheduler::Result
 WindowScheduler::search(const WindowAssignment& wa,
-                        const NodeAllocation& nodes, Rng& rng,
+                        const NodeAllocation& nodes, std::uint64_t seed,
                         const std::vector<int>& entry) const
 {
     const std::vector<int> present = presentModels(wa);
@@ -253,13 +266,16 @@ WindowScheduler::search(const WindowAssignment& wa,
     };
 
     // SEG (Heuristic 1): quick prune per model, then placement-aware
-    // refinement keeping the top-k per model.
+    // refinement keeping the top-k per model. Each model draws from
+    // its own seed stream, so one model's capped-enumeration sampling
+    // never shifts another's.
     SoloCache cache;
     std::vector<std::vector<Segmentation>> segLists;
     segLists.reserve(present.size());
     for (int m : present) {
+        Rng segRng(mixSeed(seed, static_cast<std::uint64_t>(m)));
         auto pruned = rankSegmentations(db_, m, wa.perModel[m], nodes[m],
-                                        target_, opts_.seg, rng);
+                                        target_, opts_.seg, segRng);
         segLists.push_back(refineSegmentations(m, std::move(pruned),
                                                entryOf(m), cache));
         SCAR_ASSERT(!segLists.back().empty(),
@@ -269,7 +285,6 @@ WindowScheduler::search(const WindowAssignment& wa,
     // Combo enumeration ordered by total rank (best-first), capped.
     std::vector<std::vector<int>> combos;
     {
-        std::vector<std::vector<int>> frontier{{}};
         // Breadth-first by rank sum: enumerate index vectors whose
         // component sum is s = 0, 1, 2, ... until the cap.
         int maxSum = 0;
@@ -306,13 +321,23 @@ WindowScheduler::search(const WindowAssignment& wa,
         }
     }
 
-    Result result;
-    for (const auto& combo : combos) {
+    // Combo placements are independent; fan out across the pool and
+    // merge in combo index order so the stable ranking below is
+    // identical at any pool size.
+    std::vector<Result> comboResults(combos.size());
+    forEachIndex(opts_.pool, combos.size(), [&](std::size_t ci) {
         std::vector<Segmentation> segs;
-        segs.reserve(combo.size());
-        for (std::size_t i = 0; i < combo.size(); ++i)
-            segs.push_back(segLists[i][combo[i]]);
-        placeCombo(present, segs, entry, cache, result);
+        segs.reserve(combos[ci].size());
+        for (std::size_t i = 0; i < combos[ci].size(); ++i)
+            segs.push_back(segLists[i][combos[ci][i]]);
+        placeCombo(present, segs, entry, cache, comboResults[ci]);
+    });
+
+    Result result;
+    for (Result& cr : comboResults) {
+        result.top.insert(result.top.end(),
+                          std::make_move_iterator(cr.top.begin()),
+                          std::make_move_iterator(cr.top.end()));
     }
 
     if (result.top.empty()) {
@@ -331,10 +356,11 @@ WindowScheduler::search(const WindowAssignment& wa,
     if (result.top.empty())
         return result;
 
-    std::sort(result.top.begin(), result.top.end(),
-              [](const ScoredPlacement& a, const ScoredPlacement& b) {
-                  return a.score < b.score;
-              });
+    std::stable_sort(result.top.begin(), result.top.end(),
+                     [](const ScoredPlacement& a,
+                        const ScoredPlacement& b) {
+                         return a.score < b.score;
+                     });
     if (static_cast<int>(result.top.size()) > opts_.maxTopCandidates)
         result.top.resize(opts_.maxTopCandidates);
     result.best = result.top.front();
@@ -346,17 +372,19 @@ WindowScheduler::Result
 WindowScheduler::placeSegmentations(
     const std::vector<int>& presentModels,
     const std::vector<Segmentation>& segs,
-    const std::vector<int>& entry) const
+    const std::vector<int>& entry, SoloCache* sharedCache) const
 {
     Result result;
-    SoloCache cache;
+    SoloCache localCache;
+    SoloCache& cache = sharedCache != nullptr ? *sharedCache : localCache;
     placeCombo(presentModels, segs, entry, cache, result);
     if (result.top.empty())
         return result;
-    std::sort(result.top.begin(), result.top.end(),
-              [](const ScoredPlacement& a, const ScoredPlacement& b) {
-                  return a.score < b.score;
-              });
+    std::stable_sort(result.top.begin(), result.top.end(),
+                     [](const ScoredPlacement& a,
+                        const ScoredPlacement& b) {
+                         return a.score < b.score;
+                     });
     if (static_cast<int>(result.top.size()) > opts_.maxTopCandidates)
         result.top.resize(opts_.maxTopCandidates);
     result.best = result.top.front();

@@ -19,6 +19,14 @@
  *  3. complete placements are re-scored with the full window evaluator
  *     (contention + DRAM roofline) and ranked.
  *
+ * Parallelism and determinism: search() is re-entrant. Randomness
+ * comes from a seed value, not a shared generator — each model's
+ * segmentation pass draws from its own mixSeed(seed, model) stream.
+ * The combo loop and the refinement pass fan out across the optional
+ * worker pool; per-combo results are merged in combo index order and
+ * ranked with a stable sort, so the returned Result is bit-identical
+ * at any pool size (including fully serial).
+ *
  * All enumeration caps are explicit in WindowSearchOptions; exceeding
  * a cap logs at debug level rather than failing silently.
  */
@@ -26,10 +34,14 @@
 #ifndef SCAR_SCHED_SCHED_ENGINE_H
 #define SCAR_SCHED_SCHED_ENGINE_H
 
+#include <cstdint>
 #include <map>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "cost/window_evaluator.h"
 #include "eval/metrics.h"
 #include "sched/provisioner.h"
@@ -48,6 +60,11 @@ struct WindowSearchOptions
     int maxCombos = 64;          ///< segmentation combos explored
     int maxTopCandidates = 32;   ///< ranked placements kept for Pareto
     EvaluatorOptions eval;       ///< final-evaluation options
+    /**
+     * Worker pool for the combo/refinement fan-out; nullptr runs the
+     * search serially. Results are identical either way.
+     */
+    ThreadPool* pool = nullptr;
 };
 
 /** A fully evaluated window placement. */
@@ -70,30 +87,71 @@ class WindowScheduler
         std::vector<ScoredPlacement> top; ///< ascending score
     };
 
+    /**
+     * Thread-safe memo of contention-free single-model costs, shared
+     * across the combo fan-out (and, for the evolutionary driver,
+     * across a whole EA run). Values are deterministic functions of
+     * the key, so concurrent insertion order never changes results.
+     */
+    class SoloCache
+    {
+      public:
+        bool
+        find(const std::vector<int>& key,
+             std::pair<double, double>& out) const
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            const auto it = map_.find(key);
+            if (it == map_.end())
+                return false;
+            out = it->second;
+            return true;
+        }
+
+        void
+        insert(std::vector<int> key, std::pair<double, double> value)
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            map_.emplace(std::move(key), value);
+        }
+
+      private:
+        mutable std::mutex mu_;
+        std::map<std::vector<int>, std::pair<double, double>> map_;
+    };
+
     WindowScheduler(const CostDb& db, OptTarget target,
                     WindowSearchOptions opts = WindowSearchOptions{});
 
     /**
-     * Runs the SEG+SCHED search for one window.
+     * Runs the SEG+SCHED search for one window. Re-entrant: safe to
+     * call concurrently on the same instance.
      * @param wa layers per model in this window
      * @param nodes PROV allocation (max segments per model)
-     * @param rng randomness source for capped enumerations
+     * @param seed randomness for capped enumerations; each model's
+     *        segmentation pass uses its own mixSeed(seed, model)
+     *        stream, so results are reproducible from the seed alone
      * @param entry per-model entry chiplets (-1/empty = DRAM input);
      *        models continuing from a previous window receive their
      *        live data over the NoP from these chiplets
      */
     Result search(const WindowAssignment& wa, const NodeAllocation& nodes,
-                  Rng& rng, const std::vector<int>& entry = {}) const;
+                  std::uint64_t seed,
+                  const std::vector<int>& entry = {}) const;
 
     /**
      * Evaluates a fixed per-model segmentation choice (used by the
      * evolutionary driver): beam placement + full evaluation.
      * @param segs per-present-model segmentations, aligned with the
      *        present-model order of the window assignment
+     * @param sharedCache optional solo-cost memo reused across calls
+     *        (the EA shares one per window search); nullptr uses a
+     *        private cache
      */
     Result placeSegmentations(const std::vector<int>& presentModels,
                               const std::vector<Segmentation>& segs,
-                              const std::vector<int>& entry = {}) const;
+                              const std::vector<int>& entry = {},
+                              SoloCache* sharedCache = nullptr) const;
 
     /** Window-level score of a cost under the chosen target. */
     double score(const WindowCost& cost) const;
@@ -109,9 +167,6 @@ class WindowScheduler
         double maxLatency = 0.0;
         double sumEnergy = 0.0;
     };
-
-    using SoloCache = std::map<std::vector<int>,
-                               std::pair<double, double>>;
 
     /** Contention-free (latency, energy) of one placed model. */
     std::pair<double, double> soloCost(int model,
@@ -129,7 +184,8 @@ class WindowScheduler
     /**
      * Placement-aware refinement of Heuristic 1: re-scores pruned
      * segmentation candidates by their best single-model placement on
-     * the empty package and keeps the top-k.
+     * the empty package and keeps the top-k. Candidate scoring fans
+     * out across the pool.
      */
     std::vector<Segmentation> refineSegmentations(
         int model, std::vector<Segmentation> pruned, int entry,

@@ -162,17 +162,17 @@ TEST(ScheduleCache, MissThenHitOnRepeatedMix)
     };
     const Scenario mix = mixOf({zoo::eyeCod(4), zoo::handSP(2)});
 
-    const CachedSchedule& first =
+    const std::shared_ptr<const CachedSchedule> first =
         cache.getOrCompute(mix, compute);
     EXPECT_EQ(counter.calls, 1);
     EXPECT_EQ(cache.stats().misses, 1);
     EXPECT_EQ(cache.stats().hits, 0);
 
-    const CachedSchedule& second =
+    const std::shared_ptr<const CachedSchedule> second =
         cache.getOrCompute(mix, compute);
     EXPECT_EQ(counter.calls, 1) << "repeated mix must not recompute";
     EXPECT_EQ(cache.stats().hits, 1);
-    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(first.get(), second.get());
     EXPECT_DOUBLE_EQ(cache.stats().hitRate(), 0.5);
 }
 
@@ -333,7 +333,8 @@ TEST(Executor, CompletesModelsAtTheirLastWindow)
 
     ReplayExecutor executor;
     EXPECT_FALSE(executor.busy());
-    executor.start(entry, dispatch, 2.0);
+    executor.start(std::make_shared<CachedSchedule>(entry), dispatch,
+                   2.0);
     EXPECT_TRUE(executor.busy());
     EXPECT_DOUBLE_EQ(executor.nextBoundarySec(), 3.0);
 

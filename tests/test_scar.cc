@@ -104,6 +104,85 @@ TEST(Scar, DeterministicForFixedSeed)
     EXPECT_DOUBLE_EQ(a.energyJ, b.energyJ);
 }
 
+/** Bitwise equality of two complete schedule results. */
+void
+expectIdenticalResults(const ScheduleResult& a, const ScheduleResult& b)
+{
+    ASSERT_EQ(a.windows.size(), b.windows.size());
+    for (std::size_t w = 0; w < a.windows.size(); ++w) {
+        const ScheduledWindow& wa = a.windows[w];
+        const ScheduledWindow& wb = b.windows[w];
+        EXPECT_EQ(wa.cost.latencyCycles, wb.cost.latencyCycles);
+        EXPECT_EQ(wa.cost.energyNj, wb.cost.energyNj);
+        EXPECT_EQ(wa.nodes, wb.nodes);
+        ASSERT_EQ(wa.placement.models.size(),
+                  wb.placement.models.size());
+        for (std::size_t m = 0; m < wa.placement.models.size(); ++m) {
+            const ModelPlacement& ma = wa.placement.models[m];
+            const ModelPlacement& mb = wb.placement.models[m];
+            EXPECT_EQ(ma.modelIdx, mb.modelIdx);
+            ASSERT_EQ(ma.segments.size(), mb.segments.size());
+            for (std::size_t k = 0; k < ma.segments.size(); ++k) {
+                EXPECT_EQ(ma.segments[k].chiplet,
+                          mb.segments[k].chiplet);
+                EXPECT_EQ(ma.segments[k].range.first,
+                          mb.segments[k].range.first);
+                EXPECT_EQ(ma.segments[k].range.last,
+                          mb.segments[k].range.last);
+            }
+        }
+    }
+    EXPECT_EQ(a.metrics.latencySec, b.metrics.latencySec);
+    EXPECT_EQ(a.metrics.energyJ, b.metrics.energyJ);
+    ASSERT_EQ(a.candidates.size(), b.candidates.size());
+    for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+        EXPECT_EQ(a.candidates[i].latencySec,
+                  b.candidates[i].latencySec);
+        EXPECT_EQ(a.candidates[i].energyJ, b.candidates[i].energyJ);
+    }
+}
+
+/** Tentpole acceptance: same seed => byte-identical ScheduleResult
+ *  (windows, metrics, candidate order) at 1, 4, and 8 pool threads. */
+TEST(Scar, ByteIdenticalAcrossPoolSizes)
+{
+    const Scenario sc = smallScenario();
+    const Mcm mcm = templates::hetSides3x3(templates::kArvrPes);
+    ScarOptions serial;
+    serial.seed = 2024;
+    serial.threads = 1;
+    const ScheduleResult baseline = Scar(sc, mcm, serial).run();
+
+    for (int threads : {4, 8}) {
+        ScarOptions opts;
+        opts.seed = 2024;
+        opts.threads = threads;
+        const ScheduleResult result = Scar(sc, mcm, opts).run();
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        expectIdenticalResults(baseline, result);
+    }
+}
+
+TEST(Scar, ByteIdenticalAcrossPoolSizesEvolutionary)
+{
+    const Scenario sc = smallScenario();
+    const Mcm mcm = templates::hetCross6x6(templates::kArvrPes);
+    ScarOptions serial;
+    serial.seed = 7;
+    serial.threads = 1;
+    serial.mode = SearchMode::Evolutionary;
+    serial.nsplits = 2;
+    const ScheduleResult baseline = Scar(sc, mcm, serial).run();
+
+    for (int threads : {4, 8}) {
+        ScarOptions opts = serial;
+        opts.threads = threads;
+        const ScheduleResult result = Scar(sc, mcm, opts).run();
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        expectIdenticalResults(baseline, result);
+    }
+}
+
 class ScarTargetTest : public ::testing::TestWithParam<OptTarget>
 {
 };

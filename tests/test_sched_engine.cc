@@ -1,7 +1,8 @@
 /**
  * @file
  * Tests for the SCHED engine and the evolutionary SEG driver:
- * feasibility, exclusivity, score ordering, and determinism.
+ * feasibility, exclusivity, score ordering, determinism, and
+ * pool-size independence of the parallel combo fan-out.
  */
 
 #include <gtest/gtest.h>
@@ -9,6 +10,7 @@
 #include <set>
 
 #include "arch/mcm_templates.h"
+#include "common/thread_pool.h"
 #include "sched/evolutionary.h"
 #include "sched/sched_engine.h"
 #include "workload/model_zoo.h"
@@ -44,9 +46,8 @@ class SchedEngineTest : public ::testing::Test
 
 TEST_F(SchedEngineTest, FindsFeasiblePlacement)
 {
-    Rng rng(1);
     const WindowScheduler sched(*db_, OptTarget::Edp);
-    const auto result = sched.search(wa_, nodes_, rng);
+    const auto result = sched.search(wa_, nodes_, 1);
     ASSERT_TRUE(result.found);
     EXPECT_EQ(result.best.placement.models.size(), 2u);
     EXPECT_GT(result.best.cost.latencyCycles, 0.0);
@@ -55,9 +56,8 @@ TEST_F(SchedEngineTest, FindsFeasiblePlacement)
 
 TEST_F(SchedEngineTest, PlacementRespectsExclusivity)
 {
-    Rng rng(1);
     const WindowScheduler sched(*db_, OptTarget::Edp);
-    const auto result = sched.search(wa_, nodes_, rng);
+    const auto result = sched.search(wa_, nodes_, 1);
     ASSERT_TRUE(result.found);
     std::set<int> used;
     for (const ModelPlacement& mp : result.best.placement.models) {
@@ -69,9 +69,8 @@ TEST_F(SchedEngineTest, PlacementRespectsExclusivity)
 
 TEST_F(SchedEngineTest, SegmentsRespectNodeAllocation)
 {
-    Rng rng(1);
     const WindowScheduler sched(*db_, OptTarget::Edp);
-    const auto result = sched.search(wa_, nodes_, rng);
+    const auto result = sched.search(wa_, nodes_, 1);
     ASSERT_TRUE(result.found);
     for (const ModelPlacement& mp : result.best.placement.models) {
         EXPECT_LE(static_cast<int>(mp.segments.size()),
@@ -81,9 +80,8 @@ TEST_F(SchedEngineTest, SegmentsRespectNodeAllocation)
 
 TEST_F(SchedEngineTest, SegmentsOnAdjacentChiplets)
 {
-    Rng rng(1);
     const WindowScheduler sched(*db_, OptTarget::Edp);
-    const auto result = sched.search(wa_, nodes_, rng);
+    const auto result = sched.search(wa_, nodes_, 1);
     ASSERT_TRUE(result.found);
     for (const ModelPlacement& mp : result.best.placement.models) {
         for (std::size_t k = 0; k + 1 < mp.segments.size(); ++k) {
@@ -96,9 +94,8 @@ TEST_F(SchedEngineTest, SegmentsOnAdjacentChiplets)
 
 TEST_F(SchedEngineTest, TopListIsSortedByScore)
 {
-    Rng rng(1);
     const WindowScheduler sched(*db_, OptTarget::Edp);
-    const auto result = sched.search(wa_, nodes_, rng);
+    const auto result = sched.search(wa_, nodes_, 1);
     ASSERT_TRUE(result.found);
     EXPECT_GE(result.top.size(), 2u);
     for (std::size_t i = 0; i + 1 < result.top.size(); ++i)
@@ -109,22 +106,65 @@ TEST_F(SchedEngineTest, TopListIsSortedByScore)
 TEST_F(SchedEngineTest, DeterministicForFixedSeed)
 {
     const WindowScheduler sched(*db_, OptTarget::Edp);
-    Rng rng1(42);
-    Rng rng2(42);
-    const auto a = sched.search(wa_, nodes_, rng1);
-    const auto b = sched.search(wa_, nodes_, rng2);
+    const auto a = sched.search(wa_, nodes_, 42);
+    const auto b = sched.search(wa_, nodes_, 42);
     ASSERT_TRUE(a.found && b.found);
     EXPECT_DOUBLE_EQ(a.best.score, b.best.score);
 }
 
+/** The tentpole guarantee: the ranked result is byte-identical at any
+ *  pool size, including fully serial. */
+TEST_F(SchedEngineTest, PoolSizeDoesNotChangeResults)
+{
+    WindowSearchOptions serialOpts;
+    const WindowScheduler serial(*db_, OptTarget::Edp, serialOpts);
+    const auto baseline = serial.search(wa_, nodes_, 42);
+    ASSERT_TRUE(baseline.found);
+
+    for (int concurrency : {2, 4, 8}) {
+        ThreadPool pool(concurrency);
+        WindowSearchOptions opts;
+        opts.pool = &pool;
+        const WindowScheduler parallel(*db_, OptTarget::Edp, opts);
+        const auto result = parallel.search(wa_, nodes_, 42);
+        ASSERT_TRUE(result.found);
+        ASSERT_EQ(result.top.size(), baseline.top.size())
+            << "concurrency " << concurrency;
+        for (std::size_t i = 0; i < result.top.size(); ++i) {
+            EXPECT_EQ(result.top[i].score, baseline.top[i].score);
+            EXPECT_EQ(result.top[i].cost.latencyCycles,
+                      baseline.top[i].cost.latencyCycles);
+            EXPECT_EQ(result.top[i].cost.energyNj,
+                      baseline.top[i].cost.energyNj);
+            ASSERT_EQ(result.top[i].placement.models.size(),
+                      baseline.top[i].placement.models.size());
+            for (std::size_t m = 0;
+                 m < result.top[i].placement.models.size(); ++m) {
+                const ModelPlacement& got =
+                    result.top[i].placement.models[m];
+                const ModelPlacement& want =
+                    baseline.top[i].placement.models[m];
+                EXPECT_EQ(got.modelIdx, want.modelIdx);
+                ASSERT_EQ(got.segments.size(), want.segments.size());
+                for (std::size_t k = 0; k < got.segments.size(); ++k) {
+                    EXPECT_EQ(got.segments[k].chiplet,
+                              want.segments[k].chiplet);
+                    EXPECT_EQ(got.segments[k].range.first,
+                              want.segments[k].range.first);
+                    EXPECT_EQ(got.segments[k].range.last,
+                              want.segments[k].range.last);
+                }
+            }
+        }
+    }
+}
+
 TEST_F(SchedEngineTest, LatencyTargetPrefersFasterWindows)
 {
-    Rng rng1(1);
-    Rng rng2(1);
     const WindowScheduler latSched(*db_, OptTarget::Latency);
     const WindowScheduler nrgSched(*db_, OptTarget::Energy);
-    const auto lat = latSched.search(wa_, nodes_, rng1);
-    const auto nrg = nrgSched.search(wa_, nodes_, rng2);
+    const auto lat = latSched.search(wa_, nodes_, 1);
+    const auto nrg = nrgSched.search(wa_, nodes_, 1);
     ASSERT_TRUE(lat.found && nrg.found);
     // Both searches are heuristic (beam), so allow a small slack.
     EXPECT_LE(lat.best.cost.latencyCycles,
@@ -134,9 +174,8 @@ TEST_F(SchedEngineTest, LatencyTargetPrefersFasterWindows)
 
 TEST_F(SchedEngineTest, SingleNodePerModelStillWorks)
 {
-    Rng rng(1);
     const WindowScheduler sched(*db_, OptTarget::Edp);
-    const auto result = sched.search(wa_, {1, 1}, rng);
+    const auto result = sched.search(wa_, {1, 1}, 1);
     ASSERT_TRUE(result.found);
     for (const ModelPlacement& mp : result.best.placement.models)
         EXPECT_EQ(mp.segments.size(), 1u);
@@ -144,11 +183,9 @@ TEST_F(SchedEngineTest, SingleNodePerModelStillWorks)
 
 TEST_F(SchedEngineTest, EntryChipletInfluencesPlacementCost)
 {
-    Rng rng1(1);
-    Rng rng2(1);
     const WindowScheduler sched(*db_, OptTarget::Edp);
-    const auto fresh = sched.search(wa_, nodes_, rng1, {});
-    const auto continued = sched.search(wa_, nodes_, rng2, {0, 4});
+    const auto fresh = sched.search(wa_, nodes_, 1, {});
+    const auto continued = sched.search(wa_, nodes_, 1, {0, 4});
     ASSERT_TRUE(fresh.found && continued.found);
     // Continuing from on-package data can only help (less DRAM).
     EXPECT_LE(continued.best.cost.dramBytes,
@@ -158,9 +195,8 @@ TEST_F(SchedEngineTest, EntryChipletInfluencesPlacementCost)
 TEST_F(SchedEngineTest, MoreModelsThanFitFailsGracefully)
 {
     // Allocation vector with a zero for a present model throws.
-    Rng rng(1);
     const WindowScheduler sched(*db_, OptTarget::Edp);
-    EXPECT_THROW(sched.search(wa_, {0, 3}, rng), FatalError);
+    EXPECT_THROW(sched.search(wa_, {0, 3}, 1), FatalError);
 }
 
 TEST(SchedEngineSmallMcm, WorksOnMotivational2x2)
@@ -174,8 +210,7 @@ TEST(SchedEngineSmallMcm, WorksOnMotivational2x2)
     const WindowScheduler sched(db, OptTarget::Edp);
     WindowAssignment wa;
     wa.perModel = {LayerRange{0, sc.models[0].numLayers() - 1}};
-    Rng rng(1);
-    const auto result = sched.search(wa, {2}, rng);
+    const auto result = sched.search(wa, {2}, 1);
     ASSERT_TRUE(result.found);
     EXPECT_LE(result.best.placement.models[0].segments.size(), 2u);
 }
@@ -186,10 +221,9 @@ class EvoTest : public SchedEngineTest
 
 TEST_F(EvoTest, FindsFeasiblePlacement)
 {
-    Rng rng(1);
     const EvolutionaryWindowSearch evo(*db_, OptTarget::Edp,
                                        WindowSearchOptions{});
-    const auto result = evo.search(wa_, nodes_, rng);
+    const auto result = evo.search(wa_, nodes_, 1);
     ASSERT_TRUE(result.found);
     std::set<int> used;
     for (const ModelPlacement& mp : result.best.placement.models) {
@@ -204,23 +238,42 @@ TEST_F(EvoTest, DeterministicForFixedSeed)
 {
     const EvolutionaryWindowSearch evo(*db_, OptTarget::Edp,
                                        WindowSearchOptions{});
-    Rng rng1(7);
-    Rng rng2(7);
-    const auto a = evo.search(wa_, nodes_, rng1);
-    const auto b = evo.search(wa_, nodes_, rng2);
+    const auto a = evo.search(wa_, nodes_, 7);
+    const auto b = evo.search(wa_, nodes_, 7);
     ASSERT_TRUE(a.found && b.found);
     EXPECT_DOUBLE_EQ(a.best.score, b.best.score);
 }
 
+TEST_F(EvoTest, PoolSizeDoesNotChangeResults)
+{
+    WindowSearchOptions serialOpts;
+    const EvolutionaryWindowSearch serial(*db_, OptTarget::Edp,
+                                          serialOpts);
+    const auto baseline = serial.search(wa_, nodes_, 7);
+    ASSERT_TRUE(baseline.found);
+
+    for (int concurrency : {4, 8}) {
+        ThreadPool pool(concurrency);
+        WindowSearchOptions opts;
+        opts.pool = &pool;
+        const EvolutionaryWindowSearch parallel(*db_, OptTarget::Edp,
+                                                opts);
+        const auto result = parallel.search(wa_, nodes_, 7);
+        ASSERT_TRUE(result.found);
+        EXPECT_EQ(result.best.score, baseline.best.score);
+        ASSERT_EQ(result.top.size(), baseline.top.size());
+        for (std::size_t i = 0; i < result.top.size(); ++i)
+            EXPECT_EQ(result.top[i].score, baseline.top[i].score);
+    }
+}
+
 TEST_F(EvoTest, SeededGenomeMakesEvoCompetitiveWithBruteForce)
 {
-    Rng rng1(1);
-    Rng rng2(1);
     const WindowScheduler brute(*db_, OptTarget::Edp);
     const EvolutionaryWindowSearch evo(*db_, OptTarget::Edp,
                                        WindowSearchOptions{});
-    const auto b = brute.search(wa_, nodes_, rng1);
-    const auto e = evo.search(wa_, nodes_, rng2);
+    const auto b = brute.search(wa_, nodes_, 1);
+    const auto e = evo.search(wa_, nodes_, 1);
     ASSERT_TRUE(b.found && e.found);
     // The EA population is seeded with the quick-ranked segmentation,
     // so it should come within 2x of the brute-force score.
@@ -234,8 +287,7 @@ TEST_F(EvoTest, RespectsPopulationAndGenerationKnobs)
     opts.generations = 2;
     const EvolutionaryWindowSearch evo(*db_, OptTarget::Edp,
                                        WindowSearchOptions{}, opts);
-    Rng rng(1);
-    EXPECT_TRUE(evo.search(wa_, nodes_, rng).found);
+    EXPECT_TRUE(evo.search(wa_, nodes_, 1).found);
 }
 
 TEST_F(EvoTest, RejectsDegenerateOptions)

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the worker pool: full coverage of the index range,
+ * serial degradation at concurrency 1, caller-help nesting,
+ * exception propagation, and future-backed submission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace scar
+{
+namespace
+{
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    for (int concurrency : {1, 2, 4, 8}) {
+        ThreadPool pool(concurrency);
+        EXPECT_EQ(pool.concurrency(), concurrency);
+        const std::size_t n = 1000;
+        std::vector<std::atomic<int>> counts(n);
+        pool.parallelFor(n, [&](std::size_t i) { ++counts[i]; });
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, ConcurrencyOneRunsInlineOnCaller)
+{
+    ThreadPool pool(1);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::set<std::thread::id> seen;
+    pool.parallelFor(64, [&](std::size_t) {
+        seen.insert(std::this_thread::get_id());
+    });
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(*seen.begin(), caller);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    pool.parallelFor(8, [&](std::size_t) {
+        pool.parallelFor(8, [&](std::size_t) { ++total; });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [](std::size_t i) {
+                                      if (i == 57)
+                                          throw std::runtime_error("57");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitReturnsFutureResult)
+{
+    for (int concurrency : {1, 4}) {
+        ThreadPool pool(concurrency);
+        auto future = pool.submit([] { return 6 * 7; });
+        EXPECT_EQ(future.get(), 42);
+    }
+}
+
+TEST(ThreadPool, SubmitPropagatesException)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManySubmissionsAllComplete)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 200; ++i)
+        futures.push_back(pool.submit([i] { return i; }));
+    int sum = 0;
+    for (auto& f : futures)
+        sum += f.get();
+    EXPECT_EQ(sum, 199 * 200 / 2);
+}
+
+TEST(MixSeed, StreamsAreDistinctAndDeterministic)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t s = 0; s < 1000; ++s)
+        seen.insert(mixSeed(42, s));
+    EXPECT_EQ(seen.size(), 1000u) << "streams must not collide";
+    EXPECT_EQ(mixSeed(42, 7), mixSeed(42, 7));
+    EXPECT_NE(mixSeed(42, 7), mixSeed(43, 7));
+}
+
+} // namespace
+} // namespace scar
