@@ -31,6 +31,7 @@
  */
 
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 
 #include "bench_util.h"
@@ -60,7 +61,9 @@ main()
     // two, and four shards all stay saturated.
     const std::vector<double> ratesRps = {84.0, 252.0, 10.5, 336.0};
     const std::vector<double> slosSec = {2.5, 1.5, 2.0, 1.0};
-    const int kRequests = 2000;
+    // Requests per cell; the bench-smoke CI job shrinks this via the
+    // environment to keep the sweep to seconds.
+    const int kRequests = bench::envInt("SCAR_BENCH_REQUESTS", 2000);
 
     std::vector<ServedModel> catalog;
     for (std::size_t m = 0; m < sc4.models.size(); ++m) {

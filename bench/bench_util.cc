@@ -1,5 +1,6 @@
 #include "bench_util.h"
 
+#include <cstdlib>
 #include <filesystem>
 
 namespace scar
@@ -102,6 +103,22 @@ csvPath(const std::string& name)
 {
     std::filesystem::create_directories("bench_results");
     return "bench_results/" + name + ".csv";
+}
+
+int
+envInt(const char* name, int fallback)
+{
+    const char* value = std::getenv(name);
+    return value != nullptr && *value != '\0' ? std::atoi(value)
+                                              : fallback;
+}
+
+double
+envDouble(const char* name, double fallback)
+{
+    const char* value = std::getenv(name);
+    return value != nullptr && *value != '\0' ? std::atof(value)
+                                              : fallback;
 }
 
 } // namespace bench

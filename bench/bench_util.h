@@ -71,6 +71,11 @@ RunResult runStrategy(const Strategy& strategy, const Scenario& scenario,
 /** Ensures ./bench_results exists and returns the CSV path for a name. */
 std::string csvPath(const std::string& name);
 
+/** Environment knob with a fallback for unset/empty variables — the
+ *  bench-smoke CI job shrinks sweep sizes through these. */
+int envInt(const char* name, int fallback);
+double envDouble(const char* name, double fallback);
+
 } // namespace bench
 } // namespace scar
 

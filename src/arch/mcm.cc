@@ -1,9 +1,53 @@
 #include "arch/mcm.h"
 
+#include <limits>
+#include <sstream>
+
 #include "common/error.h"
 
 namespace scar
 {
+namespace
+{
+
+/**
+ * Serializes the structural fields of a package into one stable
+ * string. Doubles print at max_digits10 so any two distinct values
+ * serialize distinctly — default ostream precision (6 digits) would
+ * alias packages whose constants differ past the 6th digit, and an
+ * aliased signature means an aliased schedule-cache key.
+ */
+std::string
+buildSignature(const std::vector<Chiplet>& chiplets,
+               const Topology& topo, const PackageParams& params)
+{
+    std::ostringstream sig;
+    sig.precision(std::numeric_limits<double>::max_digits10);
+    if (topo.isMesh()) {
+        sig << "mesh" << topo.meshWidth() << "x" << topo.meshHeight();
+    } else {
+        sig << "adj";
+        for (int n = 0; n < topo.numNodes(); ++n) {
+            sig << (n == 0 ? "" : ";");
+            for (std::size_t i = 0; i < topo.neighbors(n).size(); ++i)
+                sig << (i == 0 ? "" : ",") << topo.neighbors(n)[i];
+        }
+    }
+    sig << "|nop" << params.bwNopGBps << ":" << params.nopHopLatencyNs
+        << ":" << params.nopEnergyPjPerBit;
+    sig << "|dram" << params.bwOffchipGBps << ":"
+        << params.dramLatencyNs << ":" << params.dramEnergyPjPerBit;
+    for (const Chiplet& c : chiplets) {
+        sig << "|" << dataflowName(c.spec.dataflow) << ":"
+            << c.spec.numPes << ":" << c.spec.bwNocGBps << ":"
+            << c.spec.bwMemGBps << ":" << c.spec.l2Bytes;
+        if (c.memInterface)
+            sig << ":M";
+    }
+    return sig.str();
+}
+
+} // namespace
 
 Mcm::Mcm(std::string name, std::vector<Chiplet> chiplets, Topology topo,
          PackageParams params)
@@ -32,6 +76,7 @@ Mcm::Mcm(std::string name, std::vector<Chiplet> chiplets, Topology topo,
         }
         nearestMemIf_[c] = best;
     }
+    signature_ = buildSignature(chiplets_, topo_, params_);
 }
 
 const Chiplet&

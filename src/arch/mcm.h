@@ -72,6 +72,19 @@ class Mcm
      */
     ChipletSpec specForDataflow(Dataflow df) const;
 
+    /**
+     * Canonical signature of the package *structure*: topology shape,
+     * per-chiplet microarchitecture (dataflow, PEs, bandwidths, L2,
+     * memory interface), and the package constants. The display name
+     * is deliberately excluded — two packages that schedule
+     * identically produce the same signature — so the serving
+     * runtime's schedule caches can key results by
+     * (mix signature, package signature) and share entries across
+     * identical shards while never sharing across different
+     * templates. Computed once at construction.
+     */
+    const std::string& signature() const { return signature_; }
+
   private:
     std::string name_;
     std::vector<Chiplet> chiplets_;
@@ -79,6 +92,7 @@ class Mcm
     PackageParams params_;
     std::vector<int> memIfs_;
     std::vector<int> nearestMemIf_; ///< per chiplet
+    std::string signature_;
 };
 
 } // namespace scar

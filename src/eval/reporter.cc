@@ -133,18 +133,25 @@ describeServingReport(const runtime::ServingReport& report)
                   TextTable::num(report.solveStallSec, 4)});
     table.addRow({"Switch overhead (s)",
                   TextTable::num(report.switchOverheadSec, 4)});
+    table.addRow({"Contested routes",
+                  std::to_string(report.contestedRoutes)});
+    table.addRow({"Cost-optimal routes",
+                  std::to_string(report.costOptimalRoutes) + " (" +
+                      TextTable::num(
+                          report.costOptimalRouteFrac * 100.0, 1) +
+                      "%)"});
     out << table.render();
 
     if (!report.shards.empty()) {
         out << "\nPer-shard utilization ("
             << report.shards.size() << " package"
             << (report.shards.size() == 1 ? "" : "s") << ")\n";
-        TextTable shardTable({"Shard", "Dispatches", "Busy (s)",
-                              "Utilization", "Solve stall (s)",
-                              "Switch ovh (s)"});
+        TextTable shardTable({"Shard", "Template", "Dispatches",
+                              "Busy (s)", "Utilization",
+                              "Solve stall (s)", "Switch ovh (s)"});
         for (const runtime::ShardReport& shard : report.shards) {
             shardTable.addRow(
-                {std::to_string(shard.shardIdx),
+                {std::to_string(shard.shardIdx), shard.mcmName,
                  std::to_string(shard.dispatches),
                  TextTable::num(shard.busySec, 3),
                  TextTable::num(shard.utilization * 100.0, 1) + "%",

@@ -68,7 +68,14 @@ std::shared_ptr<const CachedSchedule>
 AsyncScheduleCache::getOrCompute(const Scenario& mix,
                                  const ComputeFn& compute)
 {
-    const std::string key = mix.signature();
+    return getOrCompute(mix.signature(), mix, compute);
+}
+
+std::shared_ptr<const CachedSchedule>
+AsyncScheduleCache::getOrCompute(const std::string& key,
+                                 const Scenario& mix,
+                                 const ComputeFn& compute)
+{
     Future pending;
     {
         std::lock_guard<std::mutex> lock(mu_);
@@ -137,7 +144,14 @@ void
 AsyncScheduleCache::prefetch(const Scenario& mix,
                              const ComputeFn& compute, double readySec)
 {
-    const std::string key = mix.signature();
+    prefetch(mix.signature(), mix, compute, readySec);
+}
+
+void
+AsyncScheduleCache::prefetch(const std::string& key,
+                             const Scenario& mix,
+                             const ComputeFn& compute, double readySec)
+{
     std::function<void()> solve;
     {
         std::lock_guard<std::mutex> lock(mu_);
@@ -153,7 +167,15 @@ AsyncScheduleCache::lookup(const Scenario& mix,
                            const ComputeFn& compute, double nowSec,
                            double modeledSolveSec)
 {
-    const std::string key = mix.signature();
+    return lookup(mix.signature(), mix, compute, nowSec,
+                  modeledSolveSec);
+}
+
+AsyncLookup
+AsyncScheduleCache::lookup(const std::string& key, const Scenario& mix,
+                           const ComputeFn& compute, double nowSec,
+                           double modeledSolveSec)
+{
     AsyncLookup result;
     std::function<void()> solve;
     {
@@ -176,6 +198,22 @@ AsyncScheduleCache::lookup(const Scenario& mix,
     pool_.submit(std::move(solve));
     result.readySec = nowSec + modeledSolveSec;
     result.startedSolve = true;
+    return result;
+}
+
+CachePeek
+AsyncScheduleCache::peek(const std::string& key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    CachePeek result;
+    result.schedule = store_.peek(key);
+    if (result.schedule != nullptr)
+        return result;
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+        result.inFlight = true;
+        result.readySec = it->second.readySec;
+    }
     return result;
 }
 

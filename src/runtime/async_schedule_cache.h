@@ -61,6 +61,20 @@ struct AsyncLookup
     bool startedSolve = false;
 };
 
+/** Non-mutating probe result (routing cost estimation). */
+struct CachePeek
+{
+    /** The stored schedule, nullptr when absent or still solving. */
+    std::shared_ptr<const CachedSchedule> schedule;
+    /** True while a background solve for the key is running. */
+    bool inFlight = false;
+    /** Virtual usable instant of the in-flight solve. */
+    double readySec = 0.0;
+
+    /** Stored or in flight. */
+    bool known() const { return schedule != nullptr || inFlight; }
+};
+
 /** Thread-safe, future-backed schedule cache over a worker pool. */
 class AsyncScheduleCache
 {
@@ -86,15 +100,19 @@ class AsyncScheduleCache
 
     /**
      * Blocking path: returns the schedule for the mix, solving at
-     * most once per signature even under concurrent callers — the
-     * first caller computes (on its own thread), the rest wait on the
-     * shared future.
+     * most once per key even under concurrent callers — the first
+     * caller computes (on its own thread), the rest wait on the
+     * shared future. Keys by the mix signature; the explicit-key
+     * variant lets the fleet key by (mix, package) instead.
      */
     std::shared_ptr<const CachedSchedule>
     getOrCompute(const Scenario& mix, const ComputeFn& compute);
+    std::shared_ptr<const CachedSchedule>
+    getOrCompute(const std::string& key, const Scenario& mix,
+                 const ComputeFn& compute);
 
     /**
-     * Begins a background solve for the mix unless its signature is
+     * Begins a background solve for the mix unless its key is
      * already stored or in flight (idempotent — the serving loop
      * calls this speculatively whenever a batch is ready but every
      * shard is busy).
@@ -102,15 +120,29 @@ class AsyncScheduleCache
      */
     void prefetch(const Scenario& mix, const ComputeFn& compute,
                   double readySec);
+    void prefetch(const std::string& key, const Scenario& mix,
+                  const ComputeFn& compute, double readySec);
 
     /**
      * Dispatch-time consultation: a usable schedule counts a hit; an
      * in-flight solve counts a hit and reports when it lands; an
-     * unknown signature counts a miss and launches the solve with
+     * unknown key counts a miss and launches the solve with
      * readySec = nowSec + modeledSolveSec.
      */
     AsyncLookup lookup(const Scenario& mix, const ComputeFn& compute,
                        double nowSec, double modeledSolveSec);
+    AsyncLookup lookup(const std::string& key, const Scenario& mix,
+                       const ComputeFn& compute, double nowSec,
+                       double modeledSolveSec);
+
+    /**
+     * Non-mutating probe: reports whether the key is stored or in
+     * flight (and the in-flight virtual ready instant) without
+     * touching the LRU order or the hit/miss counters. Cost-aware
+     * routing peeks at every candidate shard's cache; only the
+     * eventual dispatch-time lookup() may count and touch.
+     */
+    CachePeek peek(const std::string& key) const;
 
     /**
      * Waits (wall clock) for the signature's solve and promotes it

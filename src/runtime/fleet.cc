@@ -1,11 +1,14 @@
 #include "runtime/fleet.h"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <set>
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/units.h"
+#include "cost/window_evaluator.h"
 
 namespace scar
 {
@@ -15,6 +18,14 @@ namespace
 {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Cost ties below this are considered equal (routing tie-breaks). */
+constexpr double kCostTieEps = 1e-12;
+
+/** Bound on the (mix, package) -> makespan-estimate memo; far above
+ *  any realistic distinct-pair count per simulator, it only guards
+ *  unbounded growth over very long mix-churning lifetimes. */
+constexpr std::size_t kMakespanMemoCap = 65536;
 
 /** FNV-1a: a stable signature hash (std::hash varies per platform). */
 std::size_t
@@ -37,20 +48,17 @@ routingPolicyName(RoutingPolicy policy)
       case RoutingPolicy::RoundRobin:  return "round-robin";
       case RoutingPolicy::LeastLoaded: return "least-loaded";
       case RoutingPolicy::MixAffinity: return "mix-affinity";
+      case RoutingPolicy::BestFit:     return "best-fit";
     }
     return "unknown";
 }
 
 FleetSimulator::FleetSimulator(std::vector<ServedModel> catalog,
                                Mcm mcm, FleetOptions options)
-    : catalog_(std::move(catalog)), mcm_(std::move(mcm)),
-      options_(options)
+    : catalog_(std::move(catalog)), options_(std::move(options))
 {
     SCAR_REQUIRE(!catalog_.empty(), "fleet: empty catalog");
     SCAR_REQUIRE(options_.shards >= 1, "fleet: need >= 1 shard");
-    SCAR_REQUIRE(static_cast<int>(catalog_.size()) <=
-                     mcm_.numChiplets(),
-                 "fleet: more catalog models than chiplets");
     SCAR_REQUIRE(options_.serving.modeledSolveSec >= 0.0,
                  "fleet: negative modeledSolveSec");
     SCAR_REQUIRE(options_.serving.switchOverheadSec >= 0.0,
@@ -61,14 +69,33 @@ FleetSimulator::FleetSimulator(std::vector<ServedModel> catalog,
     // own delimiter characters.
     std::set<std::string> names;
     for (const ServedModel& sm : catalog_) {
-        SCAR_REQUIRE(sm.model.name.find_first_of("#=+") ==
+        SCAR_REQUIRE(sm.model.name.find_first_of("#=+@") ==
                          std::string::npos,
                      "fleet: catalog model name '", sm.model.name,
-                     "' contains a signature delimiter (#, =, +)");
+                     "' contains a signature delimiter (#, =, +, @)");
         SCAR_REQUIRE(names.insert(sm.model.name).second,
                      "fleet: duplicate catalog model name ",
                      sm.model.name);
     }
+
+    // Heterogeneous fleets: one shard per listed template; otherwise
+    // `shards` homogeneous copies of the constructor template.
+    if (!options_.shardTemplates.empty()) {
+        const int n =
+            static_cast<int>(options_.shardTemplates.size());
+        SCAR_REQUIRE(options_.shards == 1 || options_.shards == n,
+                     "fleet: shards = ", options_.shards,
+                     " conflicts with ", n, " shard templates");
+        options_.shards = n;
+        templates_ = std::move(options_.shardTemplates);
+    } else {
+        templates_.assign(options_.shards, mcm);
+    }
+    for (const Mcm& tpl : templates_)
+        SCAR_REQUIRE(static_cast<int>(catalog_.size()) <=
+                         tpl.numChiplets(),
+                     "fleet: more catalog models than chiplets on ",
+                     tpl.name());
 
     pool_ = options_.serving.pool != nullptr ? options_.serving.pool
                                              : &ThreadPool::global();
@@ -80,9 +107,10 @@ FleetSimulator::FleetSimulator(std::vector<ServedModel> catalog,
         caches_.push_back(
             std::make_unique<AsyncScheduleCache>(*pool_, cacheOpts));
     shards_.resize(options_.shards);
-    for (int s = 0; s < options_.shards; ++s)
+    for (int s = 0; s < options_.shards; ++s) {
         shards_[s].cache =
             caches_[options_.sharedCache ? 0 : s].get();
+    }
 }
 
 const AsyncScheduleCache&
@@ -94,41 +122,187 @@ FleetSimulator::cache(int shard) const
     return *shards_[shard].cache;
 }
 
-AsyncScheduleCache&
-FleetSimulator::cacheForSpeculation(const std::string& signature)
+const Mcm&
+FleetSimulator::mcm(int shard) const
 {
-    if (options_.sharedCache)
-        return *caches_[0];
-    if (options_.routing == RoutingPolicy::MixAffinity)
-        return *caches_[fnv1a(signature) % caches_.size()];
-    // Round-robin / least-loaded: the dispatch will consult whichever
-    // shard becomes available first — mid-replay (busyUntilSec) or
-    // parked waiting on a solve (pendingReadySec) — so warm that
-    // shard's cache.
-    int target = -1;
-    double freeAt = 0.0;
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-        double availableAt;
-        if (shards_[s].executor.busy())
-            availableAt = shards_[s].busyUntilSec;
-        else if (shards_[s].hasPending)
-            availableAt = shards_[s].pendingReadySec;
-        else
-            continue;
-        if (target < 0 || availableAt < freeAt) {
-            target = static_cast<int>(s);
-            freeAt = availableAt;
+    SCAR_REQUIRE(shard >= 0 &&
+                     shard < static_cast<int>(templates_.size()),
+                 "fleet: template index ", shard, " out of range");
+    return templates_[shard];
+}
+
+std::string
+FleetSimulator::cacheKey(const std::string& mixSig,
+                         std::size_t shard) const
+{
+    // '@' appears in neither signature alphabet (model names are
+    // checked at construction), so the concatenation is injective.
+    return mixSig + "@" + templates_[shard].signature();
+}
+
+double
+FleetSimulator::estimateMakespanSec(int shard, const Scenario& mix)
+{
+    SCAR_REQUIRE(shard >= 0 &&
+                     shard < static_cast<int>(templates_.size()),
+                 "fleet: estimate shard ", shard, " out of range");
+    return estimateMakespanKeyed(
+        cacheKey(mix.signature(), static_cast<std::size_t>(shard)),
+        static_cast<std::size_t>(shard), mix);
+}
+
+double
+FleetSimulator::estimateMakespanKeyed(const std::string& key,
+                                      std::size_t shard,
+                                      const Scenario& mix)
+{
+    SCAR_REQUIRE(mix.numModels() <=
+                     templates_[shard].numChiplets(),
+                 "fleet: estimate needs one chiplet per model (",
+                 mix.numModels(), " models on ",
+                 templates_[shard].numChiplets(), " chiplets)");
+    auto it = makespanEstimates_.find(key);
+    if (it != makespanEstimates_.end())
+        return it->second;
+
+    // One single-window pass over a crude but composition-aware
+    // placement: each model as one whole-model segment on the unused
+    // chiplet whose dataflow class minimizes its total layer cycles,
+    // heaviest model choosing first. Far coarser than the searched
+    // schedule, but computed in microseconds, and it sees what makes
+    // one package cheaper than another for this mix — the dataflow
+    // classes on offer — which is all routing needs to *rank*
+    // candidate templates.
+    const Mcm& tpl = templates_[shard];
+    const CostDb db(mix, tpl);
+    const WindowEvaluator evaluator(db);
+
+    struct ModelWork
+    {
+        int modelIdx;
+        double bestCycles;
+    };
+    std::vector<ModelWork> order;
+    std::vector<std::array<double, kNumDataflows>> cyclesByDf(
+        mix.numModels());
+    for (int m = 0; m < mix.numModels(); ++m) {
+        double best = kInf;
+        for (const Dataflow df : kAllDataflows) {
+            double total = 0.0;
+            for (int l = 0; l < mix.models[m].numLayers(); ++l)
+                total += db.layerCycles(m, l, df);
+            cyclesByDf[m][dataflowIndex(df)] = total;
+            if (tpl.numWithDataflow(df) > 0)
+                best = std::min(best, total);
         }
+        order.push_back({m, best});
     }
-    return *shards_[target < 0 ? 0 : target].cache;
+    std::stable_sort(order.begin(), order.end(),
+                     [](const ModelWork& a, const ModelWork& b) {
+                         return a.bestCycles > b.bestCycles;
+                     });
+
+    std::vector<bool> used(tpl.numChiplets(), false);
+    WindowPlacement placement;
+    placement.models.resize(mix.numModels());
+    for (const ModelWork& mw : order) {
+        int bestChiplet = -1;
+        double bestCycles = kInf;
+        for (int c = 0; c < tpl.numChiplets(); ++c) {
+            if (used[c])
+                continue;
+            const double cycles =
+                cyclesByDf[mw.modelIdx][dataflowIndex(
+                    tpl.chiplet(c).spec.dataflow)];
+            if (bestChiplet < 0 || cycles < bestCycles) {
+                bestChiplet = c;
+                bestCycles = cycles;
+            }
+        }
+        used[bestChiplet] = true;
+        ModelPlacement mp;
+        mp.modelIdx = mw.modelIdx;
+        mp.segments.push_back(
+            {LayerRange{0,
+                        mix.models[mw.modelIdx].numLayers() - 1},
+             bestChiplet});
+        placement.models[mw.modelIdx] = std::move(mp);
+    }
+    const double sec =
+        cyclesToSeconds(evaluator.evaluate(placement).latencyCycles);
+    // Keep the memo bounded like the schedule caches it parallels; a
+    // wholesale reset is fine because re-deriving an estimate is a
+    // microsecond-scale single-window pass.
+    if (makespanEstimates_.size() >= kMakespanMemoCap)
+        makespanEstimates_.clear();
+    makespanEstimates_.emplace(key, sec);
+    return sec;
+}
+
+double
+FleetSimulator::dispatchCostSec(std::size_t shard,
+                                const std::string& mixSig,
+                                const Scenario& mix, double nowSec)
+{
+    const Shard& sh = shards_[shard];
+    // Backlog: zero for an idle candidate; for an occupied shard the
+    // replay end, or the parked dispatch's projected replay end.
+    double waitSec = 0.0;
+    if (sh.executor.busy())
+        waitSec = std::max(0.0, sh.busyUntilSec - nowSec);
+    else if (sh.hasPending)
+        waitSec = std::max(0.0, sh.pendingEndSec - nowSec);
+
+    const std::string key = cacheKey(mixSig, shard);
+    // The replay running right before this dispatch would be the
+    // current one when busy, the parked one when a dispatch waits for
+    // its solve, and the last finished one otherwise.
+    const std::string& prevKey =
+        sh.executor.busy()
+            ? sh.lastKey
+            : (sh.hasPending ? sh.pendingKey : sh.lastKey);
+    double switchSec = 0.0;
+    if (!prevKey.empty() && prevKey != key)
+        switchSec = options_.serving.switchOverheadSec;
+
+    const CachePeek peek = sh.cache->peek(key);
+    double solveSec = 0.0;
+    double makespanSec;
+    if (peek.schedule != nullptr) {
+        makespanSec = peek.schedule->makespanSec;
+    } else if (peek.inFlight) {
+        // An in-flight solve lands while the backlog drains; only
+        // the part outlasting the wait delays this dispatch.
+        solveSec = std::max(0.0, peek.readySec - nowSec - waitSec);
+        makespanSec = estimateMakespanKeyed(key, shard, mix);
+    } else {
+        solveSec = options_.serving.modeledSolveSec;
+        makespanSec = estimateMakespanKeyed(key, shard, mix);
+    }
+    return waitSec + switchSec + solveSec + makespanSec;
 }
 
 int
-FleetSimulator::routeDispatch(const std::string& signature)
+FleetSimulator::routeDispatch(const std::string& mixSig,
+                              const Scenario& mix, double nowSec,
+                              bool allowDefer)
 {
     const std::size_t n = shards_.size();
     auto isCandidate = [&](std::size_t s) {
         return !shards_[s].executor.busy() && !shards_[s].hasPending;
+    };
+    // Per-shard completion costs, computed at most once per routing
+    // decision and shared between BestFit's pick and the
+    // routing-quality accounting below.
+    std::vector<double> costSec;
+    auto costs = [&]() -> const std::vector<double>& {
+        if (costSec.empty()) {
+            costSec.reserve(n);
+            for (std::size_t s = 0; s < n; ++s)
+                costSec.push_back(
+                    dispatchCostSec(s, mixSig, mix, nowSec));
+        }
+        return costSec;
     };
     auto leastLoaded = [&]() {
         int best = -1;
@@ -140,26 +314,146 @@ FleetSimulator::routeDispatch(const std::string& signature)
         }
         return best;
     };
+    auto bestFit = [&]() {
+        // Lowest estimated completion cost; with allowDefer the
+        // occupied shards compete too, charged their backlog. Ties
+        // go to the idle shard, then the least-loaded, then the
+        // lowest index — the homogeneous-fleet degeneration of
+        // BestFit. When the cheapest shard is occupied, return -1:
+        // the dispatch defers until that shard frees rather than
+        // starting sooner on a package that would finish later.
+        // Deferral is myopic about the queue behind this dispatch,
+        // so the caller disables it under overflow — otherwise a
+        // saturated preferred shard would starve the rest of the
+        // fleet while the backlog compounds.
+        int best = -1;
+        double bestCost = kInf;
+        for (std::size_t s = 0; s < n; ++s) {
+            if (!allowDefer && !isCandidate(s))
+                continue;
+            const double cost = costs()[s];
+            bool better = best < 0 || cost < bestCost - kCostTieEps;
+            if (!better && cost < bestCost + kCostTieEps) {
+                const bool candidate = isCandidate(s);
+                const bool bestCandidate = isCandidate(best);
+                better = (candidate && !bestCandidate) ||
+                         (candidate == bestCandidate &&
+                          shards_[s].busySec < shards_[best].busySec);
+            }
+            if (better) {
+                best = static_cast<int>(s);
+                bestCost = cost;
+            }
+        }
+        return best >= 0 && isCandidate(best) ? best : -1;
+    };
+
+    int chosen = -1;
     switch (options_.routing) {
       case RoutingPolicy::RoundRobin:
         for (std::size_t k = 0; k < n; ++k) {
             const std::size_t s = (rrNext_ + k) % n;
             if (isCandidate(s)) {
                 rrNext_ = s + 1;
-                return static_cast<int>(s);
+                chosen = static_cast<int>(s);
+                break;
             }
         }
-        return -1;
+        break;
       case RoutingPolicy::LeastLoaded:
-        return leastLoaded();
+        chosen = leastLoaded();
+        break;
       case RoutingPolicy::MixAffinity: {
-        const std::size_t target = fnv1a(signature) % n;
-        if (isCandidate(target))
-            return static_cast<int>(target);
-        return leastLoaded();
+        const std::size_t target = fnv1a(mixSig) % n;
+        chosen = isCandidate(target) ? static_cast<int>(target)
+                                     : leastLoaded();
+        break;
+      }
+      case RoutingPolicy::BestFit:
+        chosen = bestFit();
+        break;
+    }
+    if (chosen < 0)
+        return -1;
+
+    // Routing-quality accounting: when the policy actually had a
+    // choice, did it pick a candidate the cost model also ranks
+    // cheapest? (BestFit is cost-optimal by construction; the others
+    // reveal how much completion time their heuristic leaves behind.)
+    std::size_t candidates = 0;
+    for (std::size_t s = 0; s < n; ++s)
+        candidates += isCandidate(s) ? 1 : 0;
+    if (candidates >= 2) {
+        ++contestedRoutes_;
+        double minCost = kInf;
+        for (std::size_t s = 0; s < n; ++s) {
+            if (isCandidate(s))
+                minCost = std::min(minCost, costs()[s]);
+        }
+        if (costs()[chosen] <= minCost + kCostTieEps)
+            ++costOptimalRoutes_;
+    }
+    return chosen;
+}
+
+int
+FleetSimulator::speculationTarget(const std::string& mixSig,
+                                  const Scenario& mix, double nowSec)
+{
+    const std::size_t n = shards_.size();
+    int target = -1;
+    switch (options_.routing) {
+      case RoutingPolicy::MixAffinity:
+        target = static_cast<int>(fnv1a(mixSig) % n);
+        break;
+      case RoutingPolicy::BestFit: {
+        // Predict with the dispatch cost model itself, availability
+        // waits included: the shard BestFit would pick once free.
+        double bestCost = kInf;
+        for (std::size_t s = 0; s < n; ++s) {
+            const double cost =
+                dispatchCostSec(s, mixSig, mix, nowSec);
+            if (target < 0 || cost < bestCost - kCostTieEps) {
+                target = static_cast<int>(s);
+                bestCost = cost;
+            }
+        }
+        break;
+      }
+      case RoutingPolicy::RoundRobin:
+      case RoutingPolicy::LeastLoaded: {
+        // The dispatch will consult whichever shard becomes available
+        // first — mid-replay (busyUntilSec) or parked waiting on a
+        // solve (pendingReadySec) — so warm that shard's cache.
+        double freeAt = 0.0;
+        for (std::size_t s = 0; s < n; ++s) {
+            double availableAt;
+            if (shards_[s].executor.busy())
+                availableAt = shards_[s].busyUntilSec;
+            else if (shards_[s].hasPending)
+                availableAt = shards_[s].pendingReadySec;
+            else
+                continue;
+            if (target < 0 || availableAt < freeAt) {
+                target = static_cast<int>(s);
+                freeAt = availableAt;
+            }
+        }
+        break;
       }
     }
-    return -1;
+    if (target < 0)
+        target = 0;
+    // A schedule already resident (or already solving) in the
+    // predicted target's cache makes a speculative solve pure waste:
+    // the dispatch-time lookup will hit. Before (mix, package) keys,
+    // only the shared-cache configuration was protected against this
+    // by prefetch idempotence.
+    const std::string key =
+        cacheKey(mixSig, static_cast<std::size_t>(target));
+    if (shards_[target].cache->peek(key).known())
+        return -1;
+    return target;
 }
 
 ServingReport
@@ -184,16 +478,23 @@ FleetSimulator::run(const std::vector<Request>& trace)
         shard.busySec = 0.0;
         shard.solveStallSec = 0.0;
         shard.switchOverheadSec = 0.0;
-        shard.lastSig.clear();
+        shard.lastKey.clear();
     }
+    contestedRoutes_ = 0;
+    costOptimalRoutes_ = 0;
     AdmissionController admission(catalog_,
                                   options_.serving.admission);
     records_.clear();
     records_.reserve(trace.size());
     long paddedSlots = 0;
 
-    const ScheduleCache::ComputeFn compute =
-        [this](const Scenario& mix) {
+    // One compute closure per shard: a schedule is only meaningful
+    // for the package it was searched on.
+    std::vector<ScheduleCache::ComputeFn> computes;
+    computes.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        const Mcm* tpl = &templates_[s];
+        computes.push_back([this, tpl](const Scenario& mix) {
             ScarOptions so = options_.serving.scar;
             // Default the search onto the fleet's pool, but let an
             // explicit scar.pool or scar.threads setting win — the
@@ -201,9 +502,10 @@ FleetSimulator::run(const std::vector<Request>& trace)
             // search) must keep working inside the serving runtime.
             if (so.pool == nullptr && so.threads == 0)
                 so.pool = pool_;
-            Scar scar(mix, mcm_, so);
+            Scar scar(mix, *tpl, so);
             return scar.run();
-        };
+        });
+    }
 
     auto anyBusyOrPending = [&]() {
         for (const Shard& shard : shards_) {
@@ -240,10 +542,10 @@ FleetSimulator::run(const std::vector<Request>& trace)
             auto schedule =
                 shard.pendingSchedule != nullptr
                     ? std::move(shard.pendingSchedule)
-                    : shard.cache->join(shard.pendingSig);
+                    : shard.cache->join(shard.pendingKey);
             double startSec = nowSec;
-            if (!shard.lastSig.empty() &&
-                shard.lastSig != shard.pendingSig &&
+            if (!shard.lastKey.empty() &&
+                shard.lastKey != shard.pendingKey &&
                 options_.serving.switchOverheadSec > 0.0) {
                 startSec += options_.serving.switchOverheadSec;
                 shard.switchOverheadSec +=
@@ -251,38 +553,74 @@ FleetSimulator::run(const std::vector<Request>& trace)
             }
             shard.busySec += schedule->makespanSec;
             shard.busyUntilSec = startSec + schedule->makespanSec;
-            shard.lastSig = shard.pendingSig;
+            shard.lastKey = shard.pendingKey;
             shard.executor.start(std::move(schedule),
                                  std::move(shard.pending), startSec);
             shard.hasPending = false;
-            shard.pendingSig.clear();
+            shard.pendingKey.clear();
             shard.pendingSchedule.reset();
             started = true;
         }
         if (started)
             continue;
 
-        // 2. Free shard + ready batch: form and park a dispatch.
+        // 2. Free shard + ready batch: route, then form and park a
+        // dispatch. Routing happens on the peeked mix *before* the
+        // queues are consumed so BestFit can defer: when an occupied
+        // shard's projected completion beats every idle candidate,
+        // the batch stays queued and is re-routed at the next event
+        // (typically when the preferred shard frees up).
+        bool deferred = false;
         if (admission.ready(nowSec) && anyCandidate()) {
-            ++queueEpoch;
-            Dispatch dispatch = admission.formDispatch(nowSec);
-            for (const BatchGroup& group : dispatch.groups)
-                paddedSlots += group.batch;
-            const std::string sig = dispatch.mix.signature();
-            const int target = routeDispatch(sig);
-            SCAR_ASSERT(target >= 0, "fleet: no routable shard");
-            Shard& shard = shards_[target];
-            const AsyncLookup found = shard.cache->lookup(
-                dispatch.mix, compute, nowSec,
-                options_.serving.modeledSolveSec);
-            shard.hasPending = true;
-            shard.pending = std::move(dispatch);
-            shard.pendingSig = sig;
-            shard.pendingReadySec = found.readySec;
-            shard.pendingSchedule = found.schedule;
-            shard.solveStallSec +=
-                std::max(0.0, found.readySec - nowSec);
-            continue;
+            const Scenario peeked = admission.peekMix();
+            const std::string sig = peeked.signature();
+            // Overflow check: padded dispatch batches cover every
+            // queued request unless some queue exceeded its cap, in
+            // which case requests stay behind and deferral would
+            // starve the fleet's throughput.
+            int batchSlots = 0;
+            for (const Model& model : peeked.models)
+                batchSlots += model.batch;
+            const bool allowDefer =
+                options_.bestFitDefer &&
+                admission.queuedCount() <= batchSlots;
+            const int target =
+                routeDispatch(sig, peeked, nowSec, allowDefer);
+            if (target < 0) {
+                deferred = true;
+            } else {
+                ++queueEpoch;
+                Dispatch dispatch = admission.formDispatch(nowSec);
+                SCAR_ASSERT(dispatch.mix.signature() == sig,
+                            "fleet: dispatch mix diverged from the "
+                            "routed peek");
+                for (const BatchGroup& group : dispatch.groups)
+                    paddedSlots += group.batch;
+                Shard& shard = shards_[target];
+                const std::string key =
+                    cacheKey(sig, static_cast<std::size_t>(target));
+                const AsyncLookup found = shard.cache->lookup(
+                    key, dispatch.mix, computes[target], nowSec,
+                    options_.serving.modeledSolveSec);
+                double endSec = found.readySec;
+                if (!shard.lastKey.empty() && shard.lastKey != key)
+                    endSec += options_.serving.switchOverheadSec;
+                endSec +=
+                    found.schedule != nullptr
+                        ? found.schedule->makespanSec
+                        : estimateMakespanKeyed(
+                              key, static_cast<std::size_t>(target),
+                              dispatch.mix);
+                shard.hasPending = true;
+                shard.pending = std::move(dispatch);
+                shard.pendingKey = key;
+                shard.pendingReadySec = found.readySec;
+                shard.pendingEndSec = endSec;
+                shard.pendingSchedule = found.schedule;
+                shard.solveStallSec +=
+                    std::max(0.0, found.readySec - nowSec);
+                continue;
+            }
         }
 
         // 3. Ready batch but every shard occupied: solve the would-be
@@ -297,10 +635,15 @@ FleetSimulator::run(const std::vector<Request>& trace)
             queueEpoch != lastSpeculativeEpoch) {
             lastSpeculativeEpoch = queueEpoch;
             const Scenario peeked = admission.peekMix();
-            cacheForSpeculation(peeked.signature())
-                .prefetch(peeked, compute,
-                          nowSec +
-                              options_.serving.modeledSolveSec);
+            const std::string peekedSig = peeked.signature();
+            const int target =
+                speculationTarget(peekedSig, peeked, nowSec);
+            if (target >= 0)
+                shards_[target].cache->prefetch(
+                    cacheKey(peekedSig,
+                             static_cast<std::size_t>(target)),
+                    peeked, computes[target],
+                    nowSec + options_.serving.modeledSolveSec);
         }
 
         // 4. Advance the virtual clock to the next event.
@@ -323,9 +666,13 @@ FleetSimulator::run(const std::vector<Request>& trace)
                 tPending = std::min(tPending, shard.pendingReadySec);
         }
         // The batching timer only matters while a shard can accept a
-        // dispatch: busy shards dispatch as soon as they free up.
+        // dispatch: busy shards dispatch as soon as they free up. A
+        // deferred batch is already past its timer — its next chance
+        // is a state change (boundary / solve-ready / arrival), and
+        // re-arming the elapsed timer would spin the loop in place.
         const double tTimer =
-            (anyCandidate() && admission.queuedCount() > 0)
+            (!deferred && anyCandidate() &&
+             admission.queuedCount() > 0)
                 ? admission.nextForcedDispatchSec()
                 : kInf;
 
@@ -380,6 +727,7 @@ FleetSimulator::run(const std::vector<Request>& trace)
         const Shard& shard = shards_[s];
         ShardReport sr;
         sr.shardIdx = static_cast<int>(s);
+        sr.mcmName = templates_[s].name();
         sr.dispatches =
             shard.executor.dispatchCount() - shard.dispatchesBefore;
         sr.busySec = shard.busySec;
@@ -392,6 +740,13 @@ FleetSimulator::run(const std::vector<Request>& trace)
         report.switchOverheadSec += shard.switchOverheadSec;
         report.shards.push_back(sr);
     }
+    report.contestedRoutes = contestedRoutes_;
+    report.costOptimalRoutes = costOptimalRoutes_;
+    report.costOptimalRouteFrac =
+        contestedRoutes_ > 0
+            ? static_cast<double>(costOptimalRoutes_) /
+                  static_cast<double>(contestedRoutes_)
+            : 1.0;
     inform("fleet: ", report.completed, "/", report.offered,
            " requests over ", shards_.size(), " shard(s) (",
            routingPolicyName(options_.routing), ") in ",

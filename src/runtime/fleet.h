@@ -1,8 +1,9 @@
 /**
  * @file
  * Multi-MCM fleet serving: one admission front-end routing batched
- * dispatches across N identical accelerator packages, with
- * asynchronous (future-backed) schedule solves — the step from one
+ * dispatches across N accelerator packages — homogeneous copies of
+ * one template or a heterogeneous mix of templates — with
+ * asynchronous (future-backed) schedule solves. The step from one
  * package toward the "millions of users" scale of the roadmap.
  *
  * Event loop (one virtual clock across the fleet):
@@ -15,16 +16,32 @@
  *    *virtual* ready instant — that wait is the reported solve-stall
  *    time;
  *  - when a batch is ready but every shard is busy, the would-be
- *    mix's solve is started speculatively in the background, so the
- *    search overlaps the in-flight replays instead of stalling them
- *    (the PR 1 executor blocked the whole loop here).
+ *    mix's solve is started speculatively in the background for the
+ *    shard the dispatch is predicted to land on, so the search
+ *    overlaps the in-flight replays instead of stalling them (the
+ *    PR 1 executor blocked the whole loop here). No solve is
+ *    launched when the predicted target already holds the schedule.
+ *
+ * Heterogeneous fleets: FleetOptions::shardTemplates gives each shard
+ * its own McmConfig-style package (e.g. an NVDLA-heavy package for
+ * GEMM-bound datacenter mixes next to a Shi-diannao-heavy package for
+ * early-CNN AR/VR mixes). A schedule is only valid for the package it
+ * was searched on, so every cache entry is keyed by
+ * (mix signature, Mcm::signature()): different templates never share
+ * a schedule, while identical shards behind a shared cache still
+ * deduplicate fleet-wide.
  *
  * Routing policies pick the shard for a formed dispatch among the
  * currently idle shards: round-robin (fair rotation), least-loaded
- * (lowest accumulated busy time), or mix-affinity (hash of the mix
+ * (lowest accumulated busy time), mix-affinity (hash of the mix
  * signature, which concentrates each mix's schedules — and weight
- * residency — on one shard; particularly effective with per-shard
- * caches).
+ * residency — on one shard), or best-fit (cost-aware: estimated
+ * completion instant of the dispatch on each candidate — cached
+ * schedule makespan when resident, a WindowEvaluator-based estimate
+ * otherwise, plus solve wait and switch overhead — lowest wins, ties
+ * fall back to least-loaded). BestFit is what makes a heterogeneous
+ * fleet pay off: it sends each mix to the package that executes it
+ * fastest instead of to an arbitrary hash bucket.
  *
  * Determinism: everything observable (latencies, routing, stall
  * accounting, cache contents) is a function of virtual time only;
@@ -35,6 +52,7 @@
 #ifndef SCAR_RUNTIME_FLEET_H
 #define SCAR_RUNTIME_FLEET_H
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,6 +77,21 @@ enum class RoutingPolicy
     RoundRobin,  ///< fair rotation over idle shards
     LeastLoaded, ///< idle shard with the least accumulated busy time
     MixAffinity, ///< hash(mix signature) -> shard, fallback least-loaded
+    /**
+     * Cost-aware: every shard — idle or occupied — is scored by the
+     * estimated completion time of this dispatch on it: current
+     * backlog (replay end / parked-solve end) + switch overhead +
+     * solve wait + schedule makespan (cached, or a cheap
+     * window-evaluator estimate), with least-loaded tie-breaking.
+     * The dispatch goes to the cheapest idle shard; when an occupied
+     * shard is strictly cheaper (its backlog wait is smaller than
+     * the other package's makespan handicap), the dispatch is
+     * *deferred* until that shard frees up. The only policy that
+     * consults the cost model instead of queue depths — essential on
+     * heterogeneous fleets, where deferral keeps slow-on-this-mix
+     * packages free for the traffic they are good at.
+     */
+    BestFit,
 };
 
 const char* routingPolicyName(RoutingPolicy policy);
@@ -94,21 +127,48 @@ struct ServingOptions
 struct FleetOptions
 {
     ServingOptions serving;
-    int shards = 1;                ///< identical MCM packages
+    int shards = 1;                ///< MCM packages (copies of the
+                                   ///< constructor template when
+                                   ///< shardTemplates is empty)
     RoutingPolicy routing = RoutingPolicy::RoundRobin;
+    /**
+     * Per-shard package templates for a heterogeneous fleet. Empty
+     * (the default) keeps the homogeneous behavior: `shards` copies
+     * of the constructor's template. Non-empty overrides the fleet
+     * size — one shard per listed template (`shards` must then be
+     * left at 1 or match the template count). Every template must
+     * offer at least as many chiplets as the catalog has models.
+     */
+    std::vector<Mcm> shardTemplates;
     /**
      * Start a background solve for the would-be mix whenever a batch
      * is ready but every shard is busy, hiding the modeled solve
-     * latency behind in-flight replays. Disabling reproduces the
-     * PR 1 blocking pipeline: a new mix's search begins only at
-     * dispatch time and the shard idles through all of it.
+     * latency behind in-flight replays. The solve targets the shard
+     * the dispatch is predicted to land on and is skipped when that
+     * shard's cache already holds (or is already solving) the
+     * schedule. Disabling reproduces the PR 1 blocking pipeline: a
+     * new mix's search begins only at dispatch time and the shard
+     * idles through all of it.
      */
     bool speculativeSolve = true;
     /**
-     * One schedule cache shared by every shard (each mix solved
-     * once fleet-wide) versus a private cache per shard (mixes
-     * re-solved per shard, but no cross-shard coupling — pair with
-     * MixAffinity routing to keep each mix on one shard).
+     * BestFit only: allow deferring a dispatch when an occupied
+     * shard's projected completion beats every idle candidate
+     * (waiting for the right package instead of starting sooner on
+     * the wrong one). Deferral helps steady traffic whose package
+     * gaps exceed typical backlog waits, but while a batch waits it
+     * keeps absorbing new arrivals — under bursty phase changes that
+     * capture effect can cost more than the better package saves, so
+     * it is toggleable. Ignored by the other routing policies.
+     */
+    bool bestFitDefer = true;
+    /**
+     * One schedule cache shared by every shard (each (mix, package)
+     * pair solved once fleet-wide) versus a private cache per shard
+     * (pairs re-solved per shard, but no cross-shard coupling — pair
+     * with MixAffinity routing to keep each mix on one shard).
+     * Entries are keyed by (mix signature, package signature) either
+     * way, so heterogeneous templates never alias.
      */
     bool sharedCache = true;
 };
@@ -119,7 +179,8 @@ class FleetSimulator
   public:
     /**
      * @param catalog the served models (traffic profile + SLOs)
-     * @param mcm the package template; every shard is a copy
+     * @param mcm the package template; every shard is a copy unless
+     *        options.shardTemplates assigns per-shard packages
      * @param options fleet + serving knobs
      */
     FleetSimulator(std::vector<ServedModel> catalog, Mcm mcm,
@@ -147,7 +208,20 @@ class FleetSimulator
     }
 
     const std::vector<ServedModel>& catalog() const { return catalog_; }
-    const Mcm& mcm() const { return mcm_; }
+
+    /** The package template of a shard (shard 0 by default, which is
+     *  the constructor template in a homogeneous fleet). */
+    const Mcm& mcm(int shard = 0) const;
+
+    /**
+     * The completion-cost estimate BestFit uses for a mix on a
+     * shard's package when no solved schedule is resident: a
+     * single-window WindowEvaluator pass over a trivial one-segment-
+     * per-model placement, in seconds. Deterministic, memoized per
+     * (mix, package) signature pair. Exposed for tests and for
+     * offline what-if tooling.
+     */
+    double estimateMakespanSec(int shard, const Scenario& mix);
 
   private:
     struct Shard
@@ -158,8 +232,12 @@ class FleetSimulator
         // instant (the executor is idle while one is parked here).
         bool hasPending = false;
         Dispatch pending;
-        std::string pendingSig;
+        std::string pendingKey; ///< (mix, package) cache key
         double pendingReadySec = 0.0;
+        /** Projected end of the parked dispatch's replay (solve
+         *  ready + switch + makespan or its estimate): the backlog
+         *  proxy BestFit charges for a parked shard. */
+        double pendingEndSec = 0.0;
         /** Set when the dispatch-time lookup already had the
          *  schedule; spares the join() re-lookup on cache hits. */
         std::shared_ptr<const CachedSchedule> pendingSchedule;
@@ -169,28 +247,70 @@ class FleetSimulator
         double busySec = 0.0;
         double solveStallSec = 0.0;
         double switchOverheadSec = 0.0;
-        std::string lastSig; ///< mix of the previous replay
+        std::string lastKey; ///< (mix, package) key of the previous replay
     };
 
-    /** Picks the target among idle pending-free shards (-1 = none). */
-    int routeDispatch(const std::string& signature);
+    /** The (mix signature, package signature) key of shard s. */
+    std::string cacheKey(const std::string& mixSig,
+                         std::size_t shard) const;
+
+    /** estimateMakespanSec with the (mix, package) memo key already
+     *  derived — the internal fast path: every runtime caller holds
+     *  the key it just used against the schedule cache. */
+    double estimateMakespanKeyed(const std::string& key,
+                                 std::size_t shard,
+                                 const Scenario& mix);
 
     /**
-     * The cache a speculative solve for this signature lands in: the
-     * shared cache, the affinity shard's cache, or — for the other
-     * routing policies with per-shard caches — the cache of the busy
-     * shard that frees up first, the likeliest dispatch target.
+     * BestFit's completion-cost estimate for dispatching the mix on
+     * shard s at nowSec: availability wait + switch overhead + solve
+     * wait + makespan (cached when resident, estimated otherwise).
      */
-    AsyncScheduleCache& cacheForSpeculation(const std::string& signature);
+    double dispatchCostSec(std::size_t shard,
+                           const std::string& mixSig,
+                           const Scenario& mix, double nowSec);
+
+    /**
+     * Picks the target among idle pending-free shards. Returns -1
+     * when there is no idle candidate — or, under BestFit with
+     * allowDefer, when an occupied shard's projected completion
+     * beats every idle candidate and the dispatch should wait for it
+     * (the caller defers: the queue is left intact and re-routed on
+     * the next event). Deferral is a latency play and only sound
+     * while the queue fits in this one dispatch; under overflow the
+     * caller passes allowDefer = false so every package keeps
+     * contributing throughput.
+     */
+    int routeDispatch(const std::string& mixSig, const Scenario& mix,
+                      double nowSec, bool allowDefer);
+
+    /**
+     * The shard a speculative solve for this mix should warm: the
+     * affinity shard (MixAffinity), the cost-cheapest shard counting
+     * availability waits (BestFit), or the busy shard that frees up
+     * first — the likeliest dispatch target — otherwise. Returns -1
+     * when the predicted target's cache already holds or is already
+     * solving the (mix, package) schedule, so no background solve is
+     * wasted re-deriving a resident schedule (previously only the
+     * shared-cache configuration was protected against this).
+     */
+    int speculationTarget(const std::string& mixSig,
+                          const Scenario& mix, double nowSec);
 
     std::vector<ServedModel> catalog_;
-    Mcm mcm_;
     FleetOptions options_;
+    std::vector<Mcm> templates_; ///< one per shard
     ThreadPool* pool_;
     std::vector<std::unique_ptr<AsyncScheduleCache>> caches_;
     std::vector<Shard> shards_;
     std::vector<Request> records_;
     std::size_t rrNext_ = 0; ///< round-robin cursor
+    /** Memoized WindowEvaluator makespan estimates, keyed like the
+     *  schedule caches by (mix, package) signature. */
+    std::map<std::string, double> makespanEstimates_;
+    // Per-run routing-quality accounting (reset by run()).
+    long contestedRoutes_ = 0;   ///< dispatches with >= 2 candidates
+    long costOptimalRoutes_ = 0; ///< contested picks matching BestFit
 };
 
 } // namespace runtime

@@ -92,10 +92,24 @@ ScheduleCache::insert(const std::string& signature,
 }
 
 std::shared_ptr<const CachedSchedule>
+ScheduleCache::peek(const std::string& signature) const
+{
+    auto it = entries_.find(signature);
+    return it == entries_.end() ? nullptr : it->second.schedule;
+}
+
+std::shared_ptr<const CachedSchedule>
 ScheduleCache::getOrCompute(const Scenario& mix,
                             const ComputeFn& compute)
 {
-    const std::string key = mix.signature();
+    return getOrCompute(mix.signature(), mix, compute);
+}
+
+std::shared_ptr<const CachedSchedule>
+ScheduleCache::getOrCompute(const std::string& key,
+                            const Scenario& mix,
+                            const ComputeFn& compute)
+{
     if (auto hit = find(key)) {
         ++stats_.hits;
         return hit;

@@ -108,12 +108,30 @@ class ScheduleCache
     getOrCompute(const Scenario& mix, const ComputeFn& compute);
 
     /**
+     * Explicit-key variant: the fleet runtime keys entries by
+     * (mix signature, package signature) so shards with different MCM
+     * templates never share a schedule, while identical shards still
+     * deduplicate through one shared cache.
+     */
+    std::shared_ptr<const CachedSchedule>
+    getOrCompute(const std::string& key, const Scenario& mix,
+                 const ComputeFn& compute);
+
+    /**
      * The cached schedule for a signature, or nullptr. Touches the
      * LRU order but not the hit/miss counters (the async layer keeps
      * its own).
      */
     std::shared_ptr<const CachedSchedule>
     find(const std::string& signature);
+
+    /**
+     * Non-mutating probe: the cached schedule without touching the
+     * LRU order or any counter. Routing cost estimation peeks at
+     * candidate shards' caches and must not perturb eviction order.
+     */
+    std::shared_ptr<const CachedSchedule>
+    peek(const std::string& signature) const;
 
     /** Inserts a computed schedule, evicting LRU beyond capacity. */
     void insert(const std::string& signature,

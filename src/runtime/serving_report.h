@@ -12,6 +12,7 @@
 #ifndef SCAR_RUNTIME_SERVING_REPORT_H
 #define SCAR_RUNTIME_SERVING_REPORT_H
 
+#include <string>
 #include <vector>
 
 #include "runtime/request.h"
@@ -26,6 +27,9 @@ namespace runtime
 struct ShardReport
 {
     int shardIdx = 0;
+    /** Display name of the shard's MCM template (heterogeneous
+     *  fleets list different names per row). */
+    std::string mcmName;
     long dispatches = 0;
     double busySec = 0.0;        ///< virtual time spent replaying
     double utilization = 0.0;    ///< busySec / report horizon
@@ -65,6 +69,17 @@ struct ServingReport
     /** Fleet totals of the per-shard stall/overhead columns. */
     double solveStallSec = 0.0;
     double switchOverheadSec = 0.0;
+
+    // Routing quality: of the dispatches where the routing policy had
+    // a real choice (>= 2 idle candidate shards), how many went to a
+    // candidate the BestFit cost model also ranks cheapest. 1.0 for
+    // BestFit by construction; for the heuristic policies the gap
+    // measures completion time left on the table — most visible on
+    // heterogeneous fleets where shards run the same mix at different
+    // speeds.
+    long contestedRoutes = 0;
+    long costOptimalRoutes = 0;
+    double costOptimalRouteFrac = 1.0; ///< 1.0 when uncontested
 };
 
 /**

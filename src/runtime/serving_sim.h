@@ -12,8 +12,9 @@
  * switch overhead, unbounded cache — the virtual-time behavior is
  * exactly the original blocking simulator's.
  *
- * For multiple packages, routing policies, or per-shard caches, use
- * FleetSimulator directly.
+ * For multiple packages, heterogeneous per-shard templates, routing
+ * policies (including the cost-aware BestFit), or per-shard caches,
+ * use FleetSimulator directly.
  */
 
 #ifndef SCAR_RUNTIME_SERVING_SIM_H

@@ -334,7 +334,7 @@ TEST(Fleet, RoutingPoliciesAllServeTheStream)
     const auto trace = poissonTrace(catalog, 200, 17);
     for (const RoutingPolicy policy :
          {RoutingPolicy::RoundRobin, RoutingPolicy::LeastLoaded,
-          RoutingPolicy::MixAffinity}) {
+          RoutingPolicy::MixAffinity, RoutingPolicy::BestFit}) {
         for (const bool shared : {true, false}) {
             FleetOptions options;
             options.shards = 2;

@@ -157,5 +157,66 @@ TEST(Templates, PackageParamsMatchTable2)
     EXPECT_DOUBLE_EQ(mcm.params().dramEnergyPjPerBit, 14.8);
 }
 
+// The package signature keys schedule caches by structure: equal for
+// structurally identical packages regardless of display name,
+// different whenever any schedule-relevant field differs.
+TEST(McmSignature, StructurallyIdenticalPackagesShareOne)
+{
+    const Mcm a = templates::hetSides3x3();
+    const Mcm b = templates::hetSides3x3();
+    EXPECT_EQ(a.signature(), b.signature());
+    EXPECT_FALSE(a.signature().empty());
+}
+
+TEST(McmSignature, DisplayNameIsExcluded)
+{
+    const Mcm base = templates::simba3x3(Dataflow::NvdlaWS);
+    const Mcm renamed("SomethingElse", base.chiplets(),
+                      base.topology(), base.params());
+    EXPECT_EQ(base.signature(), renamed.signature());
+}
+
+TEST(McmSignature, DiffersAcrossDataflowPeTopologyAndParams)
+{
+    const Mcm nvd = templates::simba3x3(Dataflow::NvdlaWS);
+    const Mcm shi = templates::simba3x3(Dataflow::ShiOS);
+    const Mcm het = templates::hetSides3x3();
+    const Mcm small =
+        templates::simba3x3(Dataflow::NvdlaWS, templates::kArvrPes);
+    const Mcm wide = templates::simba6x6(Dataflow::NvdlaWS);
+    const Mcm tri = templates::simbaTriangular(Dataflow::NvdlaWS);
+    EXPECT_NE(nvd.signature(), shi.signature());
+    EXPECT_NE(nvd.signature(), het.signature());
+    EXPECT_NE(nvd.signature(), small.signature());
+    EXPECT_NE(nvd.signature(), wide.signature());
+    EXPECT_NE(nvd.signature(), tri.signature());
+
+    PackageParams slowDram;
+    slowDram.bwOffchipGBps = 32.0;
+    const Mcm starved("Simba (NVD)", nvd.chiplets(), nvd.topology(),
+                      slowDram);
+    EXPECT_NE(nvd.signature(), starved.signature());
+}
+
+// Default ostream precision (6 significant digits) would alias
+// packages whose constants differ past the 6th digit — and an
+// aliased signature is an aliased schedule-cache key. The digest
+// must round-trip doubles exactly (max_digits10).
+TEST(McmSignature, DistinguishesSubPrecisionParamDifferences)
+{
+    const Mcm base = templates::simba3x3(Dataflow::NvdlaWS);
+    PackageParams tweaked = base.params();
+    tweaked.bwOffchipGBps += 1e-5; // invisible at 6 digits (64.0)
+    const Mcm close("Simba (NVD)", base.chiplets(), base.topology(),
+                    tweaked);
+    EXPECT_NE(base.signature(), close.signature());
+
+    std::vector<Chiplet> chiplets = base.chiplets();
+    chiplets[0].spec.l2Bytes += 1; // 10485761 vs 10485760
+    const Mcm closeL2("Simba (NVD)", chiplets, base.topology(),
+                      base.params());
+    EXPECT_NE(base.signature(), closeL2.signature());
+}
+
 } // namespace
 } // namespace scar

@@ -125,7 +125,8 @@ TEST(ModelZoo, TransformersAreAllGemm)
 TEST(ModelZoo, CnnsStartSpatiallyLarge)
 {
     // First conv of ResNet-50 has a large output grid (Shi-affine).
-    const Layer& first = zoo::resNet50(1).layers.front();
+    const Model resnet = zoo::resNet50(1);
+    const Layer& first = resnet.layers.front();
     EXPECT_GT(first.outY() * first.outX(), 10000);
     EXPECT_LT(first.dims.k * first.dims.c, 256);
 }

@@ -84,8 +84,9 @@ TEST(Arrival, SortedWithDeadlinesAndIds)
     for (std::size_t i = 0; i < trace.size(); ++i) {
         const Request& req = trace[i];
         EXPECT_EQ(req.id, static_cast<std::int64_t>(i));
-        if (i > 0)
+        if (i > 0) {
             EXPECT_GE(req.arrivalSec, trace[i - 1].arrivalSec);
+        }
         EXPECT_GE(req.modelIdx, 0);
         EXPECT_LT(req.modelIdx, 2);
         EXPECT_DOUBLE_EQ(req.deadlineSec,
