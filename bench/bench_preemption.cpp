@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Boundary-preemption sweep: on a mixed datacenter + AR/VR stream,
+ * how much XR SLO-miss rate does request-level preemption buy, at
+ * which slack threshold, and what does the preempted datacenter
+ * traffic pay?
+ *
+ * SCAR's AR/VR scenarios carry frame deadlines an order of magnitude
+ * tighter than datacenter SLOs (paper Table 5): a 20 fps frame
+ * request that lands just after a 5-window BERT replay begins waits
+ * out the remaining ~86 ms makespan and blows its 50 ms deadline. A
+ * schedule's window boundaries are the natural cut points
+ * (sched/scar.h WindowBoundary): with preemption enabled the replay
+ * is suspended at its next boundary, the urgent XR batch runs, and
+ * the suspended replay resumes from its cursor — charged a modeled
+ * re-staging overhead, never re-solved.
+ *
+ * Traffic on one Het-Sides 3x3 package:
+ *  - datacenter: BERT-Large batch-8 jobs arriving as Poisson bursts
+ *    (8 requests at once — the batched-analytics pattern that forms
+ *    full, long-replay dispatches), 500 ms interactive SLO;
+ *  - AR/VR: GoogLeNet + EyeCOD Poisson frame streams at 20 fps frame
+ *    deadlines (50 ms).
+ *
+ * Rows: preemption off, then a sweep of the slack threshold. Too
+ * small a threshold fires urgency later than the boundary + replay
+ * time it still needs, so frames keep missing; larger thresholds
+ * rescue the frames at a modest datacenter-tail cost (the preempted
+ * batches finish later by one XR replay + resume overhead per
+ * suspension).
+ *
+ * Acceptance (exit code, full-size runs only): the best enabled
+ * threshold posts a strictly lower mean XR SLO-miss rate than
+ * preemption-off, without collapsing datacenter service — datacenter
+ * miss rate within 5 percentage points and virtual throughput within
+ * 10% of the off row.
+ *
+ * Env knobs (bench-smoke CI runs a tiny configuration):
+ *  - SCAR_BENCH_PREEMPT_SEC: trace duration in seconds (default 4)
+ *
+ * Raw series: bench_results/preemption.csv (columns documented in
+ * bench/README.md).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "runtime/fleet.h"
+#include "workload/model_zoo.h"
+
+namespace
+{
+
+using namespace scar;
+using namespace scar::runtime;
+
+/**
+ * Mixed trace: model 0 arrives as Poisson *bursts* of its full batch
+ * (burst rate in bursts/s — each burst forms one long dispatch), the
+ * other models as plain Poisson streams at their rateRps.
+ * Deterministic in (catalog, burstRate, durationSec, seed).
+ */
+std::vector<Request>
+mixedTrace(const std::vector<ServedModel>& catalog, double burstRate,
+           double durationSec, std::uint64_t seed)
+{
+    std::vector<std::pair<double, int>> arrivals;
+    Rng rng(seed);
+    for (double t = 0.0;;) {
+        t += -std::log(1.0 - rng.uniform()) / burstRate;
+        if (t >= durationSec)
+            break;
+        for (int i = 0; i < catalog[0].model.batch; ++i)
+            arrivals.push_back({t, 0});
+    }
+    for (std::size_t m = 1; m < catalog.size(); ++m) {
+        for (double t = 0.0;;) {
+            t += -std::log(1.0 - rng.uniform()) / catalog[m].rateRps;
+            if (t >= durationSec)
+                break;
+            arrivals.push_back({t, static_cast<int>(m)});
+        }
+    }
+    std::sort(arrivals.begin(), arrivals.end());
+    return traceFromArrivals(catalog, std::move(arrivals));
+}
+
+/** Per-class SLO-miss rate and p99 from completion records. */
+struct ClassStats
+{
+    long completed = 0;
+    long violations = 0;
+    double p99Sec = 0.0;
+
+    double
+    missRate() const
+    {
+        return completed > 0
+                   ? static_cast<double>(violations) / completed
+                   : 0.0;
+    }
+};
+
+ClassStats
+classStats(const std::vector<Request>& records, bool xr)
+{
+    ClassStats stats;
+    std::vector<double> latencies;
+    for (const Request& req : records) {
+        if (!req.completed() || (req.modelIdx >= 1) != xr)
+            continue;
+        ++stats.completed;
+        if (req.sloViolated())
+            ++stats.violations;
+        latencies.push_back(req.latencySec());
+    }
+    stats.p99Sec = percentileSec(std::move(latencies), 99.0);
+    return stats;
+}
+
+} // namespace
+
+int
+main()
+{
+    using Clock = std::chrono::steady_clock;
+
+    const double kDurationSec =
+        bench::envDouble("SCAR_BENCH_PREEMPT_SEC", 4.0);
+
+    // Model 0 is the datacenter class (burst arrivals, loose SLO);
+    // the rest are the XR class (Poisson frames, 20 fps deadlines).
+    std::vector<ServedModel> catalog(3);
+    catalog[0].model = zoo::bertLarge(8);
+    catalog[0].sloSec = 0.5;
+    catalog[1].model = zoo::googleNet(4);
+    catalog[1].rateRps = 100.0;
+    catalog[1].sloSec = frameDeadlineSec(20.0);
+    catalog[2].model = zoo::eyeCod(4);
+    catalog[2].rateRps = 50.0;
+    catalog[2].sloSec = frameDeadlineSec(20.0);
+    const double kBurstRate = 4.0; // BERT jobs per second
+
+    const std::vector<std::uint64_t> kSeeds = {7, 314, 5};
+    std::vector<std::vector<Request>> traces;
+    std::size_t traceRequests = 0;
+    for (const std::uint64_t seed : kSeeds) {
+        traces.push_back(
+            mixedTrace(catalog, kBurstRate, kDurationSec, seed));
+        traceRequests += traces.back().size();
+    }
+
+    struct Config
+    {
+        const char* label;
+        bool enabled;
+        double slackThresholdSec;
+    };
+    const std::vector<Config> configs = {
+        {"off", false, 0.0},        {"thr=5ms", true, 0.005},
+        {"thr=15ms", true, 0.015},  {"thr=30ms", true, 0.03},
+        {"thr=45ms", true, 0.045},
+    };
+
+    TextTable table({"Preemption", "XR miss", "DC miss", "XR p99 (s)",
+                     "DC p99 (s)", "Preempts", "Resumed p99 (s)",
+                     "Virt req/s", "Searches", "Wall (ms)"});
+    CsvWriter csv(bench::csvPath("preemption"),
+                  {"config", "slack_threshold_s", "seed",
+                   "xr_miss_rate", "dc_miss_rate", "xr_p99_s",
+                   "dc_p99_s", "preemptions", "preempted_requests",
+                   "preempted_p99_s", "resume_overhead_s",
+                   "virt_throughput_rps", "searches", "wall_ms"});
+
+    double offXrMiss = -1.0;
+    double offDcMiss = -1.0;
+    double offThroughput = -1.0;
+    double bestXrMiss = -1.0;
+    double bestDcMiss = -1.0;
+    double bestThroughput = -1.0;
+    for (const Config& config : configs) {
+        double xrMissSum = 0.0;
+        double dcMissSum = 0.0;
+        double xrP99Worst = 0.0;
+        double dcP99Worst = 0.0;
+        double throughputSum = 0.0;
+        double preemptedP99Worst = 0.0;
+        double wallMsSum = 0.0;
+        long preemptions = 0;
+        long searches = 0;
+        for (std::size_t t = 0; t < kSeeds.size(); ++t) {
+            FleetOptions options;
+            options.shards = 1;
+            options.serving.modeledSolveSec = 0.005;
+            options.serving.switchOverheadSec = 0.001;
+            options.serving.admission.maxQueueDelaySec = 0.01;
+            options.serving.preemption.enabled = config.enabled;
+            options.serving.preemption.slackThresholdSec =
+                config.slackThresholdSec;
+            options.serving.preemption.resumeOverheadSec = 0.001;
+            FleetSimulator fleet(catalog, templates::hetSides3x3(),
+                                 options);
+
+            const auto t0 = Clock::now();
+            const ServingReport report = fleet.run(traces[t]);
+            const double wallMs =
+                std::chrono::duration<double, std::milli>(
+                    Clock::now() - t0)
+                    .count();
+
+            const ClassStats xr = classStats(fleet.records(), true);
+            const ClassStats dc = classStats(fleet.records(), false);
+            xrMissSum += xr.missRate();
+            dcMissSum += dc.missRate();
+            xrP99Worst = std::max(xrP99Worst, xr.p99Sec);
+            dcP99Worst = std::max(dcP99Worst, dc.p99Sec);
+            throughputSum += report.throughputRps;
+            preemptedP99Worst =
+                std::max(preemptedP99Worst, report.preemptedP99Sec);
+            preemptions += report.preemptions;
+            searches += report.cache.misses;
+            wallMsSum += wallMs;
+            csv.addRow({config.label,
+                        TextTable::num(config.slackThresholdSec, 3),
+                        std::to_string(kSeeds[t]),
+                        TextTable::num(xr.missRate(), 6),
+                        TextTable::num(dc.missRate(), 6),
+                        TextTable::num(xr.p99Sec, 6),
+                        TextTable::num(dc.p99Sec, 6),
+                        std::to_string(report.preemptions),
+                        std::to_string(report.preemptedRequests),
+                        TextTable::num(report.preemptedP99Sec, 6),
+                        TextTable::num(report.resumeOverheadSec, 6),
+                        TextTable::num(report.throughputRps, 3),
+                        std::to_string(report.cache.misses),
+                        TextTable::num(wallMs, 3)});
+        }
+        const double n = static_cast<double>(kSeeds.size());
+        const double xrMiss = xrMissSum / n;
+        const double dcMiss = dcMissSum / n;
+        const double throughput = throughputSum / n;
+
+        if (!config.enabled) {
+            offXrMiss = xrMiss;
+            offDcMiss = dcMiss;
+            offThroughput = throughput;
+        } else if (bestXrMiss < 0.0 || xrMiss < bestXrMiss) {
+            bestXrMiss = xrMiss;
+            bestDcMiss = dcMiss;
+            bestThroughput = throughput;
+        }
+
+        table.addRow({config.label,
+                      TextTable::num(xrMiss * 100.0, 2) + "%",
+                      TextTable::num(dcMiss * 100.0, 2) + "%",
+                      TextTable::num(xrP99Worst, 4),
+                      TextTable::num(dcP99Worst, 4),
+                      std::to_string(preemptions),
+                      TextTable::num(preemptedP99Worst, 4),
+                      TextTable::num(throughput, 0),
+                      std::to_string(searches),
+                      TextTable::num(wallMsSum, 0)});
+    }
+
+    std::cout << "Boundary preemption on a mixed datacenter+AR/VR "
+                 "stream (Het-Sides 3x3, 1 package)\n"
+              << traceRequests << " requests over " << kSeeds.size()
+              << " traces of " << kDurationSec
+              << " s (BERT-Large b8 bursts + 20 fps XR frames)\n\n";
+    std::cout << table.render();
+    std::cout << "\nAcceptance: best enabled XR miss "
+              << TextTable::num(bestXrMiss * 100.0, 2)
+              << "% vs off " << TextTable::num(offXrMiss * 100.0, 2)
+              << "% -> "
+              << (bestXrMiss < offXrMiss ? "PREEMPTION WINS"
+                                         : "preemption loses")
+              << "; DC miss " << TextTable::num(bestDcMiss * 100.0, 2)
+              << "% vs " << TextTable::num(offDcMiss * 100.0, 2)
+              << "%, throughput "
+              << TextTable::num(bestThroughput, 0) << " vs "
+              << TextTable::num(offThroughput, 0) << " req/s -> "
+              << (bestDcMiss <= offDcMiss + 0.05 &&
+                          bestThroughput >= 0.9 * offThroughput
+                      ? "DC INTACT"
+                      : "dc collapsed")
+              << "\n";
+    std::cout << "\nCSV: " << bench::csvPath("preemption") << "\n";
+
+    // The verdict gates the exit code only for the full default
+    // configuration; shrunken smoke runs only check that the sweep
+    // executes.
+    if (std::getenv("SCAR_BENCH_PREEMPT_SEC") != nullptr)
+        return 0;
+    return bestXrMiss < offXrMiss && bestDcMiss <= offDcMiss + 0.05 &&
+                   bestThroughput >= 0.9 * offThroughput
+               ? 0
+               : 1;
+}

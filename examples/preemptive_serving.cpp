@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Boundary-preemption example: an XR frame stream with 20 fps
+ * deadlines sharing one package with long BERT batch jobs.
+ *
+ * A BERT-Large batch-8 dispatch replays ~86 ms of schedule windows on
+ * Het-Sides 3x3 — nearly two full frame deadlines. Without preemption
+ * an XR frame landing just behind such a replay waits it out and
+ * misses; with ServingOptions::preemption enabled, the replay is
+ * suspended at its next window boundary (the stable cut points
+ * exposed by sched/scar.h's WindowBoundary metadata), the urgent
+ * frame batch runs, and the suspended replay resumes from its saved
+ * cursor, charged only a modeled re-staging overhead.
+ *
+ * The demo serves the same trace twice — preemption off, then on —
+ * and prints both serving reports: compare the SLO-violation row, and
+ * note the extra preemption rows (suspensions, resume overhead, the
+ * preempted requests' own p99) that appear only in the enabled run.
+ */
+
+#include <iostream>
+
+#include "arch/mcm_templates.h"
+#include "common/rng.h"
+#include "eval/reporter.h"
+#include "runtime/fleet.h"
+#include "workload/model_zoo.h"
+
+int
+main()
+{
+    using namespace scar;
+    using namespace scar::runtime;
+
+    // Datacenter batch jobs (model 0) and two XR frame streams.
+    std::vector<ServedModel> catalog(3);
+    catalog[0].model = zoo::bertLarge(8);
+    catalog[0].sloSec = 0.5;
+    catalog[1].model = zoo::googleNet(4);
+    catalog[1].rateRps = 100.0;
+    catalog[1].sloSec = frameDeadlineSec(20.0);
+    catalog[2].model = zoo::eyeCod(4);
+    catalog[2].rateRps = 50.0;
+    catalog[2].sloSec = frameDeadlineSec(20.0);
+
+    std::cout << "Catalog:\n";
+    for (const ServedModel& sm : catalog)
+        std::cout << "  " << sm.model.name << ": batch<="
+                  << sm.model.batch << ", SLO " << sm.sloSec
+                  << " s\n";
+
+    // 3 s of traffic: BERT jobs as bursts of a full batch (long
+    // dispatches), XR frames as Poisson streams.
+    const double kDurationSec = 3.0;
+    std::vector<std::pair<double, int>> arrivals;
+    Rng rng(/*seed=*/11);
+    for (double t = 0.0;;) {
+        t += -std::log(1.0 - rng.uniform()) / 4.0; // 4 jobs/s
+        if (t >= kDurationSec)
+            break;
+        for (int i = 0; i < catalog[0].model.batch; ++i)
+            arrivals.push_back({t, 0});
+    }
+    for (std::size_t m = 1; m < catalog.size(); ++m) {
+        for (double t = 0.0;;) {
+            t += -std::log(1.0 - rng.uniform()) / catalog[m].rateRps;
+            if (t >= kDurationSec)
+                break;
+            arrivals.push_back({t, static_cast<int>(m)});
+        }
+    }
+    std::sort(arrivals.begin(), arrivals.end());
+    const std::vector<Request> trace =
+        traceFromArrivals(catalog, std::move(arrivals));
+
+    for (const bool enabled : {false, true}) {
+        FleetOptions options;
+        options.shards = 1;
+        options.serving.modeledSolveSec = 0.005;
+        options.serving.switchOverheadSec = 0.001;
+        options.serving.admission.maxQueueDelaySec = 0.01;
+        options.serving.preemption.enabled = enabled;
+        options.serving.preemption.slackThresholdSec = 0.03;
+        options.serving.preemption.resumeOverheadSec = 0.001;
+        FleetSimulator fleet(catalog, templates::hetSides3x3(),
+                             options);
+        const ServingReport report = fleet.run(trace);
+
+        std::cout << "\n=== Preemption "
+                  << (enabled ? "ON (slack threshold 30 ms)" : "OFF")
+                  << " ===\n"
+                  << describeServingReport(report);
+    }
+    std::cout << "\nThe XR frames that waited out full BERT replays "
+                 "in the OFF run board\nat the next window boundary "
+                 "in the ON run; the suspended BERT batches\nresume "
+                 "from their cursor and still meet their 500 ms "
+                 "SLO.\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repository's markdown files.
+
+Scans every tracked *.md file (skipping build trees and VCS
+internals), extracts inline markdown links and images, and verifies
+that each relative target resolves to an existing file or directory.
+External links (http/https/mailto) and pure in-page anchors are left
+alone — this is a docs-tree integrity check, not a crawler — so the
+CI docs job stays fast and network-free.
+
+Usage: scripts/check_markdown_links.py [repo_root]
+Exit code 0 when every relative link resolves, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "bench_results", ".ccache", ".claude"}
+
+# Inline links/images: [text](target) / ![alt](target). Targets with
+# spaces or nested parens are not used in this repo's docs.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames if d not in SKIP_DIRS)
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def links_in(path):
+    """Yields (lineno, target) for inline links outside code fences."""
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                yield lineno, match.group(1)
+
+
+def main():
+    root = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1 else
+        os.path.join(os.path.dirname(__file__), os.pardir))
+    dead = []
+    checked = 0
+    for md in markdown_files(root):
+        base = os.path.dirname(md)
+        for lineno, target in links_in(md):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):  # in-page anchor
+                continue
+            path = target.split("#", 1)[0]
+            checked += 1
+            resolved = os.path.normpath(os.path.join(base, path))
+            if not os.path.exists(resolved):
+                dead.append((os.path.relpath(md, root), lineno,
+                             target))
+    if dead:
+        print("Dead relative links:")
+        for md, lineno, target in dead:
+            print(f"  {md}:{lineno}: {target}")
+        return 1
+    print(f"OK: {checked} relative links resolve.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

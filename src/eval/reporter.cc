@@ -140,23 +140,43 @@ describeServingReport(const runtime::ServingReport& report)
                       TextTable::num(
                           report.costOptimalRouteFrac * 100.0, 1) +
                       "%)"});
+    // Preemption rows (and the per-shard column below) only render
+    // when the feature was on: a run with preemption disabled must
+    // report byte-identically to the non-preemptive runtime.
+    if (report.preemptionEnabled) {
+        table.addSeparator();
+        table.addRow({"Boundary preemptions",
+                      std::to_string(report.preemptions)});
+        table.addRow({"Resume overhead (s)",
+                      TextTable::num(report.resumeOverheadSec, 4)});
+        table.addRow({"Preempted requests",
+                      std::to_string(report.preemptedRequests)});
+        table.addRow({"Preempted p99 (s)",
+                      TextTable::num(report.preemptedP99Sec, 4)});
+    }
     out << table.render();
 
     if (!report.shards.empty()) {
         out << "\nPer-shard utilization ("
             << report.shards.size() << " package"
             << (report.shards.size() == 1 ? "" : "s") << ")\n";
-        TextTable shardTable({"Shard", "Template", "Dispatches",
-                              "Busy (s)", "Utilization",
-                              "Solve stall (s)", "Switch ovh (s)"});
+        std::vector<std::string> shardHeaders{
+            "Shard", "Template", "Dispatches", "Busy (s)",
+            "Utilization", "Solve stall (s)", "Switch ovh (s)"};
+        if (report.preemptionEnabled)
+            shardHeaders.push_back("Preempt");
+        TextTable shardTable(std::move(shardHeaders));
         for (const runtime::ShardReport& shard : report.shards) {
-            shardTable.addRow(
-                {std::to_string(shard.shardIdx), shard.mcmName,
-                 std::to_string(shard.dispatches),
-                 TextTable::num(shard.busySec, 3),
-                 TextTable::num(shard.utilization * 100.0, 1) + "%",
-                 TextTable::num(shard.solveStallSec, 4),
-                 TextTable::num(shard.switchOverheadSec, 4)});
+            std::vector<std::string> row{
+                std::to_string(shard.shardIdx), shard.mcmName,
+                std::to_string(shard.dispatches),
+                TextTable::num(shard.busySec, 3),
+                TextTable::num(shard.utilization * 100.0, 1) + "%",
+                TextTable::num(shard.solveStallSec, 4),
+                TextTable::num(shard.switchOverheadSec, 4)};
+            if (report.preemptionEnabled)
+                row.push_back(std::to_string(shard.preemptions));
+            shardTable.addRow(std::move(row));
         }
         out << shardTable.render();
     }

@@ -92,19 +92,27 @@ Dispatch
 AdmissionController::formDispatch(double nowSec)
 {
     SCAR_REQUIRE(ready(nowSec), "admission: formDispatch while idle");
+    return formFrom(nowSec,
+                    std::vector<bool>(queues_.size(), true));
+}
+
+Dispatch
+AdmissionController::formFrom(double nowSec,
+                              const std::vector<bool>& take)
+{
     Dispatch dispatch;
     dispatch.mix.name = "mix";
     for (std::size_t m = 0; m < queues_.size(); ++m) {
         auto& q = queues_[m];
-        if (q.empty())
+        if (q.empty() || !take[m])
             continue;
         BatchGroup group;
         group.catalogIdx = static_cast<int>(m);
         group.batch = dispatchBatch(m);
-        const int take =
+        const int boardCount =
             std::min(static_cast<int>(q.size()), group.batch);
         if (options_.order == QueueOrder::EarliestDeadline &&
-            take < static_cast<int>(q.size())) {
+            boardCount < static_cast<int>(q.size())) {
             // Overload boarding. Starvation bound: the queue front —
             // the oldest request, the one driving the forced-dispatch
             // timer — always boards, so every dispatch makes
@@ -119,13 +127,13 @@ AdmissionController::formDispatch(double nowSec)
                 return nowSec >=
                        req.arrivalSec + options_.maxQueueDelaySec;
             };
-            // Only the `take` best boarders are needed, so a partial
-            // sort over indices suffices.
+            // Only the `boardCount` best boarders are needed, so a
+            // partial sort over indices suffices.
             std::vector<std::size_t> byDeadline(q.size());
             for (std::size_t i = 0; i < q.size(); ++i)
                 byDeadline[i] = i;
             std::partial_sort(
-                byDeadline.begin(), byDeadline.begin() + take,
+                byDeadline.begin(), byDeadline.begin() + boardCount,
                 byDeadline.end(),
                 [&](std::size_t a, std::size_t b) {
                     if (a == 0 || b == 0)
@@ -139,7 +147,7 @@ AdmissionController::formDispatch(double nowSec)
                     return a < b;
                 });
             std::vector<bool> boarded(q.size(), false);
-            for (int i = 0; i < take; ++i) {
+            for (int i = 0; i < boardCount; ++i) {
                 boarded[byDeadline[i]] = true;
                 group.requests.push_back(q[byDeadline[i]]);
             }
@@ -150,7 +158,7 @@ AdmissionController::formDispatch(double nowSec)
             }
             q = std::move(remaining);
         } else {
-            for (int i = 0; i < take; ++i) {
+            for (int i = 0; i < boardCount; ++i) {
                 group.requests.push_back(q.front());
                 q.pop_front();
             }
@@ -170,16 +178,79 @@ AdmissionController::formDispatch(double nowSec)
 Scenario
 AdmissionController::peekMix() const
 {
+    return peekFrom(std::vector<bool>(queues_.size(), true));
+}
+
+Scenario
+AdmissionController::peekFrom(const std::vector<bool>& take) const
+{
     Scenario mix;
     mix.name = "mix";
     for (std::size_t m = 0; m < queues_.size(); ++m) {
-        if (queues_[m].empty())
+        if (queues_[m].empty() || !take[m])
             continue;
         Model scheduled = catalog_[m].model;
         scheduled.batch = dispatchBatch(m);
         mix.models.push_back(std::move(scheduled));
     }
     return mix;
+}
+
+bool
+AdmissionController::modelUrgent(std::size_t model, double nowSec,
+                                 double slackSec) const
+{
+    for (const Request& req : queues_[model]) {
+        // Same expression as the fleet's urgency timer
+        // (earliestDeadlineSec() - slackSec) so the two agree
+        // bit-for-bit at the crossing instant.
+        if (nowSec >= req.deadlineSec - slackSec)
+            return true;
+    }
+    return false;
+}
+
+double
+AdmissionController::earliestDeadlineSec() const
+{
+    double earliest = kInf;
+    for (const auto& q : queues_) {
+        for (const Request& req : q)
+            earliest = std::min(earliest, req.deadlineSec);
+    }
+    return earliest;
+}
+
+bool
+AdmissionController::urgentQueued(double nowSec, double slackSec) const
+{
+    for (std::size_t m = 0; m < queues_.size(); ++m) {
+        if (modelUrgent(m, nowSec, slackSec))
+            return true;
+    }
+    return false;
+}
+
+Scenario
+AdmissionController::peekUrgentMix(double nowSec,
+                                   double slackSec) const
+{
+    std::vector<bool> take(queues_.size());
+    for (std::size_t m = 0; m < queues_.size(); ++m)
+        take[m] = modelUrgent(m, nowSec, slackSec);
+    return peekFrom(take);
+}
+
+Dispatch
+AdmissionController::formUrgentDispatch(double nowSec, double slackSec)
+{
+    SCAR_REQUIRE(urgentQueued(nowSec, slackSec),
+                 "admission: formUrgentDispatch without an urgent "
+                 "request queued");
+    std::vector<bool> take(queues_.size());
+    for (std::size_t m = 0; m < queues_.size(); ++m)
+        take[m] = modelUrgent(m, nowSec, slackSec);
+    return formFrom(nowSec, take);
 }
 
 double

@@ -16,6 +16,20 @@
  * real batching server would submit. Re-scheduling is thereby driven
  * purely by mix changes: the schedule cache re-runs the search only
  * when the dispatched (model, batch) signature is new.
+ *
+ * Preemption eligibility: a queued request whose slack
+ * (deadline - now) has shrunk to the serving runtime's configured
+ * threshold is "urgent" — it can no longer afford to wait out the
+ * backlog or an in-flight replay. The urgent-dispatch path
+ * (urgentQueued / peekUrgentMix / formUrgentDispatch) boards only the
+ * models holding such a request, so the preemptive dispatch the fleet
+ * squeezes in at a window boundary stays as short as possible; the
+ * non-urgent queues keep aging toward their normal forced-dispatch
+ * timer. All urgency comparisons use the expression
+ * `nowSec >= deadlineSec - slackSec` so the fleet's urgency timer and
+ * the eligibility test agree bit-for-bit at the crossing instant
+ * (the same FP-symmetry rule ready() and nextForcedDispatchSec()
+ * follow).
  */
 
 #ifndef SCAR_RUNTIME_ADMISSION_H
@@ -127,10 +141,49 @@ class AdmissionController
      */
     double nextForcedDispatchSec() const;
 
+    /**
+     * Earliest SLO deadline among all queued requests (infinity when
+     * none are queued). `earliestDeadlineSec() - slackSec` is the
+     * instant the next request turns urgent — the fleet's preemption
+     * timer.
+     */
+    double earliestDeadlineSec() const;
+
+    /**
+     * Preemption-eligibility test: true when some queued request's
+     * slack at nowSec is at or below slackSec (evaluated as
+     * `nowSec >= deadlineSec - slackSec`; a negative slack — an
+     * already-blown deadline — still counts, minimizing lateness).
+     */
+    bool urgentQueued(double nowSec, double slackSec) const;
+
+    /**
+     * The mix formUrgentDispatch would build right now: only the
+     * models holding an urgent request, at their dispatched batch
+     * sizes. Requires urgentQueued(nowSec, slackSec).
+     */
+    Scenario peekUrgentMix(double nowSec, double slackSec) const;
+
+    /**
+     * Forms a dispatch draining only the urgent models' queues
+     * (boarding order as in formDispatch); the other models' requests
+     * stay queued and keep aging toward their forced-dispatch timer.
+     * Requires urgentQueued(nowSec, slackSec).
+     */
+    Dispatch formUrgentDispatch(double nowSec, double slackSec);
+
     const std::vector<ServedModel>& catalog() const { return catalog_; }
 
   private:
     int dispatchBatch(std::size_t model) const;
+    /** True when queue `model` holds a request urgent at nowSec. */
+    bool modelUrgent(std::size_t model, double nowSec,
+                     double slackSec) const;
+    /** The shared mix-building path of peekMix / peekUrgentMix. */
+    Scenario peekFrom(const std::vector<bool>& take) const;
+    /** The shared queue-draining path of formDispatch /
+     *  formUrgentDispatch. */
+    Dispatch formFrom(double nowSec, const std::vector<bool>& take);
 
     std::vector<ServedModel> catalog_;
     AdmissionOptions options_;

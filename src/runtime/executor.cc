@@ -67,5 +67,53 @@ ReplayExecutor::advance()
     return tick;
 }
 
+std::size_t
+ReplayExecutor::windowsRemaining() const
+{
+    SCAR_REQUIRE(busy_, "executor: windowsRemaining while idle");
+    return schedule_->windowSec.size() - window_;
+}
+
+SuspendedReplay
+ReplayExecutor::suspend()
+{
+    SCAR_REQUIRE(busy_, "executor: suspend while idle");
+    SuspendedReplay replay;
+    replay.window = window_;
+    for (std::size_t w = window_; w < schedule_->windowSec.size(); ++w)
+        replay.remainingSec += schedule_->windowSec[w];
+    // Requests whose model already completed (lastWindow < window_)
+    // left through earlier ticks; everything still riding is
+    // preempted.
+    for (std::size_t m = 0; m < dispatch_.groups.size(); ++m) {
+        if (schedule_->lastWindow[m] <
+            static_cast<int>(window_))
+            continue;
+        for (Request& req : dispatch_.groups[m].requests)
+            req.preempted = true;
+    }
+    replay.schedule = std::move(schedule_);
+    replay.dispatch = std::move(dispatch_);
+    busy_ = false;
+    window_ = 0;
+    windowEndSec_ = 0.0;
+    return replay;
+}
+
+void
+ReplayExecutor::resume(SuspendedReplay replay, double startSec)
+{
+    SCAR_REQUIRE(!busy_, "executor: resume while a dispatch is running");
+    SCAR_REQUIRE(replay.schedule != nullptr,
+                 "executor: resume without a suspended schedule");
+    SCAR_REQUIRE(replay.window < replay.schedule->windowSec.size(),
+                 "executor: resume cursor past the last window");
+    busy_ = true;
+    schedule_ = std::move(replay.schedule);
+    dispatch_ = std::move(replay.dispatch);
+    window_ = replay.window;
+    windowEndSec_ = startSec + schedule_->windowSec[window_];
+}
+
 } // namespace runtime
 } // namespace scar

@@ -12,6 +12,17 @@
  * (the WindowEvaluator latencies captured in the cached schedule
  * determine each boundary's instant). Requests in later windows keep
  * running until their own boundary.
+ *
+ * Boundary preemption: window ends are the only instants where the
+ * package holds no in-flight layer work (sched/scar.h's
+ * WindowBoundary metadata), so a replay can be suspend()ed exactly
+ * there — the remaining windows, the still-riding requests, and the
+ * boundary cursor detach into a SuspendedReplay — and later
+ * resume()d from the saved cursor without re-solving the schedule.
+ * The fleet charges the modeled weight re-staging overhead of a
+ * resume on the virtual clock; the executor itself only moves the
+ * cursor. A suspended replay keeps its own shared_ptr to the cached
+ * schedule, so LRU eviction while it waits cannot invalidate it.
  */
 
 #ifndef SCAR_RUNTIME_EXECUTOR_H
@@ -37,6 +48,23 @@ struct WindowTick
     std::vector<Request> completed;
     /** True when this was the dispatch's last window (MCM now free). */
     bool dispatchDone = false;
+};
+
+/**
+ * A replay detached at a window boundary by ReplayExecutor::suspend.
+ *
+ * Holds everything resume() needs to continue the dispatch from its
+ * saved boundary cursor: the schedule reference (eviction-safe), the
+ * dispatch with its still-riding requests, the index of the next
+ * window to replay, and the total duration of the remaining windows
+ * (the backlog cost-aware routing charges for a suspended shard).
+ */
+struct SuspendedReplay
+{
+    std::shared_ptr<const CachedSchedule> schedule;
+    Dispatch dispatch;
+    std::size_t window = 0;     ///< next window to replay on resume
+    double remainingSec = 0.0;  ///< sum of windowSec[window..end]
 };
 
 /** Replays cached schedules for one dispatch at a time. */
@@ -67,6 +95,34 @@ class ReplayExecutor
      * window.
      */
     WindowTick advance();
+
+    /**
+     * Windows not yet fully replayed, the upcoming one included.
+     * Requires busy(). 1 means the replay ends at the next boundary —
+     * preempting then is a no-op (the package frees anyway), which is
+     * why advance()-then-check, not suspend(), handles the
+     * last-window case.
+     */
+    std::size_t windowsRemaining() const;
+
+    /**
+     * Detaches the in-flight replay at the current boundary cursor
+     * and frees the executor. Must be called exactly at a boundary —
+     * i.e. directly after an advance() whose tick was not
+     * dispatchDone — so no window is partially replayed. Every
+     * request still riding (its model completes in a remaining
+     * window) is marked preempted. Requires busy().
+     */
+    SuspendedReplay suspend();
+
+    /**
+     * Continues a suspended replay from its saved cursor at startSec:
+     * the next boundary lands at startSec + that window's duration.
+     * Unlike start(), the requests' dispatchSec is left untouched
+     * (their batch already started once) and no new dispatch is
+     * counted. Requires !busy().
+     */
+    void resume(SuspendedReplay replay, double startSec);
 
     /** Dispatches started so far (for report bookkeeping). */
     long dispatchCount() const { return dispatches_; }

@@ -63,6 +63,10 @@ FleetSimulator::FleetSimulator(std::vector<ServedModel> catalog,
                  "fleet: negative modeledSolveSec");
     SCAR_REQUIRE(options_.serving.switchOverheadSec >= 0.0,
                  "fleet: negative switchOverheadSec");
+    SCAR_REQUIRE(options_.serving.preemption.slackThresholdSec >= 0.0,
+                 "fleet: negative preemption slack threshold");
+    SCAR_REQUIRE(options_.serving.preemption.resumeOverheadSec >= 0.0,
+                 "fleet: negative preemption resume overhead");
     // Mix signatures key the schedule cache by model name, so two
     // catalog entries sharing a name would silently replay each
     // other's schedules — as would names containing the signature's
@@ -242,16 +246,37 @@ FleetSimulator::estimateMakespanKeyed(const std::string& key,
 double
 FleetSimulator::dispatchCostSec(std::size_t shard,
                                 const std::string& mixSig,
-                                const Scenario& mix, double nowSec)
+                                const Scenario& mix, double nowSec,
+                                bool urgent)
 {
     const Shard& sh = shards_[shard];
+    const PreemptionOptions& preemption =
+        options_.serving.preemption;
+    // A shard owing a resume must replay the suspended remainder
+    // (plus the modeled re-staging) before any non-urgent dispatch
+    // can claim it; an urgent dispatch jumps that queue, so its cost
+    // excludes the tail.
+    const double suspendedTailSec =
+        sh.hasSuspended && !urgent
+            ? preemption.resumeOverheadSec +
+                  sh.suspended.remainingSec
+            : 0.0;
     // Backlog: zero for an idle candidate; for an occupied shard the
-    // replay end, or the parked dispatch's projected replay end.
-    double waitSec = 0.0;
-    if (sh.executor.busy())
-        waitSec = std::max(0.0, sh.busyUntilSec - nowSec);
-    else if (sh.hasPending)
-        waitSec = std::max(0.0, sh.pendingEndSec - nowSec);
+    // replay end, or the parked dispatch's projected replay end. An
+    // urgent dispatch against a busy, preemptable shard waits only
+    // until the next window boundary — where the preemptor cuts in —
+    // rather than the full replay (at the last window the two
+    // coincide: the shard frees at that boundary either way).
+    double waitSec = suspendedTailSec;
+    if (sh.executor.busy()) {
+        if (urgent && preemption.enabled && !sh.hasSuspended)
+            waitSec +=
+                std::max(0.0, sh.executor.nextBoundarySec() - nowSec);
+        else
+            waitSec += std::max(0.0, sh.busyUntilSec - nowSec);
+    } else if (sh.hasPending) {
+        waitSec += std::max(0.0, sh.pendingEndSec - nowSec);
+    }
 
     const std::string key = cacheKey(mixSig, shard);
     // The replay running right before this dispatch would be the
@@ -285,11 +310,17 @@ FleetSimulator::dispatchCostSec(std::size_t shard,
 int
 FleetSimulator::routeDispatch(const std::string& mixSig,
                               const Scenario& mix, double nowSec,
-                              bool allowDefer)
+                              bool allowDefer, bool urgent)
 {
     const std::size_t n = shards_.size();
+    // A shard parking a suspended replay is reserved for its resume:
+    // only urgent dispatches (the reason it was preempted at all) may
+    // claim it first — otherwise arbitrary ready batches could starve
+    // the preempted requests indefinitely.
     auto isCandidate = [&](std::size_t s) {
-        return !shards_[s].executor.busy() && !shards_[s].hasPending;
+        return !shards_[s].executor.busy() &&
+               !shards_[s].hasPending &&
+               (urgent || !shards_[s].hasSuspended);
     };
     // Per-shard completion costs, computed at most once per routing
     // decision and shared between BestFit's pick and the
@@ -300,7 +331,7 @@ FleetSimulator::routeDispatch(const std::string& mixSig,
             costSec.reserve(n);
             for (std::size_t s = 0; s < n; ++s)
                 costSec.push_back(
-                    dispatchCostSec(s, mixSig, mix, nowSec));
+                    dispatchCostSec(s, mixSig, mix, nowSec, urgent));
         }
         return costSec;
     };
@@ -398,7 +429,8 @@ FleetSimulator::routeDispatch(const std::string& mixSig,
 
 int
 FleetSimulator::speculationTarget(const std::string& mixSig,
-                                  const Scenario& mix, double nowSec)
+                                  const Scenario& mix, double nowSec,
+                                  bool urgent)
 {
     const std::size_t n = shards_.size();
     int target = -1;
@@ -409,10 +441,12 @@ FleetSimulator::speculationTarget(const std::string& mixSig,
       case RoutingPolicy::BestFit: {
         // Predict with the dispatch cost model itself, availability
         // waits included: the shard BestFit would pick once free.
+        // For an urgent mix the costs see boundary-preemption waits,
+        // so the solve warms the shard the preemptor will suspend.
         double bestCost = kInf;
         for (std::size_t s = 0; s < n; ++s) {
             const double cost =
-                dispatchCostSec(s, mixSig, mix, nowSec);
+                dispatchCostSec(s, mixSig, mix, nowSec, urgent);
             if (target < 0 || cost < bestCost - kCostTieEps) {
                 target = static_cast<int>(s);
                 bestCost = cost;
@@ -456,6 +490,30 @@ FleetSimulator::speculationTarget(const std::string& mixSig,
     return target;
 }
 
+void
+FleetSimulator::resumeSuspended(Shard& shard, double nowSec)
+{
+    SCAR_REQUIRE(shard.hasSuspended && !shard.executor.busy() &&
+                     !shard.hasPending,
+                 "fleet: resume on a shard not parking a suspended "
+                 "replay");
+    const double overheadSec =
+        options_.serving.preemption.resumeOverheadSec;
+    const double startSec = nowSec + overheadSec;
+    shard.resumeOverheadSec += overheadSec;
+    // Add back the remainder that suspension subtracted; the replay
+    // continues from its saved cursor, never re-solved (the
+    // SuspendedReplay pins the schedule, so even an LRU-evicted
+    // cache entry stays valid).
+    shard.busySec += shard.suspended.remainingSec;
+    shard.busyUntilSec = startSec + shard.suspended.remainingSec;
+    shard.lastKey = shard.suspendedKey;
+    shard.hasSuspended = false;
+    shard.executor.resume(std::move(shard.suspended), startSec);
+    shard.suspended = SuspendedReplay{};
+    shard.suspendedKey.clear();
+}
+
 ServingReport
 FleetSimulator::run(const std::vector<Request>& trace)
 {
@@ -472,12 +530,15 @@ FleetSimulator::run(const std::vector<Request>& trace)
         before.evictions += s.evictions;
     }
     for (Shard& shard : shards_) {
-        SCAR_REQUIRE(!shard.executor.busy() && !shard.hasPending,
+        SCAR_REQUIRE(!shard.executor.busy() && !shard.hasPending &&
+                         !shard.hasSuspended,
                      "fleet: run() while a shard is mid-dispatch");
         shard.dispatchesBefore = shard.executor.dispatchCount();
         shard.busySec = 0.0;
         shard.solveStallSec = 0.0;
         shard.switchOverheadSec = 0.0;
+        shard.preemptions = 0;
+        shard.resumeOverheadSec = 0.0;
         shard.lastKey.clear();
     }
     contestedRoutes_ = 0;
@@ -509,17 +570,32 @@ FleetSimulator::run(const std::vector<Request>& trace)
 
     auto anyBusyOrPending = [&]() {
         for (const Shard& shard : shards_) {
-            if (shard.executor.busy() || shard.hasPending)
+            if (shard.executor.busy() || shard.hasPending ||
+                shard.hasSuspended)
                 return true;
         }
         return false;
     };
-    auto anyCandidate = [&]() {
+    // Mirrors routeDispatch's candidate rule: a shard parking a
+    // suspended replay only counts for urgent dispatches.
+    auto anyCandidate = [&](bool urgent) {
         for (const Shard& shard : shards_) {
-            if (!shard.executor.busy() && !shard.hasPending)
+            if (!shard.executor.busy() && !shard.hasPending &&
+                (urgent || !shard.hasSuspended))
                 return true;
         }
         return false;
+    };
+    const PreemptionOptions& preemption =
+        options_.serving.preemption;
+    // Preemption-eligibility: some queued request's slack has shrunk
+    // to the threshold. Gated on `enabled` first so a disabled run
+    // never evaluates the urgency predicates (bit-identical to the
+    // non-preemptive runtime).
+    auto urgentQueued = [&](double nowSec) {
+        return preemption.enabled &&
+               admission.urgentQueued(nowSec,
+                                      preemption.slackThresholdSec);
     };
 
     std::size_t next = 0; // next arrival to admit
@@ -530,6 +606,28 @@ FleetSimulator::run(const std::vector<Request>& trace)
     long lastSpeculativeEpoch = -1;
     while (next < trace.size() || admission.queuedCount() > 0 ||
            anyBusyOrPending()) {
+        // Urgency is loop-invariant within one event iteration
+        // (nothing below changes the queues before the next event),
+        // so the O(queued) deadline scan runs once per iteration.
+        const bool urgent = urgentQueued(nowSec);
+
+        // 0. Resume suspended replays on idle shards. While an urgent
+        // request is queued the shard stays reserved for it (that is
+        // what it was preempted for — and serving a back-to-back
+        // urgent batch before resuming avoids a pointless
+        // resume/re-preempt cycle); the moment urgency clears, the
+        // preempted replay continues from its cursor.
+        bool resumed = false;
+        for (Shard& shard : shards_) {
+            if (!shard.hasSuspended || shard.executor.busy() ||
+                shard.hasPending || urgent)
+                continue;
+            resumeSuspended(shard, nowSec);
+            resumed = true;
+        }
+        if (resumed)
+            continue;
+
         // 1. Start parked dispatches whose schedule is usable now.
         bool started = false;
         for (Shard& shard : shards_) {
@@ -571,8 +669,15 @@ FleetSimulator::run(const std::vector<Request>& trace)
         // the batch stays queued and is re-routed at the next event
         // (typically when the preferred shard frees up).
         bool deferred = false;
-        if (admission.ready(nowSec) && anyCandidate()) {
-            const Scenario peeked = admission.peekMix();
+        if ((admission.ready(nowSec) || urgent) &&
+            anyCandidate(urgent)) {
+            // An urgent batch boards only the models holding an
+            // urgent request (shortest possible fast lane) and is
+            // dispatchable regardless of batch-fill / aging state.
+            const Scenario peeked =
+                urgent ? admission.peekUrgentMix(
+                             nowSec, preemption.slackThresholdSec)
+                       : admission.peekMix();
             const std::string sig = peeked.signature();
             // Overflow check: padded dispatch batches cover every
             // queued request unless some queue exceeded its cap, in
@@ -581,16 +686,21 @@ FleetSimulator::run(const std::vector<Request>& trace)
             int batchSlots = 0;
             for (const Model& model : peeked.models)
                 batchSlots += model.batch;
+            // Never defer an urgent dispatch: it exists because some
+            // request cannot afford to wait for a better package.
             const bool allowDefer =
-                options_.bestFitDefer &&
+                options_.bestFitDefer && !urgent &&
                 admission.queuedCount() <= batchSlots;
             const int target =
-                routeDispatch(sig, peeked, nowSec, allowDefer);
+                routeDispatch(sig, peeked, nowSec, allowDefer, urgent);
             if (target < 0) {
                 deferred = true;
             } else {
                 ++queueEpoch;
-                Dispatch dispatch = admission.formDispatch(nowSec);
+                Dispatch dispatch =
+                    urgent ? admission.formUrgentDispatch(
+                                 nowSec, preemption.slackThresholdSec)
+                           : admission.formDispatch(nowSec);
                 SCAR_ASSERT(dispatch.mix.signature() == sig,
                             "fleet: dispatch mix diverged from the "
                             "routed peek");
@@ -631,13 +741,18 @@ FleetSimulator::run(const std::vector<Request>& trace)
         // searches and distort the hit-rate counters.
         if (options_.speculativeSolve &&
             options_.serving.modeledSolveSec > 0.0 &&
-            admission.ready(nowSec) &&
+            (admission.ready(nowSec) || urgent) &&
             queueEpoch != lastSpeculativeEpoch) {
             lastSpeculativeEpoch = queueEpoch;
-            const Scenario peeked = admission.peekMix();
+            // Under urgency the next dispatch out is the urgent mix,
+            // so that is the schedule worth warming.
+            const Scenario peeked =
+                urgent ? admission.peekUrgentMix(
+                             nowSec, preemption.slackThresholdSec)
+                       : admission.peekMix();
             const std::string peekedSig = peeked.signature();
             const int target =
-                speculationTarget(peekedSig, peeked, nowSec);
+                speculationTarget(peekedSig, peeked, nowSec, urgent);
             if (target >= 0)
                 shards_[target].cache->prefetch(
                     cacheKey(peekedSig,
@@ -671,30 +786,65 @@ FleetSimulator::run(const std::vector<Request>& trace)
         // is a state change (boundary / solve-ready / arrival), and
         // re-arming the elapsed timer would spin the loop in place.
         const double tTimer =
-            (!deferred && anyCandidate() &&
+            (!deferred && anyCandidate(false) &&
              admission.queuedCount() > 0)
                 ? admission.nextForcedDispatchSec()
                 : kInf;
+        // Urgency timer: the instant the next queued request's slack
+        // crosses the preemption threshold, an urgent dispatch can
+        // claim an idle shard without waiting for batch fill or the
+        // forced-dispatch timer. Only armed while a candidate exists
+        // (with none, the urgent batch's next chance is a window
+        // boundary — where the preemptor acts — so boundary events
+        // already cover it) and while not already urgent (step 2
+        // either dispatched or, with no candidate, boundaries drive
+        // progress; re-arming an elapsed instant would spin).
+        const double tUrgent =
+            (preemption.enabled && !urgent &&
+             admission.queuedCount() > 0 && anyCandidate(true))
+                ? admission.earliestDeadlineSec() -
+                      preemption.slackThresholdSec
+                : kInf;
 
-        const double tNext =
-            std::min({tArrival, tBoundary, tPending, tTimer});
+        const double tNext = std::min(
+            {tArrival, tBoundary, tPending, tTimer, tUrgent});
         SCAR_REQUIRE(tNext < kInf,
                      "fleet: event loop stalled with ",
                      admission.queuedCount(), " queued requests");
         nowSec = std::max(nowSec, tNext);
 
         if (tArrival <= tBoundary && tArrival <= tPending &&
-            tArrival <= tTimer) {
+            tArrival <= tTimer && tArrival <= tUrgent) {
             admission.enqueue(trace[next]);
             ++next;
             ++queueEpoch;
-        } else if (tBoundary <= tPending && tBoundary <= tTimer) {
-            WindowTick tick = shards_[boundaryShard].executor.advance();
+        } else if (tBoundary <= tPending && tBoundary <= tTimer &&
+                   tBoundary <= tUrgent) {
+            Shard& sh = shards_[boundaryShard];
+            WindowTick tick = sh.executor.advance();
             for (Request& req : tick.completed)
                 records_.push_back(req);
+            // Boundary preemption: an urgent request is waiting, no
+            // shard can take it, and this replay just reached a cut
+            // point with windows still ahead — suspend it here; the
+            // next loop iteration dispatches the urgent batch onto
+            // the freed shard. When the tick ended the dispatch the
+            // shard frees naturally (preempting at the last window
+            // is the degenerate no-op), and a shard already parking
+            // a suspended replay is never preempted again (depth 1).
+            if (!tick.dispatchDone && !sh.hasSuspended &&
+                urgentQueued(nowSec) && !anyCandidate(true)) {
+                sh.suspended = sh.executor.suspend();
+                sh.hasSuspended = true;
+                sh.suspendedKey = sh.lastKey;
+                // The remaining windows will be re-charged at resume.
+                sh.busySec -= sh.suspended.remainingSec;
+                ++sh.preemptions;
+            }
         }
-        // Pending-ready and timer events need no action beyond
-        // advancing the clock: the loop head fires next iteration.
+        // Pending-ready, timer, and urgency events need no action
+        // beyond advancing the clock: the loop head fires next
+        // iteration.
     }
 
     // Promote stray speculative solves so stats and cache sizes are
@@ -736,10 +886,14 @@ FleetSimulator::run(const std::vector<Request>& trace)
                              : 0.0;
         sr.solveStallSec = shard.solveStallSec;
         sr.switchOverheadSec = shard.switchOverheadSec;
+        sr.preemptions = shard.preemptions;
         report.solveStallSec += shard.solveStallSec;
         report.switchOverheadSec += shard.switchOverheadSec;
+        report.preemptions += shard.preemptions;
+        report.resumeOverheadSec += shard.resumeOverheadSec;
         report.shards.push_back(sr);
     }
+    report.preemptionEnabled = options_.serving.preemption.enabled;
     report.contestedRoutes = contestedRoutes_;
     report.costOptimalRoutes = costOptimalRoutes_;
     report.costOptimalRouteFrac =
@@ -752,6 +906,10 @@ FleetSimulator::run(const std::vector<Request>& trace)
            routingPolicyName(options_.routing), ") in ",
            report.dispatches, " dispatches, ", delta.misses,
            " schedule solves (", cachedMixes, " mixes cached)");
+    if (options_.serving.preemption.enabled)
+        inform("fleet: ", report.preemptions,
+               " boundary preemptions, ", report.preemptedRequests,
+               " preempted requests resumed");
     return report;
 }
 

@@ -20,7 +20,19 @@
  *    shard the dispatch is predicted to land on, so the search
  *    overlaps the in-flight replays instead of stalling them (the
  *    PR 1 executor blocked the whole loop here). No solve is
- *    launched when the predicted target already holds the schedule.
+ *    launched when the predicted target already holds the schedule;
+ *  - boundary preemption (opt-in, PreemptionOptions): when a queued
+ *    request's slack shrinks to the threshold while every shard is
+ *    occupied, the first in-flight replay to cross a window boundary
+ *    is suspended there (executor.h SuspendedReplay), the urgent
+ *    models' batch dispatches onto the freed shard, and the
+ *    suspended replay resumes from its saved cursor once the shard
+ *    quiets down — charged a modeled re-staging overhead on the
+ *    virtual clock, never re-solved. A shard parks at most one
+ *    suspended replay (no nested preemption), non-urgent dispatches
+ *    cannot claim a shard that owes a resume, and a replay already
+ *    in its last window is never suspended (preempting there is a
+ *    no-op — the shard frees at that boundary anyway).
  *
  * Heterogeneous fleets: FleetOptions::shardTemplates gives each shard
  * its own McmConfig-style package (e.g. an NVDLA-heavy package for
@@ -96,6 +108,38 @@ enum class RoutingPolicy
 
 const char* routingPolicyName(RoutingPolicy policy);
 
+/**
+ * Request-level boundary-preemption knobs.
+ *
+ * AR/VR frame deadlines are an order of magnitude tighter than
+ * datacenter SLOs; without preemption a 20 fps request landing behind
+ * a long datacenter replay waits the full remaining makespan and
+ * blows its deadline. With preemption enabled, a replay is suspended
+ * at its next window boundary whenever a queued request's slack falls
+ * to the threshold and no shard is free, the urgent batch runs, and
+ * the suspended replay resumes from its cursor.
+ */
+struct PreemptionOptions
+{
+    /** Master switch. Disabled reproduces the non-preemptive runtime
+     *  bit-for-bit (the urgency checks are never evaluated). */
+    bool enabled = false;
+    /**
+     * A queued request is urgent once its slack (deadline - now) is
+     * at or below this, in seconds. Larger values preempt earlier
+     * (safer for the urgent request, more disruption); 0 preempts
+     * only at the deadline instant itself.
+     */
+    double slackThresholdSec = 0.02;
+    /**
+     * Modeled weight re-staging charged on the virtual clock when a
+     * suspended replay resumes — the preemption analogue of
+     * ServingOptions::switchOverheadSec (the urgent dispatch itself
+     * pays the ordinary switch overhead on the way in).
+     */
+    double resumeOverheadSec = 0.0;
+};
+
 /** Serving-simulation configuration (single package). */
 struct ServingOptions
 {
@@ -115,6 +159,8 @@ struct ServingOptions
     double switchOverheadSec = 0.0;
     /** LRU capacity per schedule cache (0 = unbounded). */
     std::size_t cacheCapacity = 0;
+    /** Request-level boundary preemption (off by default). */
+    PreemptionOptions preemption;
     /**
      * Worker pool for background solves and the search fan-out
      * inside each solve (not owned); nullptr uses
@@ -241,12 +287,21 @@ class FleetSimulator
         /** Set when the dispatch-time lookup already had the
          *  schedule; spares the join() re-lookup on cache hits. */
         std::shared_ptr<const CachedSchedule> pendingSchedule;
+        // A replay suspended at a window boundary, waiting to resume
+        // once the shard quiets down. At most one per shard; a shard
+        // owing a resume only accepts *urgent* dispatches until the
+        // suspended replay has finished.
+        bool hasSuspended = false;
+        SuspendedReplay suspended;
+        std::string suspendedKey; ///< (mix, package) key of the suspended replay
         // Per-run accounting.
         long dispatchesBefore = 0; ///< executor count at run start
         double busyUntilSec = 0.0; ///< end of the current replay
         double busySec = 0.0;
         double solveStallSec = 0.0;
         double switchOverheadSec = 0.0;
+        long preemptions = 0;
+        double resumeOverheadSec = 0.0;
         std::string lastKey; ///< (mix, package) key of the previous replay
     };
 
@@ -265,13 +320,24 @@ class FleetSimulator
      * BestFit's completion-cost estimate for dispatching the mix on
      * shard s at nowSec: availability wait + switch overhead + solve
      * wait + makespan (cached when resident, estimated otherwise).
+     * With `urgent` set and preemption enabled, a busy shard is
+     * charged only the wait to its next window boundary — the instant
+     * boundary preemption would free it — instead of its full replay
+     * backlog, so cost-aware decisions (speculation targeting,
+     * deferral) see the same completion instants the preemptive
+     * executor will actually deliver. A shard owing a resume is
+     * additionally charged the resume overhead plus the suspended
+     * replay's remaining windows for non-urgent traffic.
      */
     double dispatchCostSec(std::size_t shard,
                            const std::string& mixSig,
-                           const Scenario& mix, double nowSec);
+                           const Scenario& mix, double nowSec,
+                           bool urgent);
 
     /**
-     * Picks the target among idle pending-free shards. Returns -1
+     * Picks the target among idle pending-free shards (for urgent
+     * dispatches, shards parking a suspended replay qualify too —
+     * they are reserved *against non-urgent* claims only). Returns -1
      * when there is no idle candidate — or, under BestFit with
      * allowDefer, when an occupied shard's projected completion
      * beats every idle candidate and the dispatch should wait for it
@@ -282,20 +348,31 @@ class FleetSimulator
      * contributing throughput.
      */
     int routeDispatch(const std::string& mixSig, const Scenario& mix,
-                      double nowSec, bool allowDefer);
+                      double nowSec, bool allowDefer, bool urgent);
 
     /**
      * The shard a speculative solve for this mix should warm: the
      * affinity shard (MixAffinity), the cost-cheapest shard counting
      * availability waits (BestFit), or the busy shard that frees up
-     * first — the likeliest dispatch target — otherwise. Returns -1
-     * when the predicted target's cache already holds or is already
-     * solving the (mix, package) schedule, so no background solve is
-     * wasted re-deriving a resident schedule (previously only the
-     * shared-cache configuration was protected against this).
+     * first — the likeliest dispatch target — otherwise. For an
+     * urgent mix the cost model sees boundary-preemption waits, so
+     * the predicted target is the replay the preemptor will actually
+     * suspend. Returns -1 when the predicted target's cache already
+     * holds or is already solving the (mix, package) schedule, so no
+     * background solve is wasted re-deriving a resident schedule
+     * (previously only the shared-cache configuration was protected
+     * against this).
      */
     int speculationTarget(const std::string& mixSig,
-                          const Scenario& mix, double nowSec);
+                          const Scenario& mix, double nowSec,
+                          bool urgent);
+
+    /**
+     * Restarts a shard's suspended replay at nowSec plus the modeled
+     * resume overhead, restoring the busy/accounting state suspension
+     * subtracted. Requires an idle shard with a parked replay.
+     */
+    void resumeSuspended(Shard& shard, double nowSec);
 
     std::vector<ServedModel> catalog_;
     FleetOptions options_;

@@ -58,6 +58,14 @@ struct Request
     double dispatchSec = -1.0;
     /** When the request's model finished its layers (-1 = not yet). */
     double completionSec = -1.0;
+    /**
+     * True when the request's replay was suspended at a window
+     * boundary to serve a more urgent dispatch and later resumed
+     * (runtime/executor.h). The serving report aggregates the tail
+     * latency of these requests separately — the cost side of the
+     * preemption trade.
+     */
+    bool preempted = false;
 
     bool completed() const { return completionSec >= 0.0; }
 

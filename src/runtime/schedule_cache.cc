@@ -15,14 +15,21 @@ buildReplayView(CachedSchedule& entry)
     entry.windowSec.clear();
     entry.lastWindow.assign(entry.mix.numModels(), -1);
     entry.makespanSec = 0.0;
-    for (std::size_t w = 0; w < entry.result.windows.size(); ++w) {
-        const ScheduledWindow& sw = entry.result.windows[w];
-        const double sec = cyclesToSeconds(sw.cost.latencyCycles);
+    // The per-window durations come from the schedule's stable
+    // boundary metadata — the same cut points the boundary preemptor
+    // suspends and resumes at.
+    for (const WindowBoundary& boundary : windowBoundaries(entry.result)) {
+        // windowCycles (not endCycles - startCycles): the replay
+        // durations must stay bit-identical to the pre-metadata code,
+        // and a difference of cumulative sums is not.
+        const double sec = cyclesToSeconds(boundary.windowCycles);
         entry.windowSec.push_back(sec);
         entry.makespanSec += sec;
+        const ScheduledWindow& sw =
+            entry.result.windows[boundary.windowIdx];
         for (const ModelPlacement& mp : sw.placement.models) {
             if (!mp.segments.empty())
-                entry.lastWindow[mp.modelIdx] = static_cast<int>(w);
+                entry.lastWindow[mp.modelIdx] = boundary.windowIdx;
         }
     }
     for (int m = 0; m < entry.mix.numModels(); ++m)

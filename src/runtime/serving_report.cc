@@ -48,6 +48,7 @@ summarizeServing(const std::vector<Request>& requests, long offered,
 
     std::vector<double> latencies;
     latencies.reserve(requests.size());
+    std::vector<double> preemptedLatencies;
     double sum = 0.0;
     for (const Request& req : requests) {
         if (!req.completed())
@@ -61,6 +62,16 @@ summarizeServing(const std::vector<Request>& requests, long offered,
             std::max(report.horizonSec, req.completionSec);
         if (req.sloViolated())
             ++report.sloViolations;
+        if (req.preempted) {
+            ++report.preemptedRequests;
+            preemptedLatencies.push_back(lat);
+        }
+    }
+    if (!preemptedLatencies.empty()) {
+        std::sort(preemptedLatencies.begin(),
+                  preemptedLatencies.end());
+        report.preemptedP99Sec =
+            sortedPercentile(preemptedLatencies, 99.0);
     }
     if (report.completed > 0) {
         report.meanLatencySec = sum / report.completed;

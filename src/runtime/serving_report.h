@@ -37,6 +37,8 @@ struct ShardReport
     double solveStallSec = 0.0;
     /** Modeled weight re-staging paid on mix switches. */
     double switchOverheadSec = 0.0;
+    /** Replays suspended at a window boundary for an urgent batch. */
+    long preemptions = 0;
 };
 
 /** Aggregate serving statistics for one simulated stream. */
@@ -80,6 +82,21 @@ struct ServingReport
     long contestedRoutes = 0;
     long costOptimalRoutes = 0;
     double costOptimalRouteFrac = 1.0; ///< 1.0 when uncontested
+
+    // Boundary preemption (runtime/executor.h). preemptionEnabled
+    // gates the extra reporter rows so a run with preemption disabled
+    // renders byte-identically to the pre-preemption reports.
+    bool preemptionEnabled = false;
+    /** Replays suspended at a window boundary across all shards. */
+    long preemptions = 0;
+    /** Modeled weight re-staging charged when suspended replays
+     *  resumed. */
+    double resumeOverheadSec = 0.0;
+    /** Completed requests whose replay was suspended at least once. */
+    long preemptedRequests = 0;
+    /** p99 latency over just those requests — the tail the preempted
+     *  (typically datacenter) traffic pays for the urgent fast lane. */
+    double preemptedP99Sec = 0.0;
 };
 
 /**

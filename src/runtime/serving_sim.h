@@ -12,6 +12,14 @@
  * switch overhead, unbounded cache — the virtual-time behavior is
  * exactly the original blocking simulator's.
  *
+ * Request-level boundary preemption is available through
+ * ServingOptions::preemption: with it enabled, a queued request whose
+ * slack shrinks to the threshold suspends the in-flight replay at its
+ * next window boundary, runs as an urgent dispatch, and the suspended
+ * replay resumes from its saved cursor (runtime/executor.h). The
+ * default — disabled — reproduces the non-preemptive runtime
+ * bit-for-bit.
+ *
  * For multiple packages, heterogeneous per-shard templates, routing
  * policies (including the cost-aware BestFit), or per-shard caches,
  * use FleetSimulator directly.

@@ -17,6 +17,28 @@ constexpr std::uint64_t kCloudStream = 0xC10DuLL;
 
 } // namespace
 
+std::vector<WindowBoundary>
+windowBoundaries(const ScheduleResult& result)
+{
+    std::vector<WindowBoundary> boundaries;
+    boundaries.reserve(result.windows.size());
+    double cumulative = 0.0;
+    for (std::size_t w = 0; w < result.windows.size(); ++w) {
+        const ScheduledWindow& sw = result.windows[w];
+        WindowBoundary boundary;
+        boundary.windowIdx = static_cast<int>(w);
+        boundary.windowCycles = sw.cost.latencyCycles;
+        boundary.startCycles = cumulative;
+        cumulative += sw.cost.latencyCycles;
+        boundary.endCycles = cumulative;
+        for (const ModelPlacement& mp : sw.placement.models)
+            boundary.segments += static_cast<int>(mp.segments.size());
+        boundary.last = w + 1 == result.windows.size();
+        boundaries.push_back(boundary);
+    }
+    return boundaries;
+}
+
 Scar::Scar(Scenario scenario, Mcm mcm, ScarOptions options)
     : scenario_(std::move(scenario)), mcm_(std::move(mcm)),
       options_(options), db_(scenario_, mcm_)

@@ -89,6 +89,39 @@ struct ScheduleResult
     std::vector<Metrics> candidates;  ///< scenario-level Pareto cloud
 };
 
+/**
+ * One stable cut point of a schedule: the end of window `windowIdx`.
+ *
+ * The serving runtime replays schedules window by window, and window
+ * ends are the only instants where the package holds no in-flight
+ * layer work — every placed segment either finished in this window or
+ * has not started. That makes boundaries the natural re-entry points
+ * for request-level preemption (suspend here, replay something
+ * urgent, resume from the same cursor without re-solving), the same
+ * cut-point role NN-Baton-style pipeline frameworks assign to stage
+ * boundaries. `segments` counts the placed segments inside the ending
+ * window: a future finer-grained preemptor could cut between them,
+ * so the count is exposed as metadata even though the executor
+ * currently only cuts at window ends.
+ */
+struct WindowBoundary
+{
+    int windowIdx = 0;         ///< window that ends at this boundary
+    double windowCycles = 0.0; ///< latency of the ending window alone
+    double startCycles = 0.0;  ///< cumulative latency at window start
+    double endCycles = 0.0;    ///< cumulative latency at the boundary
+    int segments = 0;          ///< placed segments inside the window
+    bool last = false;         ///< the schedule completes here
+};
+
+/**
+ * The ordered boundary metadata of a schedule, one entry per window.
+ * Deterministic in the ScheduleResult alone; the runtime's replay
+ * view (runtime/schedule_cache.h) and the boundary preemptor derive
+ * their per-window timings from these offsets.
+ */
+std::vector<WindowBoundary> windowBoundaries(const ScheduleResult& result);
+
 /** The SCAR scheduler. */
 class Scar
 {
