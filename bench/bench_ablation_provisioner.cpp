@@ -11,6 +11,8 @@
 
 #include <iostream>
 
+#include <map>
+
 #include "common/csv.h"
 #include "common/table.h"
 #include "bench_util.h"

@@ -8,6 +8,7 @@
  * scheduler operate unchanged for any |DF|.
  */
 
+#include <map>
 #include <iostream>
 
 #include "common/csv.h"

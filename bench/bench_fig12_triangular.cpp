@@ -9,6 +9,7 @@
  * is second to Simba-T (NVD) on scenario 3.
  */
 
+#include <map>
 #include <iostream>
 
 #include "common/csv.h"

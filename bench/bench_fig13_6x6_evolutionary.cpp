@@ -9,6 +9,7 @@
  * 2.1x / 1.8x lower latency than Simba-6 (Shi) / Simba-6 (NVD).
  */
 
+#include <map>
 #include <iostream>
 
 #include "common/csv.h"

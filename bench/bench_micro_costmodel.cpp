@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "arch/mcm_templates.h"
+#include "micro_bench_main.h"
 #include "cost/cost_db.h"
 #include "cost/window_evaluator.h"
 #include "eval/scenario_suite.h"
@@ -104,6 +105,41 @@ BM_WindowEvaluate(benchmark::State& state)
 }
 BENCHMARK(BM_WindowEvaluate);
 
+/**
+ * Contention-free window evaluation: the configuration the beam
+ * search's solo scoring uses (thousands of calls per window search).
+ */
+void
+BM_WindowEvaluateSolo(benchmark::State& state)
+{
+    Scenario sc;
+    sc.name = "solo";
+    sc.models = {zoo::resNet50(4)};
+    sc.finalize();
+    const Mcm mcm = templates::hetSides3x3();
+    const CostDb db(sc, mcm);
+    EvaluatorOptions options;
+    options.contention = false;
+    options.dramRoofline = false;
+    const WindowEvaluator eval(db, options);
+
+    WindowPlacement placement;
+    ModelPlacement a;
+    a.modelIdx = 0;
+    a.segments = {PlacedSegment{LayerRange{0, 30}, 0},
+                  PlacedSegment{LayerRange{31, 71}, 3}};
+    placement.models = {a};
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(eval.evaluate(placement));
+    }
+}
+BENCHMARK(BM_WindowEvaluateSolo);
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    return scar::bench::runMicroBench("micro_costmodel", argc, argv);
+}

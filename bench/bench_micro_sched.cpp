@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "arch/mcm_templates.h"
+#include "micro_bench_main.h"
 #include "eval/scenario_suite.h"
 #include "sched/scar.h"
 #include "sched/sched_tree.h"
@@ -78,6 +79,46 @@ BM_ScarEvolutionary6x6(benchmark::State& state)
 }
 BENCHMARK(BM_ScarEvolutionary6x6)->Unit(benchmark::kMillisecond);
 
+/**
+ * Calibration anchor for scripts/check_bench_regression.py: MaestroLite
+ * layer evaluation exercises no scheduler or cost-aggregation code, so
+ * its time tracks machine speed, not this repo's hot-path work. Keep
+ * it untouched by search optimizations.
+ */
+void
+BM_CalibrationGemm(benchmark::State& state)
+{
+    const MaestroLite model;
+    ChipletSpec spec;
+    spec.dataflow = Dataflow::NvdlaWS;
+    const Layer gemm = makeGemmLayer(0, "g", 128, 5120, 1280);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.evalLayer(gemm, spec));
+    }
+}
+BENCHMARK(BM_CalibrationGemm);
+
+/**
+ * Path enumeration through the PathCache on a hit — the lookup the
+ * beam search pays once per (length, occupancy) beam state.
+ */
+void
+BM_PathCacheHit(benchmark::State& state)
+{
+    const Topology topo = Topology::mesh(6, 6);
+    const std::vector<bool> blocked(36, false);
+    PathCache cache;
+    benchmark::DoNotOptimize(cache.get(topo, 4, blocked, 96));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.get(topo, 4, blocked, 96));
+    }
+}
+BENCHMARK(BM_PathCacheHit);
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    return scar::bench::runMicroBench("micro_sched", argc, argv);
+}

@@ -9,6 +9,7 @@
  * CNN-heavy Social scenario (Sc9 relative EDP < 0.5).
  */
 
+#include <map>
 #include <iostream>
 
 #include "common/csv.h"

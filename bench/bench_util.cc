@@ -105,6 +105,39 @@ csvPath(const std::string& name)
     return "bench_results/" + name + ".csv";
 }
 
+std::string
+jsonPath(const std::string& name)
+{
+    std::filesystem::create_directories("bench_results");
+    return "bench_results/" + name + ".json";
+}
+
+std::vector<std::string>
+microBenchArgs(const std::string& name, int argc, char** argv)
+{
+    std::vector<std::string> args(argv, argv + argc);
+    // Flag detection must not confuse --benchmark_out with
+    // --benchmark_out_format: match "<flag>=" or the exact flag.
+    auto hasFlag = [&](const std::string& flag) {
+        for (const std::string& arg : args) {
+            if (arg == flag || arg.rfind(flag + "=", 0) == 0)
+                return true;
+        }
+        return false;
+    };
+    if (!hasFlag("--benchmark_out")) {
+        args.push_back("--benchmark_out=" + jsonPath(name));
+        if (!hasFlag("--benchmark_out_format"))
+            args.push_back("--benchmark_out_format=json");
+    }
+    const char* minTime = std::getenv("SCAR_BENCH_MIN_TIME_S");
+    if (minTime != nullptr && *minTime != '\0' &&
+        !hasFlag("--benchmark_min_time")) {
+        args.push_back(std::string("--benchmark_min_time=") + minTime);
+    }
+    return args;
+}
+
 int
 envInt(const char* name, int fallback)
 {

@@ -71,6 +71,21 @@ RunResult runStrategy(const Strategy& strategy, const Scenario& scenario,
 /** Ensures ./bench_results exists and returns the CSV path for a name. */
 std::string csvPath(const std::string& name);
 
+/** Ensures ./bench_results exists and returns the JSON path for a name. */
+std::string jsonPath(const std::string& name);
+
+/**
+ * Argv for a Google-Benchmark micro bench: the caller's argv plus,
+ * unless already given, `--benchmark_out=<jsonPath(name)>` (JSON
+ * format) so every run leaves a machine-readable artifact for
+ * scripts/check_bench_regression.py, and `--benchmark_min_time` from
+ * the SCAR_BENCH_MIN_TIME_S env knob (the CI smoke job shrinks run
+ * time through it). The returned strings own the storage; pass
+ * pointers into benchmark::Initialize.
+ */
+std::vector<std::string> microBenchArgs(const std::string& name,
+                                        int argc, char** argv);
+
 /** Environment knob with a fallback for unset/empty variables — the
  *  bench-smoke CI job shrinks sweep sizes through these. */
 int envInt(const char* name, int fallback);

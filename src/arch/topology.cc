@@ -31,6 +31,7 @@ Topology::mesh(int width, int height)
         }
     }
     topo.computeHopMatrix();
+    topo.computeRouteTables();
     return topo;
 }
 
@@ -64,6 +65,7 @@ Topology::triangular(int topRow, int numRows)
         }
     }
     topo.computeHopMatrix();
+    topo.computeRouteTables();
     return topo;
 }
 
@@ -79,6 +81,7 @@ Topology::fromAdjacency(std::vector<std::vector<int>> adj)
     Topology topo;
     topo.adj_ = std::move(adj);
     topo.computeHopMatrix();
+    topo.computeRouteTables();
     return topo;
 }
 
@@ -87,6 +90,46 @@ Topology::neighbors(int node) const
 {
     SCAR_ASSERT(node >= 0 && node < numNodes(), "bad node ", node);
     return adj_[node];
+}
+
+void
+Topology::computeRouteTables()
+{
+    const int n = numNodes();
+
+    // Dense link ids in (node, adjacency-list) order — deterministic
+    // for a given adjacency.
+    linkIndex_.assign(static_cast<std::size_t>(n) * n, -1);
+    links_.clear();
+    for (int u = 0; u < n; ++u) {
+        for (int v : adj_[u]) {
+            if (linkIndex_[static_cast<std::size_t>(u) * n + v] < 0) {
+                linkIndex_[static_cast<std::size_t>(u) * n + v] =
+                    static_cast<int>(links_.size());
+                links_.emplace_back(u, v);
+            }
+        }
+    }
+
+    // All-pairs routes, derived once from the same route() every
+    // caller used before the cache existed.
+    routeLinkIds_.assign(static_cast<std::size_t>(n) * n, {});
+    for (int src = 0; src < n; ++src) {
+        for (int dst = 0; dst < n; ++dst) {
+            if (src == dst)
+                continue;
+            const std::vector<int> path = route(src, dst);
+            std::vector<int>& ids =
+                routeLinkIds_[static_cast<std::size_t>(src) * n + dst];
+            ids.reserve(path.size() - 1);
+            for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+                const int id = linkId(path[i], path[i + 1]);
+                SCAR_ASSERT(id >= 0, "route hop ", path[i], "->",
+                            path[i + 1], " is not an adjacency link");
+                ids.push_back(id);
+            }
+        }
+    }
 }
 
 void
@@ -152,12 +195,34 @@ Topology::route(int src, int dst) const
 std::vector<Link>
 Topology::routeLinks(int src, int dst) const
 {
-    const std::vector<int> path = route(src, dst);
     std::vector<Link> links;
-    links.reserve(path.size());
-    for (std::size_t i = 0; i + 1 < path.size(); ++i)
-        links.emplace_back(path[i], path[i + 1]);
+    for (const int id : routeLinkIds(src, dst))
+        links.push_back(linkById(id));
     return links;
+}
+
+int
+Topology::linkId(int src, int dst) const
+{
+    SCAR_ASSERT(src >= 0 && src < numNodes(), "bad src ", src);
+    SCAR_ASSERT(dst >= 0 && dst < numNodes(), "bad dst ", dst);
+    return linkIndex_[static_cast<std::size_t>(src) * numNodes() + dst];
+}
+
+const Link&
+Topology::linkById(int id) const
+{
+    SCAR_ASSERT(id >= 0 && id < numLinks(), "bad link id ", id);
+    return links_[id];
+}
+
+const std::vector<int>&
+Topology::routeLinkIds(int src, int dst) const
+{
+    SCAR_ASSERT(src >= 0 && src < numNodes(), "bad src ", src);
+    SCAR_ASSERT(dst >= 0 && dst < numNodes(), "bad dst ", dst);
+    return routeLinkIds_[static_cast<std::size_t>(src) * numNodes() +
+                         dst];
 }
 
 std::vector<int>

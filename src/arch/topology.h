@@ -54,8 +54,33 @@ class Topology
      */
     std::vector<int> route(int src, int dst) const;
 
-    /** The directed links traversed by route(src, dst). */
+    /**
+     * The directed links traversed by route(src, dst), derived from
+     * the precomputed routeLinkIds table. Diagnostic/test
+     * convenience — the hot path reads routeLinkIds() directly.
+     */
     std::vector<Link> routeLinks(int src, int dst) const;
+
+    // ---- Dense link indexing -------------------------------------
+    //
+    // Every directed adjacency link has a stable dense id in
+    // [0, numLinks()), so per-link state (the evaluator's contention
+    // loads) can live in flat vectors instead of ordered maps.
+
+    /** Number of directed NoP links (adjacency entries). */
+    int numLinks() const { return static_cast<int>(links_.size()); }
+
+    /** Dense id of a directed link; -1 when src->dst is not an edge. */
+    int linkId(int src, int dst) const;
+
+    /** The (src, dst) pair of a dense link id. */
+    const Link& linkById(int id) const;
+
+    /**
+     * The dense link ids traversed by route(src, dst), precomputed
+     * for all pairs (empty for src == dst).
+     */
+    const std::vector<int>& routeLinkIds(int src, int dst) const;
 
     /** True for XY-routed meshes. */
     bool isMesh() const { return meshWidth_ > 0; }
@@ -69,12 +94,18 @@ class Topology
     Topology() = default;
 
     void computeHopMatrix();
+    void computeRouteTables();
     std::vector<int> bfsPath(int src, int dst) const;
 
     std::vector<std::vector<int>> adj_;
     std::vector<std::vector<int>> hopMatrix_;
     int meshWidth_ = 0;
     int meshHeight_ = 0;
+
+    std::vector<Link> links_;     ///< dense id -> directed link
+    std::vector<int> linkIndex_;  ///< src * n + dst -> id (or -1)
+    // All-pairs route cache (link ids per pair), indexed src * n + dst.
+    std::vector<std::vector<int>> routeLinkIds_;
 };
 
 } // namespace scar

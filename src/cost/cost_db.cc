@@ -56,6 +56,136 @@ CostDb::CostDb(const Scenario& scenario, const Mcm& mcm, MaestroLite model,
             }
         }
     }
+
+    buildRangeTables();
+}
+
+std::size_t
+CostDb::triIndex(int model, int first, int last) const
+{
+    // Packed upper triangle: rows are `first`, columns run from
+    // `first` to L-1; row f starts after the f longer rows before it.
+    const std::size_t numLayers =
+        scenario_.models[model].layers.size();
+    const std::size_t f = static_cast<std::size_t>(first);
+    return f * numLayers - f * (f - 1) / 2 +
+           static_cast<std::size_t>(last - first);
+}
+
+void
+CostDb::buildRangeTables()
+{
+    const std::size_t numModels = scenario_.models.size();
+    rangeSums_.resize(numModels);
+    weightPrefix_.resize(numModels);
+    actMax_.resize(numModels);
+
+    for (std::size_t m = 0; m < numModels; ++m) {
+        const Model& mod = scenario_.models[m];
+        const std::size_t numLayers = mod.layers.size();
+        const std::size_t triSize = numLayers * (numLayers + 1) / 2;
+
+        rangeSums_[m].resize(miniBatches_[m].size());
+        for (std::size_t bi = 0; bi < miniBatches_[m].size(); ++bi) {
+            const int bPrime = miniBatches_[m][bi];
+            for (Dataflow df : kAllDataflows) {
+                RangeSums& sums = rangeSums_[m][bi][dataflowIndex(df)];
+                sums.cycles.resize(triSize);
+                sums.energyNj.resize(triSize);
+                for (std::size_t f = 0; f < numLayers; ++f) {
+                    // Accumulate in the exact order (and with the
+                    // exact expression) of the per-segment loop this
+                    // table replaces, so lookups are bit-identical.
+                    double cycles = 0.0;
+                    double energy = 0.0;
+                    std::size_t idx = triIndex(static_cast<int>(m),
+                                               static_cast<int>(f),
+                                               static_cast<int>(f));
+                    for (std::size_t l = f; l < numLayers;
+                         ++l, ++idx) {
+                        const LayerCost& lc =
+                            costs_[m][bi][l][dataflowIndex(df)];
+                        cycles += lc.intraCycles() * bPrime;
+                        energy += lc.intraEnergyNj * bPrime;
+                        sums.cycles[idx] = cycles;
+                        sums.energyNj[idx] = energy;
+                    }
+                }
+            }
+        }
+
+        // Weight bytes are integer-valued (see common/units.h), so
+        // plain prefix sums subtract exactly.
+        weightPrefix_[m].assign(numLayers + 1, 0.0);
+        for (std::size_t l = 0; l < numLayers; ++l) {
+            weightPrefix_[m][l + 1] =
+                weightPrefix_[m][l] + mod.layers[l].weightBytes();
+        }
+
+        // Sparse table over the per-sample activation footprint.
+        std::vector<std::vector<double>>& table = actMax_[m];
+        table.emplace_back(numLayers);
+        for (std::size_t l = 0; l < numLayers; ++l) {
+            table[0][l] =
+                mod.layers[l].inputBytes() + mod.layers[l].outputBytes();
+        }
+        for (std::size_t span = 2; span <= numLayers; span *= 2) {
+            const std::vector<double>& prev = table.back();
+            std::vector<double> level(numLayers - span + 1);
+            for (std::size_t i = 0; i + span <= numLayers; ++i)
+                level[i] = std::max(prev[i], prev[i + span / 2]);
+            table.push_back(std::move(level));
+        }
+    }
+}
+
+int
+CostDb::miniBatchIndex(int model, int bPrime) const
+{
+    SCAR_ASSERT(model >= 0 &&
+                    model < static_cast<int>(miniBatches_.size()),
+                "bad model index ", model);
+    const auto& candidates = miniBatches_[model];
+    for (std::size_t bi = 0; bi < candidates.size(); ++bi) {
+        if (candidates[bi] == bPrime)
+            return static_cast<int>(bi);
+    }
+    panic("mini-batch ", bPrime, " not cached for model ", model);
+}
+
+double
+CostDb::segmentCycles(int model, int bIdx, Dataflow df, int first,
+                      int last) const
+{
+    return rangeSums_[model][bIdx][dataflowIndex(df)]
+        .cycles[triIndex(model, first, last)];
+}
+
+double
+CostDb::segmentEnergyNj(int model, int bIdx, Dataflow df, int first,
+                        int last) const
+{
+    return rangeSums_[model][bIdx][dataflowIndex(df)]
+        .energyNj[triIndex(model, first, last)];
+}
+
+double
+CostDb::segmentWeightBytes(int model, int first, int last) const
+{
+    return weightPrefix_[model][last + 1] - weightPrefix_[model][first];
+}
+
+double
+CostDb::segmentMaxActBytes(int model, int first, int last) const
+{
+    const std::vector<std::vector<double>>& table = actMax_[model];
+    const unsigned len = static_cast<unsigned>(last - first + 1);
+    // floor(log2(len)) via the leading-zero count; len >= 1 always.
+    const int level =
+        31 - __builtin_clz(len);
+    const std::size_t span = std::size_t{1} << level;
+    return std::max(table[level][first],
+                    table[level][last + 1 - span]);
 }
 
 const std::vector<int>&

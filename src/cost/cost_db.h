@@ -67,6 +67,42 @@ class CostDb
     const LayerCost& costAt(int model, int layer, Dataflow df,
                             int bPrime) const;
 
+    /** Index of a cached mini-batch candidate (panics when absent). */
+    int miniBatchIndex(int model, int bPrime) const;
+
+    // ---- O(1) segment range queries ------------------------------
+    //
+    // The window evaluator scores thousands of candidate segments per
+    // search, and every segment cost is a reduction over a contiguous
+    // layer range. These queries return those reductions in O(1) from
+    // tables precomputed at construction. Byte-identity contract
+    // (docs/ARCHITECTURE.md): each value is bit-identical to the
+    // sequential per-layer loop it replaces — the sum tables store
+    // every left-anchored running sum in the original accumulation
+    // order (never a prefix-sum difference, which rounds differently),
+    // and max/weight-byte queries are exact because IEEE max never
+    // rounds and layer byte counts are integers below 2^53.
+
+    /**
+     * Sum over layers [first, last] of intraCycles() * bPrime for the
+     * mini-batch candidate at index `bIdx` (see miniBatchIndex).
+     */
+    double segmentCycles(int model, int bIdx, Dataflow df, int first,
+                         int last) const;
+
+    /** Sum over [first, last] of intraEnergyNj * bPrime, same terms. */
+    double segmentEnergyNj(int model, int bIdx, Dataflow df, int first,
+                           int last) const;
+
+    /** Sum over [first, last] of the layers' weightBytes(). */
+    double segmentWeightBytes(int model, int first, int last) const;
+
+    /**
+     * Max over [first, last] of the per-sample activation footprint
+     * inputBytes() + outputBytes() (sparse-table range max).
+     */
+    double segmentMaxActBytes(int model, int first, int last) const;
+
     /** Cached cost of a layer on the given dataflow class. */
     const LayerCost& cost(int model, int layer, Dataflow df) const;
 
@@ -101,6 +137,28 @@ class CostDb
     std::array<double, kNumDataflows> classWeight_{};
     double offchipBpc_;
     double dramLatencyCycles_;
+
+    /**
+     * All-pairs running sums for one (model, candidate, dataflow):
+     * entry (first, last) holds the sequential sum over layers
+     * [first, last], laid out as a packed upper triangle.
+     */
+    struct RangeSums
+    {
+        std::vector<double> cycles;   ///< sum intraCycles() * bPrime
+        std::vector<double> energyNj; ///< sum intraEnergyNj * bPrime
+    };
+
+    std::size_t triIndex(int model, int first, int last) const;
+    void buildRangeTables();
+
+    // rangeSums_[model][candidate][dataflowIndex]
+    std::vector<std::vector<std::array<RangeSums, kNumDataflows>>>
+        rangeSums_;
+    std::vector<std::vector<double>> weightPrefix_; ///< per model, L+1
+    // Sparse table per model: level k holds the max activation
+    // footprint over [i, i + 2^k - 1].
+    std::vector<std::vector<std::vector<double>>> actMax_;
 };
 
 } // namespace scar

@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <limits>
-#include <map>
 
 #include "common/error.h"
 
@@ -55,43 +53,46 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
     validate(placement);
     const Scenario& sc = db_.scenario();
     const Mcm& mcm = db_.mcm();
+    const Topology& topo = mcm.topology();
+    const int numNodes = topo.numNodes();
 
     auto entryOf = [&](int modelIdx) {
         if (modelIdx < static_cast<int>(placement.entryChiplet.size()))
             return placement.entryChiplet[modelIdx];
         return -1;
     };
-    auto segmentWeights = [&](const Model& model,
-                              const PlacedSegment& seg) {
-        double bytes = 0.0;
-        for (int l = seg.range.first; l <= seg.range.last; ++l)
-            bytes += model.layers[l].weightBytes();
-        return bytes;
+    // Segment reductions are O(1) range queries against the CostDb
+    // tables (see cost_db.h: values are bit-identical to the
+    // per-layer loops they replaced).
+    auto segmentWeights = [&](int modelIdx, const PlacedSegment& seg) {
+        return db_.segmentWeightBytes(modelIdx, seg.range.first,
+                                      seg.range.last);
     };
-    auto segmentResident = [&](const Model& model,
-                               const PlacedSegment& seg, int bPrime) {
-        const double weights = segmentWeights(model, seg);
-        double maxAct = 0.0;
-        for (int l = seg.range.first; l <= seg.range.last; ++l) {
-            maxAct = std::max(maxAct,
-                              (model.layers[l].inputBytes() +
-                               model.layers[l].outputBytes()) * bPrime);
-        }
+    auto segmentResident = [&](int modelIdx, const PlacedSegment& seg,
+                               int bPrime) {
+        const double weights = segmentWeights(modelIdx, seg);
+        const double maxAct =
+            db_.segmentMaxActBytes(modelIdx, seg.range.first,
+                                   seg.range.last) *
+            bPrime;
         const double l2 = mcm.chiplet(seg.chiplet).spec.l2Bytes;
         return weights + maxAct <= l2;
     };
 
-    // Evaluates one model's placement at a given mini-batch, pricing
-    // NoP transfers with the supplied contention factor.
-    using FactorFn = std::function<int(int, int)>;
-    auto evalModel = [&](const ModelPlacement& mp, int bPrime,
-                         const FactorFn& factor) {
+    // Evaluates one model's placement at a given mini-batch candidate,
+    // pricing NoP transfers with the supplied contention factor. The
+    // factor is a templated callable (generic lambda), so the inner
+    // loop carries no std::function allocation or indirect call.
+    auto evalModel = [&](const ModelPlacement& mp, int bIdx,
+                         auto&& factor) {
         const Model& model = sc.models[mp.modelIdx];
+        const int bPrime = db_.miniBatchCandidates(mp.modelIdx)[bIdx];
         const int b = model.batch;
         const int steps =
             static_cast<int>(std::ceil(static_cast<double>(b) / bPrime));
 
         ModelWindowCost modelCost;
+        modelCost.segments.reserve(mp.segments.size());
         double maxSteady = 0.0;
         for (std::size_t k = 0; k < mp.segments.size(); ++k) {
             const PlacedSegment& seg = mp.segments[k];
@@ -100,14 +101,10 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
             const Layer& first = model.layers[seg.range.first];
             const Layer& last = model.layers[seg.range.last];
 
-            double compute = 0.0;
-            double intraEnergy = 0.0;
-            for (int l = seg.range.first; l <= seg.range.last; ++l) {
-                const LayerCost& lc =
-                    db_.costAt(mp.modelIdx, l, df, bPrime);
-                compute += lc.intraCycles() * bPrime;
-                intraEnergy += lc.intraEnergyNj * bPrime;
-            }
+            const double compute = db_.segmentCycles(
+                mp.modelIdx, bIdx, df, seg.range.first, seg.range.last);
+            const double intraEnergy = db_.segmentEnergyNj(
+                mp.modelIdx, bIdx, df, seg.range.first, seg.range.last);
 
             // Input side: DRAM or entry-chiplet NoP for the head
             // segment, inter-segment NoP otherwise.
@@ -145,8 +142,9 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
                 opEnergy = comm_.dramEnergyNj(bytes, c);
             }
 
-            const bool resident = segmentResident(model, seg, bPrime);
-            const double wBytes = segmentWeights(model, seg);
+            const bool resident = segmentResident(mp.modelIdx, seg,
+                                                  bPrime);
+            const double wBytes = segmentWeights(mp.modelIdx, seg);
             const double wLat = comm_.dramLatencyCycles(wBytes, c);
             const double wEnergy = comm_.dramEnergyNj(wBytes, c);
 
@@ -173,21 +171,23 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
         return modelCost;
     };
 
-    const FactorFn noContention = [](int, int) { return 1; };
+    auto noContention = [](int, int) { return 1; };
 
     // ---- Step 1: choose the mini-batch b' per model. Section III-E
     // leaves b' <= b free; candidates are capacity folding vs
     // streaming, compared contention-free by latency.
-    std::vector<int> chosenBPrime(placement.models.size(), 1);
+    std::vector<int> chosenBIdx(placement.models.size(), 0);
     for (std::size_t mi = 0; mi < placement.models.size(); ++mi) {
         const ModelPlacement& mp = placement.models[mi];
+        const int numCandidates = static_cast<int>(
+            db_.miniBatchCandidates(mp.modelIdx).size());
         double bestLat = std::numeric_limits<double>::infinity();
-        for (int candidate : db_.miniBatchCandidates(mp.modelIdx)) {
+        for (int bIdx = 0; bIdx < numCandidates; ++bIdx) {
             const double lat =
-                evalModel(mp, candidate, noContention).latencyCycles;
+                evalModel(mp, bIdx, noContention).latencyCycles;
             if (lat < bestLat) {
                 bestLat = lat;
-                chosenBPrime[mi] = candidate;
+                chosenBIdx[mi] = bIdx;
             }
         }
     }
@@ -198,9 +198,11 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
     for (std::size_t mi = 0; mi < placement.models.size(); ++mi) {
         const ModelPlacement& mp = placement.models[mi];
         const Model& model = sc.models[mp.modelIdx];
+        const int bPrime =
+            db_.miniBatchCandidates(mp.modelIdx)[chosenBIdx[mi]];
         const int b = model.batch;
         const int steps = static_cast<int>(
-            std::ceil(static_cast<double>(b) / chosenBPrime[mi]));
+            std::ceil(static_cast<double>(b) / bPrime));
         for (std::size_t k = 0; k < mp.segments.size(); ++k) {
             const PlacedSegment& seg = mp.segments[k];
             const int c = seg.chiplet;
@@ -208,10 +210,10 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
             const Layer& first = model.layers[seg.range.first];
             const Layer& last = model.layers[seg.range.last];
 
-            const bool resident =
-                segmentResident(model, seg, chosenBPrime[mi]);
+            const bool resident = segmentResident(mp.modelIdx, seg,
+                                                  bPrime);
             // Non-resident weights re-stream once per mini-batch step.
-            const double wBytes = segmentWeights(model, seg) *
+            const double wBytes = segmentWeights(mp.modelIdx, seg) *
                                   (resident ? 1.0 : steps);
             flows.push_back({mem, c, wBytes, true});
             totalDramBytes += wBytes;
@@ -244,38 +246,59 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
         }
     }
 
-    // Per-link flow counts over the routed paths.
-    std::map<Link, int> linkLoad;
+    // Per-link flow counts over the precomputed routes, in a flat
+    // vector indexed by dense link id. Evaluation must never grow the
+    // load table: an earlier std::map version inserted zero entries
+    // on every contention-factor read (a silent allocation per query);
+    // the fixed-size vector makes that structurally impossible
+    // (regression-tested in tests/test_cost.cc).
+    std::vector<int> linkLoad(options_.contention ? topo.numLinks() : 0,
+                              0);
     if (options_.contention) {
         for (const Flow& f : flows) {
             if (f.src == f.dst || f.bytes <= 0.0)
                 continue;
-            for (const Link& link :
-                 mcm.topology().routeLinks(f.src, f.dst)) {
-                ++linkLoad[link];
-            }
+            for (const int id : topo.routeLinkIds(f.src, f.dst))
+                ++linkLoad[id];
         }
     }
-    const FactorFn contentionFactor = [&](int src, int dst) {
+    // The per-flow contention factor depends only on (src, dst), so it
+    // is computed once per pair and memoized in a flat table instead
+    // of being re-derived for every segment that prices a transfer.
+    // (Empty when contention is off — the solo evaluations of the beam
+    // search never touch it.)
+    std::vector<int> factorMemo(
+        options_.contention
+            ? static_cast<std::size_t>(numNodes) * numNodes
+            : 0,
+        0);
+    auto contentionFactor = [&](int src, int dst) {
         if (!options_.contention || src == dst)
             return 1;
-        int sharers = 1;
-        for (const Link& link : mcm.topology().routeLinks(src, dst))
-            sharers = std::max(sharers, linkLoad[link]);
-        return sharers;
+        int& memo =
+            factorMemo[static_cast<std::size_t>(src) * numNodes + dst];
+        if (memo == 0) {
+            int sharers = 1;
+            for (const int id : topo.routeLinkIds(src, dst))
+                sharers = std::max(sharers, linkLoad[id]);
+            memo = sharers;
+        }
+        return memo;
     };
 
     // ---- Step 3: final costs with contention. ----------------------
     WindowCost window;
     window.dramBytes = totalDramBytes;
-    for (const auto& [link, load] : linkLoad)
+    for (const int load : linkLoad)
         window.maxLinkSharers = std::max(window.maxLinkSharers, load);
 
     for (std::size_t mi = 0; mi < placement.models.size(); ++mi) {
         ModelWindowCost modelCost =
-            evalModel(placement.models[mi], chosenBPrime[mi],
-                      options_.contention ? contentionFactor
-                                          : noContention);
+            options_.contention
+                ? evalModel(placement.models[mi], chosenBIdx[mi],
+                            contentionFactor)
+                : evalModel(placement.models[mi], chosenBIdx[mi],
+                            noContention);
         window.latencyCycles =
             std::max(window.latencyCycles, modelCost.latencyCycles);
         window.energyNj += modelCost.energyNj;

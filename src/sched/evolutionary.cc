@@ -148,12 +148,16 @@ EvolutionaryWindowSearch::search(const WindowAssignment& wa,
     // in population index order for pool-size-independent results.
     WindowScheduler::Result global;
     WindowScheduler::SoloCache soloCache;
+    // The EA re-places thousands of genomes on the same topology, so
+    // one shared path memo serves the whole run (deterministic
+    // values; see PathCache).
+    PathCache pathCache;
     auto evaluateBatch = [&](std::vector<Individual*>& batch) {
         forEachIndex(pool_, batch.size(), [&](std::size_t i) {
             Individual& ind = *batch[i];
             ind.result = scheduler_.placeSegmentations(
                 present, decode(ind.genome, present, wa), entry,
-                &soloCache);
+                &soloCache, &pathCache);
             ind.fitness = ind.result.found
                               ? ind.result.best.score
                               : std::numeric_limits<double>::infinity();

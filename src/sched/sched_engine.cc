@@ -108,7 +108,8 @@ WindowScheduler::soloCost(int model, const Segmentation& seg,
 std::vector<Segmentation>
 WindowScheduler::refineSegmentations(int model,
                                      std::vector<Segmentation> pruned,
-                                     int entry, SoloCache& cache) const
+                                     int entry, SoloCache& cache,
+                                     PathCache& pathCache) const
 {
     const Topology& topo = db_.mcm().topology();
     const std::vector<bool> noneBlocked(topo.numNodes(), false);
@@ -120,10 +121,10 @@ WindowScheduler::refineSegmentations(int model,
     std::vector<char> placeable(pruned.size(), 0);
     forEachIndex(opts_.pool, pruned.size(), [&](std::size_t i) {
         const int numSegs = pruned[i].numSegments();
-        const auto paths = enumeratePathsAllRoots(
+        const auto paths = pathCache.get(
             topo, numSegs, noneBlocked, opts_.maxPathsPerModel);
         double best = std::numeric_limits<double>::infinity();
-        for (const auto& path : paths) {
+        for (const auto& path : *paths) {
             const auto [lat, energy] =
                 soloCost(model, pruned[i], path, entry, cache);
             const Metrics metrics{cyclesToSeconds(lat),
@@ -131,7 +132,7 @@ WindowScheduler::refineSegmentations(int model,
             best = std::min(best, metrics.value(target_));
         }
         bestScore[i] = best;
-        placeable[i] = paths.empty() ? 0 : 1;
+        placeable[i] = paths->empty() ? 0 : 1;
     });
 
     std::vector<std::pair<double, std::size_t>> scored;
@@ -171,7 +172,8 @@ void
 WindowScheduler::placeCombo(const std::vector<int>& present,
                             const std::vector<Segmentation>& segs,
                             const std::vector<int>& entry,
-                            SoloCache& cache, Result& result) const
+                            SoloCache& cache, PathCache& pathCache,
+                            Result& result) const
 {
     const Topology& topo = db_.mcm().topology();
     auto entryOf = [&](int model) {
@@ -197,42 +199,71 @@ WindowScheduler::placeCombo(const std::vector<int>& present,
         const Segmentation& seg = segs[mi];
         const int numSegs = seg.numSegments();
 
-        std::vector<BeamState> next;
-        for (const BeamState& state : beam) {
-            const auto paths = enumeratePathsAllRoots(
+        // Score every (state, path) extension first and materialize
+        // only the beamWidth survivors: a BeamState copy is several
+        // vector allocations, and the pre-PR loop paid it for every
+        // candidate just to discard all but the top few. Candidates
+        // are generated in (state, path) order and ranked with the
+        // same stable sort and score as the materialized states were,
+        // so the surviving beam is identical.
+        struct Extension
+        {
+            double maxLatency;
+            double sumEnergy;
+            int stateIdx;
+            int pathIdx;
+        };
+        std::vector<std::shared_ptr<const PathCache::PathList>>
+            statePaths(beam.size());
+        std::vector<Extension> candidates;
+        for (std::size_t si = 0; si < beam.size(); ++si) {
+            const BeamState& state = beam[si];
+            statePaths[si] = pathCache.get(
                 topo, numSegs, state.used, opts_.maxPathsPerModel);
-            for (const auto& path : paths) {
-                const auto [lat, energy] =
-                    soloCost(model, seg, path, entryOf(model), cache);
-                BeamState grown = state;
-                for (int node : path)
-                    grown.used[node] = true;
-                ModelPlacement mp;
-                mp.modelIdx = model;
-                for (int k = 0; k < numSegs; ++k) {
-                    mp.segments.push_back(
-                        PlacedSegment{seg.segments[k], path[k]});
-                }
-                grown.placed.push_back(std::move(mp));
-                grown.maxLatency = std::max(grown.maxLatency, lat);
-                grown.sumEnergy += energy;
-                next.push_back(std::move(grown));
+            const auto& paths = *statePaths[si];
+            for (std::size_t pi = 0; pi < paths.size(); ++pi) {
+                const auto [lat, energy] = soloCost(
+                    model, seg, paths[pi], entryOf(model), cache);
+                candidates.push_back(
+                    {std::max(state.maxLatency, lat),
+                     state.sumEnergy + energy, static_cast<int>(si),
+                     static_cast<int>(pi)});
             }
         }
-        if (next.empty()) {
+        if (candidates.empty()) {
             debug("beam died placing model ", model, " with ", numSegs,
                   " segments");
             return;
         }
-        std::stable_sort(next.begin(), next.end(),
-                         [&](const BeamState& a, const BeamState& b) {
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [&](const Extension& a, const Extension& b) {
                              return partialScore(a.maxLatency,
                                                  a.sumEnergy) <
                                     partialScore(b.maxLatency,
                                                  b.sumEnergy);
                          });
-        if (static_cast<int>(next.size()) > opts_.beamWidth)
-            next.resize(opts_.beamWidth);
+        if (static_cast<int>(candidates.size()) > opts_.beamWidth)
+            candidates.resize(opts_.beamWidth);
+
+        std::vector<BeamState> next;
+        next.reserve(candidates.size());
+        for (const Extension& ext : candidates) {
+            BeamState grown = beam[ext.stateIdx];
+            const auto& path = (*statePaths[ext.stateIdx])[ext.pathIdx];
+            for (int node : path)
+                grown.used[node] = true;
+            ModelPlacement mp;
+            mp.modelIdx = model;
+            mp.segments.reserve(numSegs);
+            for (int k = 0; k < numSegs; ++k) {
+                mp.segments.push_back(
+                    PlacedSegment{seg.segments[k], path[k]});
+            }
+            grown.placed.push_back(std::move(mp));
+            grown.maxLatency = ext.maxLatency;
+            grown.sumEnergy = ext.sumEnergy;
+            next.push_back(std::move(grown));
+        }
         beam = std::move(next);
     }
 
@@ -270,6 +301,7 @@ WindowScheduler::search(const WindowAssignment& wa,
     // its own seed stream, so one model's capped-enumeration sampling
     // never shifts another's.
     SoloCache cache;
+    PathCache pathCache;
     std::vector<std::vector<Segmentation>> segLists;
     segLists.reserve(present.size());
     for (int m : present) {
@@ -277,7 +309,8 @@ WindowScheduler::search(const WindowAssignment& wa,
         auto pruned = rankSegmentations(db_, m, wa.perModel[m], nodes[m],
                                         target_, opts_.seg, segRng);
         segLists.push_back(refineSegmentations(m, std::move(pruned),
-                                               entryOf(m), cache));
+                                               entryOf(m), cache,
+                                               pathCache));
         SCAR_ASSERT(!segLists.back().empty(),
                     "no segmentation candidates for model ", m);
     }
@@ -330,7 +363,8 @@ WindowScheduler::search(const WindowAssignment& wa,
         segs.reserve(combos[ci].size());
         for (std::size_t i = 0; i < combos[ci].size(); ++i)
             segs.push_back(segLists[i][combos[ci][i]]);
-        placeCombo(present, segs, entry, cache, comboResults[ci]);
+        placeCombo(present, segs, entry, cache, pathCache,
+                   comboResults[ci]);
     });
 
     Result result;
@@ -350,7 +384,7 @@ WindowScheduler::search(const WindowAssignment& wa,
             seg.segments.push_back(wa.perModel[m]);
             segs.push_back(std::move(seg));
         }
-        placeCombo(present, segs, entry, cache, result);
+        placeCombo(present, segs, entry, cache, pathCache, result);
     }
 
     if (result.top.empty())
@@ -372,12 +406,15 @@ WindowScheduler::Result
 WindowScheduler::placeSegmentations(
     const std::vector<int>& presentModels,
     const std::vector<Segmentation>& segs,
-    const std::vector<int>& entry, SoloCache* sharedCache) const
+    const std::vector<int>& entry, SoloCache* sharedCache,
+    PathCache* sharedPaths) const
 {
     Result result;
     SoloCache localCache;
     SoloCache& cache = sharedCache != nullptr ? *sharedCache : localCache;
-    placeCombo(presentModels, segs, entry, cache, result);
+    PathCache localPaths;
+    PathCache& paths = sharedPaths != nullptr ? *sharedPaths : localPaths;
+    placeCombo(presentModels, segs, entry, cache, paths, result);
     if (result.top.empty())
         return result;
     std::stable_sort(result.top.begin(), result.top.end(),

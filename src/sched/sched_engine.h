@@ -35,16 +35,17 @@
 #define SCAR_SCHED_SCHED_ENGINE_H
 
 #include <cstdint>
-#include <map>
 #include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "cost/window_evaluator.h"
 #include "eval/metrics.h"
 #include "sched/provisioner.h"
+#include "sched/sched_tree.h"
 #include "sched/segmentation.h"
 #include "sched/time_window.h"
 
@@ -92,6 +93,10 @@ class WindowScheduler
      * across the combo fan-out (and, for the evolutionary driver,
      * across a whole EA run). Values are deterministic functions of
      * the key, so concurrent insertion order never changes results.
+     * Backed by the open-addressing FlatHashMap (common/flat_hash.h):
+     * the pre-PR std::map paid an ordered-tree walk with a full
+     * lexicographic vector comparison per node on every probe of the
+     * beam search's hottest lookup.
      */
     class SoloCache
     {
@@ -101,10 +106,10 @@ class WindowScheduler
              std::pair<double, double>& out) const
         {
             std::lock_guard<std::mutex> lock(mu_);
-            const auto it = map_.find(key);
-            if (it == map_.end())
+            const auto* value = map_.find(key);
+            if (value == nullptr)
                 return false;
-            out = it->second;
+            out = *value;
             return true;
         }
 
@@ -112,12 +117,14 @@ class WindowScheduler
         insert(std::vector<int> key, std::pair<double, double> value)
         {
             std::lock_guard<std::mutex> lock(mu_);
-            map_.emplace(std::move(key), value);
+            map_.insert(std::move(key), value);
         }
 
       private:
         mutable std::mutex mu_;
-        std::map<std::vector<int>, std::pair<double, double>> map_;
+        FlatHashMap<std::vector<int>, std::pair<double, double>,
+                    IntSequenceHash>
+            map_;
     };
 
     WindowScheduler(const CostDb& db, OptTarget target,
@@ -147,11 +154,15 @@ class WindowScheduler
      * @param sharedCache optional solo-cost memo reused across calls
      *        (the EA shares one per window search); nullptr uses a
      *        private cache
+     * @param sharedPaths optional path-enumeration memo reused across
+     *        calls (the EA shares one per window search); nullptr
+     *        uses a private cache
      */
     Result placeSegmentations(const std::vector<int>& presentModels,
                               const std::vector<Segmentation>& segs,
                               const std::vector<int>& entry = {},
-                              SoloCache* sharedCache = nullptr) const;
+                              SoloCache* sharedCache = nullptr,
+                              PathCache* sharedPaths = nullptr) const;
 
     /** Window-level score of a cost under the chosen target. */
     double score(const WindowCost& cost) const;
@@ -179,7 +190,7 @@ class WindowScheduler
     void placeCombo(const std::vector<int>& present,
                     const std::vector<Segmentation>& segs,
                     const std::vector<int>& entry, SoloCache& cache,
-                    Result& result) const;
+                    PathCache& paths, Result& result) const;
 
     /**
      * Placement-aware refinement of Heuristic 1: re-scores pruned
@@ -189,7 +200,7 @@ class WindowScheduler
      */
     std::vector<Segmentation> refineSegmentations(
         int model, std::vector<Segmentation> pruned, int entry,
-        SoloCache& cache) const;
+        SoloCache& cache, PathCache& paths) const;
 
     const CostDb& db_;
     OptTarget target_;

@@ -75,4 +75,41 @@ enumeratePathsAllRoots(const Topology& topo, int length,
     return out;
 }
 
+std::shared_ptr<const PathCache::PathList>
+PathCache::get(const Topology& topo, int length,
+               const std::vector<bool>& blocked, int maxTotal)
+{
+    if (topo.numNodes() > 64) {
+        return std::make_shared<const PathList>(
+            enumeratePathsAllRoots(topo, length, blocked, maxTotal));
+    }
+
+    Key key;
+    key.length = length;
+    for (int n = 0; n < topo.numNodes(); ++n) {
+        if (blocked[n])
+            key.blockedMask |= std::uint64_t{1} << n;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        SCAR_ASSERT(topo_ == nullptr || topo_ == &topo,
+                    "PathCache shared across different topologies");
+        SCAR_ASSERT(maxTotal_ < 0 || maxTotal_ == maxTotal,
+                    "PathCache shared across different maxTotal caps");
+        topo_ = &topo;
+        maxTotal_ = maxTotal;
+        if (const auto* cached = map_.find(key))
+            return *cached;
+    }
+
+    // Enumerate outside the lock: concurrent misses on one key then
+    // race benign duplicates (identical values), and insert() keeps
+    // the first.
+    auto paths = std::make_shared<const PathList>(
+        enumeratePathsAllRoots(topo, length, blocked, maxTotal));
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.insert(key, std::move(paths));
+}
+
 } // namespace scar

@@ -12,9 +12,13 @@
 #ifndef SCAR_SCHED_SCHED_TREE_H
 #define SCAR_SCHED_SCHED_TREE_H
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "arch/topology.h"
+#include "common/flat_hash.h"
 
 namespace scar
 {
@@ -36,6 +40,69 @@ std::vector<std::vector<int>> enumeratePaths(const Topology& topo,
 std::vector<std::vector<int>> enumeratePathsAllRoots(
     const Topology& topo, int length, const std::vector<bool>& blocked,
     int maxTotal);
+
+/**
+ * Thread-safe memo of enumeratePathsAllRoots results keyed by
+ * (path length, blocked-node bitmask).
+ *
+ * The beam search re-enumerates paths for every beam state, and beam
+ * states collapse onto few distinct (length, occupancy) keys — every
+ * combo of a window search starts from the same empty package, and
+ * most beams agree on which chiplets earlier models claimed. The
+ * cached value is a pure function of the key (the DFS is
+ * deterministic and RNG-free), so sharing one cache across the combo
+ * fan-out — or across a whole EA run — cannot change any result,
+ * whatever the thread interleaving.
+ *
+ * Topologies with more than 64 nodes don't fit the bitmask key and
+ * bypass the cache (correct, just unmemoized).
+ */
+class PathCache
+{
+  public:
+    using PathList = std::vector<std::vector<int>>;
+
+    /**
+     * The memoized enumeration for (length, blocked), computed on
+     * miss. One cache serves one (topology, maxTotal) pair — the
+     * topology and cap are pinned by the first get() and asserted on
+     * every later call, since neither is part of the memo key.
+     */
+    std::shared_ptr<const PathList> get(const Topology& topo,
+                                        int length,
+                                        const std::vector<bool>& blocked,
+                                        int maxTotal);
+
+  private:
+    struct Key
+    {
+        std::uint64_t blockedMask = 0;
+        int length = 0;
+
+        bool
+        operator==(const Key& other) const
+        {
+            return blockedMask == other.blockedMask &&
+                   length == other.length;
+        }
+    };
+
+    struct KeyHash
+    {
+        std::uint64_t
+        operator()(const Key& key) const
+        {
+            return mixBits(key.blockedMask ^
+                           (static_cast<std::uint64_t>(key.length)
+                            << 56));
+        }
+    };
+
+    mutable std::mutex mu_;
+    FlatHashMap<Key, std::shared_ptr<const PathList>, KeyHash> map_;
+    const Topology* topo_ = nullptr; ///< pinned by the first get()
+    int maxTotal_ = -1;              ///< pinned by the first get()
+};
 
 } // namespace scar
 

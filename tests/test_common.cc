@@ -11,6 +11,7 @@
 
 #include "common/csv.h"
 #include "common/error.h"
+#include "common/flat_hash.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -167,6 +168,41 @@ TEST(Csv, RejectsWrongArity)
     CsvWriter csv("/tmp/scar_test_csv2.csv", {"a"});
     EXPECT_THROW(csv.addRow({"x", "y"}), FatalError);
     std::remove("/tmp/scar_test_csv2.csv");
+}
+
+// ---- FlatHashMap (the SoloCache / PathCache backing store) ---------
+
+TEST(FlatHashMap, FindInsertAndGrowth)
+{
+    FlatHashMap<std::vector<int>, int, IntSequenceHash> map;
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.find({1, 2, 3}), nullptr);
+
+    // Enough keys to force several rehashes past the 7/8 load factor.
+    for (int i = 0; i < 1000; ++i)
+        map.insert({i, i * 31, -i}, i);
+    EXPECT_EQ(map.size(), 1000u);
+    for (int i = 0; i < 1000; ++i) {
+        const int* value = map.find({i, i * 31, -i});
+        ASSERT_NE(value, nullptr) << "lost key " << i;
+        EXPECT_EQ(*value, i);
+    }
+    EXPECT_EQ(map.find({1000, 31000, -1000}), nullptr);
+    // Prefix/suffix confusion must not alias.
+    EXPECT_EQ(map.find({1, 31}), nullptr);
+    EXPECT_EQ(map.find({}), nullptr);
+}
+
+TEST(FlatHashMap, DuplicateInsertKeepsFirstValue)
+{
+    FlatHashMap<std::vector<int>, int, IntSequenceHash> map;
+    EXPECT_EQ(map.insert({7, 7}, 1), 1);
+    // The memoization caches rely on first-write-wins: racing
+    // duplicate computations store identical values, so keeping the
+    // first is both cheap and correct.
+    EXPECT_EQ(map.insert({7, 7}, 2), 1);
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(*map.find({7, 7}), 1);
 }
 
 } // namespace

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "arch/mcm_templates.h"
 #include "common/units.h"
 #include "common/error.h"
@@ -379,6 +382,110 @@ TEST(CostDbMiniBatch, BatchImprovesShiUtilizationOnCnns)
     const LayerCost b8 = model.evalLayer(conv, shi, 8);
     EXPECT_GT(b8.utilization, b1.utilization * 3.0);
     EXPECT_LT(b8.computeCycles, b1.computeCycles);
+}
+
+// ---- O(1) segment range queries (cost_db.h) ------------------------
+
+TEST(CostDbRangeQueries, MatchPerLayerLoopsBitExactly)
+{
+    Scenario sc;
+    sc.name = "pair";
+    sc.models = {zoo::resNet50(4), zoo::bertBase(2)};
+    sc.finalize();
+    const Mcm mcm = templates::hetSides3x3();
+    const CostDb db(sc, mcm);
+
+    for (int m = 0; m < sc.numModels(); ++m) {
+        const Model& model = sc.models[m];
+        const auto& candidates = db.miniBatchCandidates(m);
+        // A spread of ranges incl. single layers and the full model.
+        const int n = model.numLayers();
+        const std::pair<int, int> ranges[] = {
+            {0, 0}, {0, n - 1}, {1, n / 2}, {n / 2, n - 1},
+            {n / 3, 2 * n / 3}};
+        for (const auto& [first, last] : ranges) {
+            // Weight-byte sums and activation maxima are exact.
+            double weights = 0.0;
+            double maxAct = 0.0;
+            for (int l = first; l <= last; ++l) {
+                weights += model.layers[l].weightBytes();
+                maxAct = std::max(maxAct,
+                                  model.layers[l].inputBytes() +
+                                      model.layers[l].outputBytes());
+            }
+            EXPECT_EQ(db.segmentWeightBytes(m, first, last), weights);
+            EXPECT_EQ(db.segmentMaxActBytes(m, first, last), maxAct);
+
+            // Cycle/energy sums must be bit-identical to the
+            // sequential loop they replaced (the byte-identity
+            // contract of Scar::run()).
+            for (std::size_t bi = 0; bi < candidates.size(); ++bi) {
+                const int bPrime = candidates[bi];
+                EXPECT_EQ(db.miniBatchIndex(m, bPrime),
+                          static_cast<int>(bi));
+                for (Dataflow df : kAllDataflows) {
+                    double cycles = 0.0;
+                    double energy = 0.0;
+                    for (int l = first; l <= last; ++l) {
+                        const LayerCost& lc = db.costAt(m, l, df,
+                                                        bPrime);
+                        cycles += lc.intraCycles() * bPrime;
+                        energy += lc.intraEnergyNj * bPrime;
+                    }
+                    EXPECT_EQ(db.segmentCycles(m, static_cast<int>(bi),
+                                               df, first, last),
+                              cycles);
+                    EXPECT_EQ(db.segmentEnergyNj(
+                                  m, static_cast<int>(bi), df, first,
+                                  last),
+                              energy);
+                }
+            }
+        }
+    }
+}
+
+// ---- Contention bookkeeping regressions ----------------------------
+
+TEST(WindowEvalContention, EvaluationNeverGrowsLoadTables)
+{
+    // Regression for the pre-route-table bug where the contention
+    // factor read the per-link load map through operator[], inserting
+    // zero entries mid-read. The load table is now a fixed-size
+    // vector over the topology's precomputed dense link ids, so
+    // evaluation must leave every topology table untouched and be
+    // fully repeatable.
+    Scenario sc;
+    sc.name = "pair";
+    sc.models = {zoo::resNet50(4), zoo::bertBase(2)};
+    sc.finalize();
+    const Mcm mcm = templates::hetSides3x3();
+    const CostDb db(sc, mcm);
+    const WindowEvaluator eval(db);
+
+    const int linksBefore = mcm.topology().numLinks();
+
+    WindowPlacement placement;
+    ModelPlacement a;
+    a.modelIdx = 0;
+    a.segments = {PlacedSegment{LayerRange{0, 30}, 0},
+                  PlacedSegment{LayerRange{31, 71}, 3}};
+    ModelPlacement b;
+    b.modelIdx = 1;
+    b.segments = {PlacedSegment{LayerRange{0, 17}, 2},
+                  PlacedSegment{LayerRange{18, 35}, 5}};
+    placement.models = {a, b};
+
+    const WindowCost first = eval.evaluate(placement);
+    EXPECT_EQ(mcm.topology().numLinks(), linksBefore);
+    EXPECT_GE(first.maxLinkSharers, 1);
+
+    // Purity: a second evaluation sees identical state and bits.
+    const WindowCost second = eval.evaluate(placement);
+    EXPECT_EQ(first.latencyCycles, second.latencyCycles);
+    EXPECT_EQ(first.energyNj, second.energyNj);
+    EXPECT_EQ(first.dramBytes, second.dramBytes);
+    EXPECT_EQ(first.maxLinkSharers, second.maxLinkSharers);
 }
 
 } // namespace

@@ -299,5 +299,31 @@ TEST_F(EvoTest, RejectsDegenerateOptions)
                  FatalError);
 }
 
+// ---- Path memoization (sched_tree.h PathCache) ---------------------
+
+TEST(PathCache, MatchesDirectEnumerationAndMemoizes)
+{
+    const Topology topo = Topology::mesh(3, 3);
+    std::vector<bool> blocked(9, false);
+    blocked[4] = true; // knock out the center
+
+    PathCache cache;
+    const auto cached = cache.get(topo, 3, blocked, 96);
+    const auto direct = enumeratePathsAllRoots(topo, 3, blocked, 96);
+    EXPECT_EQ(*cached, direct);
+
+    // A hit returns the very same enumeration (shared storage).
+    const auto again = cache.get(topo, 3, blocked, 96);
+    EXPECT_EQ(cached.get(), again.get());
+
+    // Different occupancy or length is a different key.
+    blocked[4] = false;
+    const auto other = cache.get(topo, 3, blocked, 96);
+    EXPECT_NE(other.get(), cached.get());
+    EXPECT_EQ(*other, enumeratePathsAllRoots(topo, 3, blocked, 96));
+    const auto shorter = cache.get(topo, 2, blocked, 96);
+    EXPECT_EQ(*shorter, enumeratePathsAllRoots(topo, 2, blocked, 96));
+}
+
 } // namespace
 } // namespace scar

@@ -141,5 +141,43 @@ TEST(TopologyAdjacency, RejectsOutOfRangeIndex)
     EXPECT_THROW(Topology::fromAdjacency({{5}, {0}}), FatalError);
 }
 
+// ---- Precomputed route tables and dense link ids -------------------
+
+TEST(TopologyRouteTable, LinkIdsAreDenseAndInvertible)
+{
+    const Topology t = Topology::mesh(4, 4);
+    // A 4x4 mesh has 2 * (3*4 + 3*4) = 48 directed links.
+    EXPECT_EQ(t.numLinks(), 48);
+    for (int id = 0; id < t.numLinks(); ++id) {
+        const Link& link = t.linkById(id);
+        EXPECT_EQ(t.linkId(link.first, link.second), id);
+        EXPECT_EQ(t.hops(link.first, link.second), 1);
+    }
+    // Non-adjacent pairs have no link id.
+    EXPECT_EQ(t.linkId(0, 2), -1);
+    EXPECT_EQ(t.linkId(0, 5), -1);
+}
+
+TEST(TopologyRouteTable, CachedRoutesMatchRouting)
+{
+    for (const Topology& t :
+         {Topology::mesh(4, 4), Topology::triangular(3, 3)}) {
+        for (int a = 0; a < t.numNodes(); ++a) {
+            for (int b = 0; b < t.numNodes(); ++b) {
+                const auto path = t.route(a, b);
+                const auto& links = t.routeLinks(a, b);
+                const auto& ids = t.routeLinkIds(a, b);
+                ASSERT_EQ(links.size(), path.size() - 1);
+                ASSERT_EQ(ids.size(), links.size());
+                for (std::size_t i = 0; i < links.size(); ++i) {
+                    EXPECT_EQ(links[i].first, path[i]);
+                    EXPECT_EQ(links[i].second, path[i + 1]);
+                    EXPECT_EQ(t.linkById(ids[i]), links[i]);
+                }
+            }
+        }
+    }
+}
+
 } // namespace
 } // namespace scar
