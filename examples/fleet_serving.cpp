@@ -10,14 +10,50 @@
  * worker pool while the shards keep replaying, and the report shows
  * per-shard utilization plus the modeled solve-stall and
  * weight-restaging overheads.
+ *
+ * Observability knobs (all off by default):
+ *  - SCAR_FLEET_REQUESTS=N shrinks/grows the trace (CI uses ~2000)
+ *  - SCAR_TRACE=1 adds a preemptive LeastLoaded run recorded by a
+ *    flight recorder; trace.json/metrics/samples land in SCAR_TRACE_DIR
+ *    (default obs/) for Perfetto and scripts/trace_summary.py
+ *  - SCAR_PROFILE=1 appends a profiled standalone SCAR solve of the
+ *    Sc4 scenario and prints the per-phase/cache-efficacy summary
  */
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "arch/mcm_templates.h"
 #include "eval/reporter.h"
 #include "eval/scenario_suite.h"
+#include "obs/flight_recorder.h"
 #include "runtime/fleet.h"
+#include "sched/scar.h"
+
+namespace
+{
+
+/** Positive-integer env override with a fallback. */
+int
+envInt(const char* name, int fallback)
+{
+    const char* raw = std::getenv(name);
+    if (!raw || !*raw)
+        return fallback;
+    const int value = std::atoi(raw);
+    return value > 0 ? value : fallback;
+}
+
+/** True when `name` is set to anything but "" or "0". */
+bool
+envFlag(const char* name)
+{
+    const char* raw = std::getenv(name);
+    return raw && *raw && std::string(raw) != "0";
+}
+
+} // namespace
 
 int
 main()
@@ -48,7 +84,7 @@ main()
                   << sm.model.batch << ", " << sm.rateRps
                   << " req/s, SLO " << sm.sloSec << " s\n";
 
-    const int kRequests = 20000;
+    const int kRequests = envInt("SCAR_FLEET_REQUESTS", 20000);
     const std::vector<Request> trace =
         poissonTrace(catalog, kRequests, /*seed=*/2024);
 
@@ -77,6 +113,55 @@ main()
             std::cerr << "unexpected: fleet dropped requests\n";
             return 1;
         }
+    }
+
+    // SCAR_TRACE=1: rerun LeastLoaded with boundary preemption and a
+    // flight recorder attached, then export the trace bundle. The
+    // trace is a pure function of virtual time, so it is byte-
+    // identical at any SCAR_THREADS setting (CI cmp's two runs).
+    if (auto rec = obs::FlightRecorder::fromEnv()) {
+        FleetOptions options;
+        // Two shards instead of four: the ~600 req/s offered load now
+        // exceeds the fleet ceiling, so queues build, slack shrinks,
+        // and the trace exercises suspend/resume.
+        options.shards = 2;
+        options.routing = RoutingPolicy::LeastLoaded;
+        options.serving.admission.maxQueueDelaySec = 0.1;
+        options.serving.modeledSolveSec = 0.02;
+        options.serving.switchOverheadSec = 0.002;
+        options.serving.preemption.enabled = true;
+        options.serving.preemption.slackThresholdSec = 0.5;
+        options.serving.preemption.resumeOverheadSec = 0.005;
+        options.recorder = rec.get();
+
+        std::cout << "\n=== traced run: " << kRequests
+                  << " requests, 2 shards, LeastLoaded + preemption"
+                  << " ===\n\n";
+        FleetSimulator fleet(catalog, templates::hetSides3x3(),
+                             options);
+        const ServingReport report = fleet.run(trace);
+        std::cout << describeServingReport(report) << "\n";
+        if (!rec->writeAll()) {
+            std::cerr << "failed to write trace bundle to "
+                      << rec->options().outDir << "\n";
+            return 1;
+        }
+        std::cout << "trace bundle written to "
+                  << rec->options().outDir << "/ ("
+                  << rec->trace().virtualSize() << " virtual events)\n";
+    }
+
+    // SCAR_PROFILE=1: profile one standalone SCAR solve of the same
+    // scenario — per-phase wall time plus cache efficacy.
+    if (envFlag("SCAR_PROFILE")) {
+        obs::SolveProfile profile;
+        ScarOptions options;
+        options.profile = &profile;
+        std::cout << "\n=== profiled solve: " << sc4.name
+                  << " on Het-Sides 3x3 ===\n\n";
+        Scar scar(sc4, templates::hetSides3x3(), options);
+        scar.run();
+        std::cout << profile.summary() << "\n";
     }
     return 0;
 }

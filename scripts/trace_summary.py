@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Summarize (and sanity-check) a SCAR flight-recorder trace.
+
+Reads the Chrome trace-event JSON written by obs::FlightRecorder
+(trace.json) and prints a compact text summary: request lifecycle
+latencies reconstructed from the async b/e spans, per-track span time
+by category, instant counts, and the counter tracks present.
+
+With --check the script validates structural invariants instead of
+just summarizing, exiting nonzero when any fails:
+
+  - the file parses and has a non-empty "traceEvents" array
+  - every async span is balanced: one 'e' per 'b', keyed by (cat, id),
+    with no 'e' before its 'b' and none left open
+  - at least one request lifecycle span exists (cat = "request")
+  - at least one replay-window span exists (ph = X, cat = "replay")
+
+--expect-preemption additionally requires at least one "preempt"
+instant (used by CI when the traced example runs with preemption on).
+
+Usage:
+  trace_summary.py obs/trace.json
+  trace_summary.py obs/trace.json --check [--expect-preemption]
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter, defaultdict
+
+
+def percentile(sorted_vals, q):
+    """Nearest-rank percentile of an ascending list (empty -> 0)."""
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(q * len(sorted_vals)))
+    return sorted_vals[idx]
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("no traceEvents array in %s" % path)
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents is empty in %s" % path)
+    return events
+
+
+def check_async_balance(events):
+    """Returns a list of error strings for unbalanced async spans."""
+    errors = []
+    open_spans = defaultdict(int)  # (cat, id) -> open count
+    for ev in events:
+        ph = ev.get("ph")
+        if ph not in ("b", "n", "e"):
+            continue
+        key = (ev.get("cat", ""), ev.get("id"))
+        if ph == "b":
+            open_spans[key] += 1
+        elif ph == "e":
+            open_spans[key] -= 1
+            if open_spans[key] < 0:
+                errors.append("async end before begin for %r" % (key,))
+                open_spans[key] = 0
+    for key, count in sorted(open_spans.items(), key=str):
+        if count > 0:
+            errors.append("async span left open for %r" % (key,))
+    return errors
+
+
+def summarize(events):
+    thread_names = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            tid = ev.get("tid")
+            thread_names[tid] = ev.get("args", {}).get("name", str(tid))
+
+    # Request lifecycle: async b..e per (cat="request", id).
+    begins = {}
+    latencies = []
+    for ev in events:
+        if ev.get("cat") != "request":
+            continue
+        key = ev.get("id")
+        if ev.get("ph") == "b":
+            begins[key] = ev.get("ts", 0.0)
+        elif ev.get("ph") == "e" and key in begins:
+            latencies.append((ev.get("ts", 0.0) - begins.pop(key)) / 1e6)
+    latencies.sort()
+
+    span_time = defaultdict(float)  # (tid, cat) -> total dur sec
+    span_count = Counter()
+    instants = Counter()
+    counters = set()
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "X":
+            key = (ev.get("tid", 0), ev.get("cat", ""))
+            span_time[key] += ev.get("dur", 0.0) / 1e6
+            span_count[key] += 1
+        elif ph in ("i", "n"):
+            instants[ev.get("name", "")] += 1
+        elif ph == "C":
+            counters.add(ev.get("name", ""))
+
+    lines = ["%d trace events" % len(events)]
+    if latencies:
+        lines.append(
+            "requests: %d completed, latency mean %.4f s, "
+            "p50 %.4f s, p95 %.4f s, p99 %.4f s, max %.4f s"
+            % (
+                len(latencies),
+                sum(latencies) / len(latencies),
+                percentile(latencies, 0.50),
+                percentile(latencies, 0.95),
+                percentile(latencies, 0.99),
+                latencies[-1],
+            )
+        )
+    if begins:
+        lines.append("requests still in flight at trace end: %d" % len(begins))
+    for (tid, cat), total in sorted(span_time.items()):
+        lines.append(
+            "track %-24s %-16s %6d spans, %10.4f s"
+            % (thread_names.get(tid, str(tid)), cat, span_count[(tid, cat)], total)
+        )
+    for name, count in sorted(instants.items()):
+        lines.append("instant %-24s x%d" % (name, count))
+    if counters:
+        lines.append("counter tracks: " + ", ".join(sorted(counters)))
+    return "\n".join(lines)
+
+
+def check(events, expect_preemption):
+    errors = check_async_balance(events)
+    if not any(ev.get("ph") == "b" and ev.get("cat") == "request" for ev in events):
+        errors.append("no request lifecycle spans (ph=b, cat=request)")
+    if not any(ev.get("ph") == "X" and ev.get("cat") == "replay" for ev in events):
+        errors.append("no replay window spans (ph=X, cat=replay)")
+    if expect_preemption and not any(
+        ev.get("ph") == "i" and ev.get("name") == "preempt" for ev in events
+    ):
+        errors.append("--expect-preemption: no preempt instants found")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="path to Chrome trace-event JSON")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate structural invariants, exit nonzero on failure",
+    )
+    parser.add_argument(
+        "--expect-preemption",
+        action="store_true",
+        help="with --check, also require preempt instants",
+    )
+    args = parser.parse_args()
+
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print("trace_summary: FAIL: %s" % exc, file=sys.stderr)
+        return 1
+
+    print(summarize(events))
+    if args.check:
+        errors = check(events, args.expect_preemption)
+        if errors:
+            for err in errors:
+                print("trace_summary: FAIL: %s" % err, file=sys.stderr)
+            return 1
+        print("trace_summary: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,11 @@
 #include "common/logging.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace scar
 {
@@ -10,6 +14,7 @@ namespace
 {
 
 std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+std::once_flag envOnce;
 
 const char*
 levelTag(LogLevel level)
@@ -18,9 +23,21 @@ levelTag(LogLevel level)
       case LogLevel::Debug: return "debug";
       case LogLevel::Info:  return "info";
       case LogLevel::Warn:  return "warn";
+      case LogLevel::Error: return "error";
       case LogLevel::Silent: return "silent";
     }
     return "?";
+}
+
+/**
+ * Applies SCAR_LOG_LEVEL exactly once, lazily: the first level query
+ * or explicit set wins the race against later env reads, so explicit
+ * setLogLevel() calls are never clobbered by a delayed env apply.
+ */
+void
+ensureEnvApplied()
+{
+    std::call_once(envOnce, [] { applyLogLevelFromEnv(); });
 }
 
 } // namespace
@@ -28,13 +45,57 @@ levelTag(LogLevel level)
 void
 setLogLevel(LogLevel level)
 {
+    ensureEnvApplied();
     globalLevel.store(level);
 }
 
 LogLevel
 logLevel()
 {
+    ensureEnvApplied();
     return globalLevel.load();
+}
+
+bool
+parseLogLevel(const std::string& text, LogLevel& out)
+{
+    std::string lower = text;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower == "debug") {
+        out = LogLevel::Debug;
+    } else if (lower == "info") {
+        out = LogLevel::Info;
+    } else if (lower == "warn") {
+        out = LogLevel::Warn;
+    } else if (lower == "error") {
+        out = LogLevel::Error;
+    } else if (lower == "silent") {
+        out = LogLevel::Silent;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool
+applyLogLevelFromEnv()
+{
+    const char* env = std::getenv("SCAR_LOG_LEVEL");
+    if (env == nullptr || env[0] == '\0')
+        return false;
+    LogLevel level;
+    if (!parseLogLevel(env, level)) {
+        // Straight to logMessage: warn() would re-enter the env
+        // initialization running right now.
+        detail::logMessage(LogLevel::Warn,
+                           std::string("ignoring invalid "
+                                       "SCAR_LOG_LEVEL=") +
+                               env);
+        return false;
+    }
+    globalLevel.store(level);
+    return true;
 }
 
 namespace detail

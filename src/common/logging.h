@@ -3,8 +3,11 @@
  * Minimal leveled logger for scheduler progress and diagnostics.
  *
  * Follows gem5's message taxonomy: inform() for normal status, warn()
- * for suspicious-but-survivable conditions. Verbosity is a process-wide
- * setting so benches can silence search progress.
+ * for suspicious-but-survivable conditions, error() for failures the
+ * caller handles. Verbosity is a process-wide setting so benches can
+ * silence search progress; the SCAR_LOG_LEVEL environment variable
+ * (error/warn/info/debug/silent) selects the initial level, applied
+ * once on first logger use and overridable by setLogLevel().
  */
 
 #ifndef SCAR_COMMON_LOGGING_H
@@ -17,13 +20,35 @@ namespace scar
 {
 
 /** Severity levels, in increasing order of importance. */
-enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Silent = 3 };
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Silent = 4
+};
 
 /** Sets the global minimum level that is actually printed. */
 void setLogLevel(LogLevel level);
 
 /** Returns the current global log level. */
 LogLevel logLevel();
+
+/**
+ * Parses a level name ("debug", "info", "warn", "error", "silent",
+ * case-insensitive) into `out`.
+ * @return false — leaving `out` untouched — on any other input
+ */
+bool parseLogLevel(const std::string& text, LogLevel& out);
+
+/**
+ * Re-reads SCAR_LOG_LEVEL and applies it. Called automatically once
+ * on first logger use; exposed so tests and long-lived embedders can
+ * re-apply a changed environment.
+ * @return true when the variable was set to a valid level name
+ */
+bool applyLogLevelFromEnv();
 
 namespace detail
 {
@@ -65,6 +90,14 @@ void
 warn(Args&&... args)
 {
     detail::logFormatted(LogLevel::Warn, std::forward<Args>(args)...);
+}
+
+/** Logs an error the caller survives (panics abort instead). */
+template <typename... Args>
+void
+error(Args&&... args)
+{
+    detail::logFormatted(LogLevel::Error, std::forward<Args>(args)...);
 }
 
 } // namespace scar

@@ -157,6 +157,8 @@ double
 CostDb::segmentCycles(int model, int bIdx, Dataflow df, int first,
                       int last) const
 {
+    obs::SearchCounters::bump(counters_,
+                              &obs::SearchCounters::costDbRangeQueries);
     return rangeSums_[model][bIdx][dataflowIndex(df)]
         .cycles[triIndex(model, first, last)];
 }
@@ -165,6 +167,8 @@ double
 CostDb::segmentEnergyNj(int model, int bIdx, Dataflow df, int first,
                         int last) const
 {
+    obs::SearchCounters::bump(counters_,
+                              &obs::SearchCounters::costDbRangeQueries);
     return rangeSums_[model][bIdx][dataflowIndex(df)]
         .energyNj[triIndex(model, first, last)];
 }
@@ -172,12 +176,16 @@ CostDb::segmentEnergyNj(int model, int bIdx, Dataflow df, int first,
 double
 CostDb::segmentWeightBytes(int model, int first, int last) const
 {
+    obs::SearchCounters::bump(counters_,
+                              &obs::SearchCounters::costDbRangeQueries);
     return weightPrefix_[model][last + 1] - weightPrefix_[model][first];
 }
 
 double
 CostDb::segmentMaxActBytes(int model, int first, int last) const
 {
+    obs::SearchCounters::bump(counters_,
+                              &obs::SearchCounters::costDbRangeQueries);
     const std::vector<std::vector<double>>& table = actMax_[model];
     const unsigned len = static_cast<unsigned>(last - first + 1);
     // floor(log2(len)) via the leading-zero count; len >= 1 always.
@@ -236,6 +244,8 @@ CostDb::cost(int model, int layer, Dataflow df) const
 double
 CostDb::layerCycles(int model, int layer, Dataflow df) const
 {
+    obs::SearchCounters::bump(counters_,
+                              &obs::SearchCounters::costDbLayerQueries);
     const LayerCost& lc = cost(model, layer, df);
     // Per-sample view: intra-chiplet pipeline plus weight streaming.
     return lc.intraCycles() + lc.weightBytes / offchipBpc_ +
@@ -245,6 +255,8 @@ CostDb::layerCycles(int model, int layer, Dataflow df) const
 double
 CostDb::layerEnergyNj(int model, int layer, Dataflow df) const
 {
+    obs::SearchCounters::bump(counters_,
+                              &obs::SearchCounters::costDbLayerQueries);
     const LayerCost& lc = cost(model, layer, df);
     const double dramNj =
         pjToNj(lc.weightBytes * 8.0 * mcm_.params().dramEnergyPjPerBit);

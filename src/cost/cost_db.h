@@ -20,6 +20,7 @@
 
 #include "arch/mcm.h"
 #include "cost/maestro_lite.h"
+#include "obs/solve_profile.h"
 #include "workload/scenario.h"
 
 namespace scar
@@ -124,9 +125,27 @@ class CostDb
     /** The MCM this database was built for. */
     const Mcm& mcm() const { return mcm_; }
 
+    // ---- profiling hooks -----------------------------------------
+
+    /**
+     * Attaches (or detaches, with nullptr) live query counters: range
+     * queries bump costDbRangeQueries, per-layer costings bump
+     * costDbLayerQueries. The disabled state costs one predicted
+     * branch per query. Attach/detach only while no solve is querying
+     * the database (Scar::run does this for profiled solves).
+     */
+    void setCounters(obs::SearchCounters* counters)
+    {
+        counters_ = counters;
+    }
+
+    /** The attached query counters, or nullptr when unprofiled. */
+    obs::SearchCounters* counters() const { return counters_; }
+
   private:
     const Scenario& scenario_;
     const Mcm& mcm_;
+    obs::SearchCounters* counters_ = nullptr; ///< profiled solves only
     // costs_[model][candidate][layer][dataflowIndex]; candidate 0 is
     // the capacity-derived b' (used for expectations), candidate 1 —
     // when distinct — is the streaming b' = 1.

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/solve_profile.h"
 
 namespace scar
 {
@@ -50,6 +51,10 @@ WindowEvaluator::validate(const WindowPlacement& placement) const
 WindowCost
 WindowEvaluator::evaluate(const WindowPlacement& placement) const
 {
+    // Profiled solves count every evaluator invocation (solo and
+    // full); unprofiled runs pay one predicted branch.
+    obs::SearchCounters::bump(db_.counters(),
+                              &obs::SearchCounters::windowEvals);
     validate(placement);
     const Scenario& sc = db_.scenario();
     const Mcm& mcm = db_.mcm();

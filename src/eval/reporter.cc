@@ -156,6 +156,38 @@ describeServingReport(const runtime::ServingReport& report)
     }
     out << table.render();
 
+    // Queue-wait vs execution split per model: which component an SLO
+    // miss is charged to (batching/routing vs schedule/preemption).
+    // Only the model-aware summarize fills perModel, so reports built
+    // through the legacy path render unchanged.
+    if (!report.perModel.empty()) {
+        out << "\nPer-model latency breakdown ("
+            << report.perModel.size() << " model"
+            << (report.perModel.size() == 1 ? "" : "s")
+            << ", queue-wait vs execution)\n";
+        TextTable modelTable(
+            {"Model", "Completed", "SLO miss", "Mean (s)", "p50 (s)",
+             "p95 (s)", "p99 (s)", "Queue p50/p95/p99 (s)",
+             "Exec p50/p95/p99 (s)"});
+        for (const runtime::ModelServingBreakdown& mb :
+             report.perModel) {
+            modelTable.addRow(
+                {mb.name, std::to_string(mb.completed),
+                 std::to_string(mb.sloViolations),
+                 TextTable::num(mb.meanLatencySec, 4),
+                 TextTable::num(mb.p50LatencySec, 4),
+                 TextTable::num(mb.p95LatencySec, 4),
+                 TextTable::num(mb.p99LatencySec, 4),
+                 TextTable::num(mb.p50QueueSec, 4) + "/" +
+                     TextTable::num(mb.p95QueueSec, 4) + "/" +
+                     TextTable::num(mb.p99QueueSec, 4),
+                 TextTable::num(mb.p50ExecSec, 4) + "/" +
+                     TextTable::num(mb.p95ExecSec, 4) + "/" +
+                     TextTable::num(mb.p99ExecSec, 4)});
+        }
+        out << modelTable.render();
+    }
+
     if (!report.shards.empty()) {
         out << "\nPer-shard utilization ("
             << report.shards.size() << " package"

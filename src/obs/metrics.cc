@@ -1,0 +1,280 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace scar
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Shortest decimal form that round-trips the double exactly. */
+std::string
+formatDouble(double value)
+{
+    if (std::isinf(value))
+        return value > 0 ? "1e999" : "-1e999";
+    char buf[40];
+    for (int precision = 15; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+        if (std::strtod(buf, nullptr) == value)
+            break;
+    }
+    return buf;
+}
+
+} // namespace
+
+Histogram::Histogram(HistogramOptions options) : options_(options)
+{
+    SCAR_REQUIRE(options_.firstBucketUpper > 0.0,
+                 "first bucket upper bound must be positive");
+    SCAR_REQUIRE(options_.growth > 1.0,
+                 "bucket growth factor must exceed 1");
+    SCAR_REQUIRE(options_.buckets >= 1, "need at least one bucket");
+    counts_.assign(options_.buckets, 0);
+}
+
+int
+Histogram::bucketIndex(double value) const
+{
+    // Walk the geometric bounds instead of taking logs: exact at the
+    // bucket boundaries and cheap for the bucket counts in use.
+    int idx = 0;
+    double upper = options_.firstBucketUpper;
+    while (value > upper && idx < options_.buckets - 1) {
+        upper *= options_.growth;
+        ++idx;
+    }
+    return idx;
+}
+
+double
+Histogram::bucketUpper(int bucket) const
+{
+    double upper = options_.firstBucketUpper;
+    for (int k = 0; k < bucket; ++k)
+        upper *= options_.growth;
+    return upper;
+}
+
+void
+Histogram::record(double value)
+{
+    ++counts_[bucketIndex(value)];
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const long long rank = std::max<long long>(
+        1, static_cast<long long>(std::ceil(p / 100.0 * count_)));
+    long long seen = 0;
+    for (int k = 0; k < options_.buckets; ++k) {
+        seen += counts_[k];
+        if (seen >= rank)
+            return std::min(bucketUpper(k), max_);
+    }
+    return max_;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_[name];
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return gauges_[name];
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name,
+                           HistogramOptions options)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(name, Histogram(options)).first;
+    return it->second;
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    out += "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + name + "\": " + std::to_string(c.value());
+    }
+    out += "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + name + "\": " + formatDouble(g.value());
+    }
+    out += "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + name + "\": {\"count\": " +
+               std::to_string(h.count()) +
+               ", \"sum\": " + formatDouble(h.sum()) +
+               ", \"min\": " +
+               formatDouble(h.count() ? h.minValue() : 0.0) +
+               ", \"max\": " +
+               formatDouble(h.count() ? h.maxValue() : 0.0) +
+               ", \"p50\": " + formatDouble(h.percentile(50.0)) +
+               ", \"p95\": " + formatDouble(h.percentile(95.0)) +
+               ", \"p99\": " + formatDouble(h.percentile(99.0)) + "}";
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+std::string
+MetricsRegistry::toCsv() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = "kind,name,field,value\n";
+    for (const auto& [name, c] : counters_) {
+        out += "counter," + name + ",value," +
+               std::to_string(c.value()) + "\n";
+    }
+    for (const auto& [name, g] : gauges_) {
+        out += "gauge," + name + ",value," + formatDouble(g.value()) +
+               "\n";
+    }
+    for (const auto& [name, h] : histograms_) {
+        auto row = [&](const char* field, const std::string& value) {
+            out += "histogram," + name + "," + field + "," + value +
+                   "\n";
+        };
+        row("count", std::to_string(h.count()));
+        row("sum", formatDouble(h.sum()));
+        row("min", formatDouble(h.count() ? h.minValue() : 0.0));
+        row("max", formatDouble(h.count() ? h.maxValue() : 0.0));
+        row("p50", formatDouble(h.percentile(50.0)));
+        row("p95", formatDouble(h.percentile(95.0)));
+        row("p99", formatDouble(h.percentile(99.0)));
+    }
+    return out;
+}
+
+bool
+MetricsRegistry::writeJson(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out.good())
+        return false;
+    out << toJson();
+    return out.good();
+}
+
+bool
+MetricsRegistry::writeCsv(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out.good())
+        return false;
+    out << toCsv();
+    return out.good();
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+TimeSeriesSampler::TimeSeriesSampler(double intervalSec)
+    : intervalSec_(intervalSec)
+{
+    SCAR_REQUIRE(intervalSec_ > 0.0,
+                 "sampling interval must be positive");
+}
+
+void
+TimeSeriesSampler::setColumns(std::vector<std::string> columns)
+{
+    columns_ = std::move(columns);
+}
+
+void
+TimeSeriesSampler::push(const std::vector<double>& values)
+{
+    SCAR_REQUIRE(values.size() == columns_.size(),
+                 "sample row arity mismatch: ", values.size(), " vs ",
+                 columns_.size(), " columns");
+    std::vector<double> row;
+    row.reserve(values.size() + 1);
+    row.push_back(nextSec_);
+    row.insert(row.end(), values.begin(), values.end());
+    rows_.push_back(std::move(row));
+    nextSec_ += intervalSec_;
+}
+
+std::string
+TimeSeriesSampler::toCsv() const
+{
+    std::string out = "timeSec";
+    for (const std::string& col : columns_)
+        out += "," + col;
+    out += "\n";
+    for (const std::vector<double>& row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i != 0)
+                out += ',';
+            out += formatDouble(row[i]);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+bool
+TimeSeriesSampler::writeCsv(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out.good())
+        return false;
+    out << toCsv();
+    return out.good();
+}
+
+void
+TimeSeriesSampler::reset()
+{
+    rows_.clear();
+    nextSec_ = 0.0;
+}
+
+} // namespace obs
+} // namespace scar

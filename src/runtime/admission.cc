@@ -58,6 +58,15 @@ AdmissionController::queuedCount() const
     return total;
 }
 
+int
+AdmissionController::queuedCount(int model) const
+{
+    SCAR_REQUIRE(model >= 0 &&
+                     model < static_cast<int>(queues_.size()),
+                 "admission: queue index ", model, " outside catalog");
+    return static_cast<int>(queues_[model].size());
+}
+
 bool
 AdmissionController::ready(double nowSec) const
 {

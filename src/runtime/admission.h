@@ -111,6 +111,9 @@ class AdmissionController
     /** Total queued requests across models. */
     int queuedCount() const;
 
+    /** Queued requests of one catalog model (observability sampling). */
+    int queuedCount(int model) const;
+
     /**
      * True when some model has a ready batch at the given time: a
      * full batch queued, or an oldest request older than

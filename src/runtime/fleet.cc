@@ -501,12 +501,26 @@ FleetSimulator::resumeSuspended(Shard& shard, double nowSec)
         options_.serving.preemption.resumeOverheadSec;
     const double startSec = nowSec + overheadSec;
     shard.resumeOverheadSec += overheadSec;
+    if (obs::FlightRecorder* const rec = options_.recorder) {
+        const int tid =
+            static_cast<int>(&shard - shards_.data()) + 1;
+        rec->trace().instantVirtual(
+            tid, "resume", "preemption", nowSec,
+            {obs::argNum("remaining_sec",
+                         shard.suspended.remainingSec)});
+        if (overheadSec > 0.0)
+            rec->trace().completeVirtual(tid, "resume-overhead",
+                                         "overhead", nowSec,
+                                         overheadSec);
+        rec->metrics().counter("preemption.resumes").inc();
+    }
     // Add back the remainder that suspension subtracted; the replay
     // continues from its saved cursor, never re-solved (the
     // SuspendedReplay pins the schedule, so even an LRU-evicted
     // cache entry stays valid).
     shard.busySec += shard.suspended.remainingSec;
     shard.busyUntilSec = startSec + shard.suspended.remainingSec;
+    shard.traceWindowStartSec = startSec;
     shard.lastKey = shard.suspendedKey;
     shard.hasSuspended = false;
     shard.executor.resume(std::move(shard.suspended), startSec);
@@ -543,6 +557,29 @@ FleetSimulator::run(const std::vector<Request>& trace)
     }
     contestedRoutes_ = 0;
     costOptimalRoutes_ = 0;
+    // Flight recorder: rec == nullptr is the disabled state, and every
+    // hook below sits behind that check — a disabled run does no
+    // observability work and stays byte-identical to an uninstrumented
+    // build. All recorded events carry virtual timestamps and are
+    // emitted from this single-threaded loop, so an enabled trace is
+    // deterministic at any solver thread count.
+    obs::FlightRecorder* const rec = options_.recorder;
+    if (rec) {
+        rec->trace().setThreadName(0, "fleet");
+        for (std::size_t s = 0; s < shards_.size(); ++s)
+            rec->trace().setThreadName(
+                static_cast<int>(s) + 1,
+                "shard " + std::to_string(s) + " (" +
+                    templates_[s].name() + ")");
+        std::vector<std::string> columns{"queue_depth", "busy_shards",
+                                         "cache_hit_rate"};
+        for (std::size_t s = 0; s < shards_.size(); ++s)
+            columns.push_back("shard" + std::to_string(s) + "_busy");
+        for (const ServedModel& sm : catalog_)
+            columns.push_back("queue_" + sm.model.name);
+        rec->samples().reset();
+        rec->samples().setColumns(std::move(columns));
+    }
     AdmissionController admission(catalog_,
                                   options_.serving.admission);
     records_.clear();
@@ -606,6 +643,45 @@ FleetSimulator::run(const std::vector<Request>& trace)
     long lastSpeculativeEpoch = -1;
     while (next < trace.size() || admission.queuedCount() > 0 ||
            anyBusyOrPending()) {
+        // Fixed-interval sampling on the virtual clock. The fleet
+        // state is piecewise-constant between events (sample-and-hold),
+        // so the value at each scheduled instant is the value now;
+        // rows are stamped with the scheduled time, and the headline
+        // series double as ph = C counter tracks in the trace.
+        while (rec && rec->samples().due(nowSec)) {
+            const double atSec = rec->samples().nextSampleSec();
+            const double queueDepth = admission.queuedCount();
+            int busyShards = 0;
+            for (const Shard& shard : shards_)
+                busyShards += shard.executor.busy() ? 1 : 0;
+            const long long cacheHits =
+                rec->metrics().counter("cache.hits").value();
+            const long long cacheMisses =
+                rec->metrics().counter("cache.misses").value();
+            const double hitRate =
+                cacheHits + cacheMisses > 0
+                    ? static_cast<double>(cacheHits) /
+                          static_cast<double>(cacheHits + cacheMisses)
+                    : 0.0;
+            std::vector<double> row;
+            row.reserve(3 + shards_.size() + catalog_.size());
+            row.push_back(queueDepth);
+            row.push_back(busyShards);
+            row.push_back(hitRate);
+            for (const Shard& shard : shards_)
+                row.push_back(shard.executor.busy() ? 1.0 : 0.0);
+            for (std::size_t m = 0; m < catalog_.size(); ++m)
+                row.push_back(admission.queuedCount(
+                    static_cast<int>(m)));
+            rec->samples().push(row);
+            rec->trace().counterVirtual("queue_depth", atSec,
+                                        queueDepth);
+            rec->trace().counterVirtual("busy_shards", atSec,
+                                        busyShards);
+            rec->trace().counterVirtual("cache_hit_rate", atSec,
+                                        hitRate);
+        }
+
         // Urgency is loop-invariant within one event iteration
         // (nothing below changes the queues before the next event),
         // so the O(queued) deadline scan runs once per iteration.
@@ -648,9 +724,22 @@ FleetSimulator::run(const std::vector<Request>& trace)
                 startSec += options_.serving.switchOverheadSec;
                 shard.switchOverheadSec +=
                     options_.serving.switchOverheadSec;
+                if (rec)
+                    rec->trace().completeVirtual(
+                        static_cast<int>(&shard - shards_.data()) + 1,
+                        "switch", "overhead", nowSec,
+                        options_.serving.switchOverheadSec);
+            }
+            if (rec) {
+                for (const BatchGroup& group : shard.pending.groups)
+                    for (const Request& req : group.requests)
+                        rec->trace().asyncInstantVirtual(
+                            static_cast<std::uint64_t>(req.id),
+                            "dispatch", "request", startSec);
             }
             shard.busySec += schedule->makespanSec;
             shard.busyUntilSec = startSec + schedule->makespanSec;
+            shard.traceWindowStartSec = startSec;
             shard.lastKey = shard.pendingKey;
             shard.executor.start(std::move(schedule),
                                  std::move(shard.pending), startSec);
@@ -729,9 +818,33 @@ FleetSimulator::run(const std::vector<Request>& trace)
                 shard.pendingSchedule = found.schedule;
                 shard.solveStallSec +=
                     std::max(0.0, found.readySec - nowSec);
+                if (rec) {
+                    const int tid = target + 1;
+                    // lookup() counts joining an in-flight solve as a
+                    // hit; only a lookup that launched the solve is a
+                    // miss (matches ScheduleCacheStats).
+                    const bool hit = !found.startedSolve;
+                    rec->trace().instantVirtual(
+                        tid, hit ? "cache-hit" : "cache-miss",
+                        "cache", nowSec, {obs::argText("mix", sig)});
+                    rec->metrics()
+                        .counter(hit ? "cache.hits" : "cache.misses")
+                        .inc();
+                    rec->metrics()
+                        .counter(urgent ? "dispatches.urgent"
+                                        : "dispatches.regular")
+                        .inc();
+                    if (found.readySec > nowSec)
+                        rec->trace().completeVirtual(
+                            tid, "solve-stall", "stall", nowSec,
+                            found.readySec - nowSec,
+                            {obs::argText("mix", sig)});
+                }
                 continue;
             }
         }
+        if (deferred && rec)
+            rec->metrics().counter("routing.deferrals").inc();
 
         // 3. Ready batch but every shard occupied: solve the would-be
         // mix in the background so the search overlaps the replays.
@@ -753,12 +866,21 @@ FleetSimulator::run(const std::vector<Request>& trace)
             const std::string peekedSig = peeked.signature();
             const int target =
                 speculationTarget(peekedSig, peeked, nowSec, urgent);
-            if (target >= 0)
+            if (target >= 0) {
                 shards_[target].cache->prefetch(
                     cacheKey(peekedSig,
                              static_cast<std::size_t>(target)),
                     peeked, computes[target],
                     nowSec + options_.serving.modeledSolveSec);
+                if (rec) {
+                    rec->trace().instantVirtual(
+                        target + 1, "speculative-solve", "cache",
+                        nowSec, {obs::argText("mix", peekedSig)});
+                    rec->metrics()
+                        .counter("solves.speculative")
+                        .inc();
+                }
+            }
         }
 
         // 4. Advance the virtual clock to the next event.
@@ -816,14 +938,69 @@ FleetSimulator::run(const std::vector<Request>& trace)
         if (tArrival <= tBoundary && tArrival <= tPending &&
             tArrival <= tTimer && tArrival <= tUrgent) {
             admission.enqueue(trace[next]);
+            if (rec) {
+                const Request& req = trace[next];
+                const std::string& model =
+                    catalog_[req.modelIdx].model.name;
+                std::vector<obs::TraceArg> args{
+                    obs::argText("model", model)};
+                if (req.deadlineSec < kInf)
+                    args.push_back(
+                        obs::argNum("deadline_sec", req.deadlineSec));
+                rec->trace().asyncBeginVirtual(
+                    static_cast<std::uint64_t>(req.id),
+                    "req " + model, "request", req.arrivalSec,
+                    std::move(args));
+                rec->metrics().counter("requests.arrived").inc();
+            }
             ++next;
             ++queueEpoch;
         } else if (tBoundary <= tPending && tBoundary <= tTimer &&
                    tBoundary <= tUrgent) {
             Shard& sh = shards_[boundaryShard];
             WindowTick tick = sh.executor.advance();
-            for (Request& req : tick.completed)
+            if (rec)
+                rec->trace().completeVirtual(
+                    boundaryShard + 1,
+                    "w" + std::to_string(tick.windowIdx), "replay",
+                    sh.traceWindowStartSec,
+                    tick.timeSec - sh.traceWindowStartSec,
+                    {obs::argInt("window", tick.windowIdx)});
+            sh.traceWindowStartSec = tick.timeSec;
+            for (Request& req : tick.completed) {
                 records_.push_back(req);
+                if (rec) {
+                    const std::string& model =
+                        catalog_[req.modelIdx].model.name;
+                    const double queueSec =
+                        req.dispatchSec - req.arrivalSec;
+                    const double execSec =
+                        req.completionSec - req.dispatchSec;
+                    rec->trace().asyncEndVirtual(
+                        static_cast<std::uint64_t>(req.id),
+                        "req " + model, "request", tick.timeSec,
+                        {obs::argNum("latency_sec", req.latencySec()),
+                         obs::argNum("queue_sec", queueSec),
+                         obs::argNum("exec_sec", execSec),
+                         obs::argBool("slo_violated",
+                                      req.sloViolated()),
+                         obs::argBool("preempted", req.preempted)});
+                    rec->metrics().counter("requests.completed").inc();
+                    if (req.sloViolated())
+                        rec->metrics()
+                            .counter("requests.slo_violations")
+                            .inc();
+                    rec->metrics()
+                        .histogram("latency_sec")
+                        .record(req.latencySec());
+                    rec->metrics()
+                        .histogram("queue_wait_sec")
+                        .record(queueSec);
+                    rec->metrics()
+                        .histogram("exec_sec")
+                        .record(execSec);
+                }
+            }
             // Boundary preemption: an urgent request is waiting, no
             // shard can take it, and this replay just reached a cut
             // point with windows still ahead — suspend it here; the
@@ -840,6 +1017,30 @@ FleetSimulator::run(const std::vector<Request>& trace)
                 // The remaining windows will be re-charged at resume.
                 sh.busySec -= sh.suspended.remainingSec;
                 ++sh.preemptions;
+                if (rec) {
+                    rec->trace().instantVirtual(
+                        boundaryShard + 1, "preempt", "preemption",
+                        tick.timeSec,
+                        {obs::argInt("next_window",
+                                     static_cast<long long>(
+                                         sh.suspended.window)),
+                         obs::argNum("remaining_sec",
+                                     sh.suspended.remainingSec)});
+                    // suspend() just marked every still-riding
+                    // request preempted; tag their lifecycle tracks.
+                    for (const BatchGroup& group :
+                         sh.suspended.dispatch.groups)
+                        for (const Request& req : group.requests)
+                            if (req.preempted)
+                                rec->trace().asyncInstantVirtual(
+                                    static_cast<std::uint64_t>(
+                                        req.id),
+                                    "preempted", "request",
+                                    tick.timeSec);
+                    rec->metrics()
+                        .counter("preemption.suspends")
+                        .inc();
+                }
             }
         }
         // Pending-ready, timer, and urgency events need no action
@@ -870,9 +1071,13 @@ FleetSimulator::run(const std::vector<Request>& trace)
         dispatches +=
             shard.executor.dispatchCount() - shard.dispatchesBefore;
 
+    std::vector<std::string> modelNames;
+    modelNames.reserve(catalog_.size());
+    for (const ServedModel& sm : catalog_)
+        modelNames.push_back(sm.model.name);
     ServingReport report = summarizeServing(
         records_, static_cast<long>(trace.size()), dispatches,
-        paddedSlots, delta, cachedMixes);
+        paddedSlots, delta, cachedMixes, modelNames);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
         const Shard& shard = shards_[s];
         ShardReport sr;
@@ -894,6 +1099,18 @@ FleetSimulator::run(const std::vector<Request>& trace)
         report.shards.push_back(sr);
     }
     report.preemptionEnabled = options_.serving.preemption.enabled;
+    if (rec) {
+        rec->metrics().gauge("horizon_sec").set(report.horizonSec);
+        rec->metrics()
+            .gauge("throughput_rps")
+            .set(report.throughputRps);
+        rec->metrics()
+            .gauge("slo_violation_rate")
+            .set(report.sloViolationRate);
+        rec->metrics()
+            .gauge("batch_occupancy")
+            .set(report.batchOccupancy);
+    }
     report.contestedRoutes = contestedRoutes_;
     report.costOptimalRoutes = costOptimalRoutes_;
     report.costOptimalRouteFrac =

@@ -71,6 +71,7 @@
 
 #include "arch/mcm.h"
 #include "common/thread_pool.h"
+#include "obs/flight_recorder.h"
 #include "runtime/admission.h"
 #include "runtime/arrival.h"
 #include "runtime/async_schedule_cache.h"
@@ -217,6 +218,20 @@ struct FleetOptions
      * way, so heterogeneous templates never alias.
      */
     bool sharedCache = true;
+    /**
+     * Flight recorder for this fleet (not owned; nullptr disables all
+     * observability). When set, run() records the full per-request
+     * lifecycle (arrival -> queue -> dispatch -> replay windows ->
+     * completion/preemption) as virtual-time trace events, bumps the
+     * metrics registry, and samples queue depth / shard busyness /
+     * cache hit rate on the recorder's fixed virtual interval.
+     * Recording never changes a run's observable behavior: every hook
+     * sits behind the null check, and the trace is a pure function of
+     * virtual time, so it is byte-identical at any solver thread
+     * count. One recorder should observe one run at a time — run()
+     * resets the sampler and assumes the trace starts at t = 0.
+     */
+    obs::FlightRecorder* recorder = nullptr;
 };
 
 /** Simulates serving one request stream on a fleet of MCMs. */
@@ -303,6 +318,9 @@ class FleetSimulator
         long preemptions = 0;
         double resumeOverheadSec = 0.0;
         std::string lastKey; ///< (mix, package) key of the previous replay
+        /** Trace bookkeeping: start instant of the window currently
+         *  replaying (the span start when the next boundary ticks). */
+        double traceWindowStartSec = 0.0;
     };
 
     /** The (mix signature, package signature) key of shard s. */

@@ -40,6 +40,16 @@ summarizeServing(const std::vector<Request>& requests, long offered,
                  long dispatches, long paddedSlots,
                  const ScheduleCacheStats& cacheStats, long uniqueMixes)
 {
+    return summarizeServing(requests, offered, dispatches, paddedSlots,
+                            cacheStats, uniqueMixes, {});
+}
+
+ServingReport
+summarizeServing(const std::vector<Request>& requests, long offered,
+                 long dispatches, long paddedSlots,
+                 const ScheduleCacheStats& cacheStats, long uniqueMixes,
+                 const std::vector<std::string>& modelNames)
+{
     ServingReport report;
     report.offered = offered;
     report.dispatches = dispatches;
@@ -87,6 +97,59 @@ summarizeServing(const std::vector<Request>& requests, long offered,
     if (paddedSlots > 0)
         report.batchOccupancy =
             static_cast<double>(report.completed) / paddedSlots;
+
+    // Per-model queue-wait vs execution decomposition. latency =
+    // (dispatch - arrival) + (completion - dispatch): the first term
+    // is admission/batching/routing delay, the second the replay
+    // (suspension gaps included for preempted requests).
+    for (std::size_t m = 0; m < modelNames.size(); ++m) {
+        ModelServingBreakdown mb;
+        mb.modelIdx = static_cast<int>(m);
+        mb.name = modelNames[m];
+        std::vector<double> total;
+        std::vector<double> queue;
+        std::vector<double> exec;
+        double totalSum = 0.0;
+        double queueSum = 0.0;
+        double execSum = 0.0;
+        for (const Request& req : requests) {
+            if (!req.completed() ||
+                req.modelIdx != static_cast<int>(m))
+                continue;
+            ++mb.completed;
+            if (req.sloViolated())
+                ++mb.sloViolations;
+            const double lat = req.latencySec();
+            const double queueSec = req.dispatchSec - req.arrivalSec;
+            const double execSec = req.completionSec - req.dispatchSec;
+            total.push_back(lat);
+            queue.push_back(queueSec);
+            exec.push_back(execSec);
+            totalSum += lat;
+            queueSum += queueSec;
+            execSum += execSec;
+        }
+        if (mb.completed == 0) {
+            report.perModel.push_back(std::move(mb));
+            continue;
+        }
+        std::sort(total.begin(), total.end());
+        std::sort(queue.begin(), queue.end());
+        std::sort(exec.begin(), exec.end());
+        mb.meanLatencySec = totalSum / mb.completed;
+        mb.p50LatencySec = sortedPercentile(total, 50.0);
+        mb.p95LatencySec = sortedPercentile(total, 95.0);
+        mb.p99LatencySec = sortedPercentile(total, 99.0);
+        mb.meanQueueSec = queueSum / mb.completed;
+        mb.p50QueueSec = sortedPercentile(queue, 50.0);
+        mb.p95QueueSec = sortedPercentile(queue, 95.0);
+        mb.p99QueueSec = sortedPercentile(queue, 99.0);
+        mb.meanExecSec = execSum / mb.completed;
+        mb.p50ExecSec = sortedPercentile(exec, 50.0);
+        mb.p95ExecSec = sortedPercentile(exec, 95.0);
+        mb.p99ExecSec = sortedPercentile(exec, 99.0);
+        report.perModel.push_back(std::move(mb));
+    }
     return report;
 }
 

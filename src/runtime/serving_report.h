@@ -41,6 +41,37 @@ struct ShardReport
     long preemptions = 0;
 };
 
+/**
+ * Per-model latency decomposition: end-to-end latency split into the
+ * queue-wait component (arrival -> batch dispatch) and the execution
+ * component (dispatch -> completion, replay time plus any suspension
+ * gap). Queue wait is where batching policy and routing show up;
+ * execution is where the schedule and preemption do — the split tells
+ * which knob an SLO miss is charged to.
+ */
+struct ModelServingBreakdown
+{
+    int modelIdx = -1;    ///< catalog index
+    std::string name;     ///< catalog model name
+    long completed = 0;
+    long sloViolations = 0;
+
+    double meanLatencySec = 0.0;
+    double p50LatencySec = 0.0;
+    double p95LatencySec = 0.0;
+    double p99LatencySec = 0.0;
+
+    double meanQueueSec = 0.0;
+    double p50QueueSec = 0.0;
+    double p95QueueSec = 0.0;
+    double p99QueueSec = 0.0;
+
+    double meanExecSec = 0.0;
+    double p50ExecSec = 0.0;
+    double p95ExecSec = 0.0;
+    double p99ExecSec = 0.0;
+};
+
 /** Aggregate serving statistics for one simulated stream. */
 struct ServingReport
 {
@@ -65,6 +96,11 @@ struct ServingReport
 
     /** Mean dispatched-batch occupancy: requests / padded slots. */
     double batchOccupancy = 0.0;
+
+    /** Per-model queue-wait vs execution latency split. Filled only
+     *  by the model-aware summarizeServing overload; empty keeps the
+     *  rendered report byte-identical to the pre-breakdown format. */
+    std::vector<ModelServingBreakdown> perModel;
 
     /** Per-shard accounting (one entry per MCM package). */
     std::vector<ShardReport> shards;
@@ -120,6 +156,18 @@ ServingReport summarizeServing(const std::vector<Request>& requests,
                                long paddedSlots,
                                const ScheduleCacheStats& cacheStats,
                                long uniqueMixes);
+
+/**
+ * As above, and additionally fills ServingReport::perModel — one
+ * queue-wait vs execution latency breakdown per catalog model.
+ * @param modelNames catalog model names; modelIdx indexes this list
+ */
+ServingReport summarizeServing(const std::vector<Request>& requests,
+                               long offered, long dispatches,
+                               long paddedSlots,
+                               const ScheduleCacheStats& cacheStats,
+                               long uniqueMixes,
+                               const std::vector<std::string>& modelNames);
 
 } // namespace runtime
 } // namespace scar

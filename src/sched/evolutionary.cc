@@ -13,7 +13,8 @@ EvolutionaryWindowSearch::EvolutionaryWindowSearch(
     const CostDb& db, OptTarget target, WindowSearchOptions schedOpts,
     EvoOptions evoOpts)
     : db_(db), target_(target), scheduler_(db, target, schedOpts),
-      evo_(evoOpts), pool_(schedOpts.pool)
+      evo_(evoOpts), pool_(schedOpts.pool),
+      counters_(schedOpts.counters)
 {
     SCAR_REQUIRE(evo_.population >= 2, "population must be >= 2");
     SCAR_REQUIRE(evo_.generations >= 1, "generations must be >= 1");
@@ -152,6 +153,7 @@ EvolutionaryWindowSearch::search(const WindowAssignment& wa,
     // one shared path memo serves the whole run (deterministic
     // values; see PathCache).
     PathCache pathCache;
+    pathCache.setCounters(counters_);
     auto evaluateBatch = [&](std::vector<Individual*>& batch) {
         forEachIndex(pool_, batch.size(), [&](std::size_t i) {
             Individual& ind = *batch[i];
@@ -183,6 +185,8 @@ EvolutionaryWindowSearch::search(const WindowAssignment& wa,
     };
 
     for (int gen = 1; gen < evo_.generations; ++gen) {
+        obs::SearchCounters::bump(counters_,
+                                  &obs::SearchCounters::eaGenerations);
         std::stable_sort(population.begin(), population.end(),
                          byFitness);
         std::vector<Individual> next(

@@ -72,6 +72,7 @@ class EvolutionaryWindowSearch
     WindowScheduler scheduler_;
     EvoOptions evo_;
     ThreadPool* pool_;
+    obs::SearchCounters* counters_; ///< from schedOpts; may be null
 };
 
 } // namespace scar

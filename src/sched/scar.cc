@@ -1,6 +1,7 @@
 #include "sched/scar.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.h"
 #include "common/logging.h"
@@ -65,6 +66,7 @@ Scar::searchWindow(const WindowAssignment& wa, const NodeAllocation& nodes,
 {
     WindowSearchOptions wopts = options_.window;
     wopts.pool = pool_;
+    wopts.counters = runCounters_;
     if (options_.mode == SearchMode::Evolutionary) {
         EvolutionaryWindowSearch evo(db_, options_.target, wopts,
                                      options_.evo);
@@ -77,8 +79,35 @@ Scar::searchWindow(const WindowAssignment& wa, const NodeAllocation& nodes,
 ScheduleResult
 Scar::run()
 {
+    // Profiling scaffolding: a profiled run attaches live counters to
+    // the cost database and times each phase on the wall clock. The
+    // default path only tests `prof` — never touches the clock — so
+    // unprofiled solves stay free of observability work.
+    using Clock = std::chrono::steady_clock;
+    obs::SolveProfile* const prof = options_.profile;
+    obs::SearchCounters counters;
+    const auto sinceMs = [](Clock::time_point from) {
+        return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                         from)
+            .count();
+    };
+    Clock::time_point runStart{};
+    Clock::time_point phaseStart{};
+    double packMs = 0.0;
+    double provisionMs = 0.0;
+    double searchMs = 0.0;
+    std::int64_t allocationsSearched = 0;
+    if (prof) {
+        runStart = Clock::now();
+        phaseStart = runStart;
+        runCounters_ = &counters;
+        db_.setCounters(&counters);
+    }
+
     const WindowPlan plan =
         packLayers(db_, options_.nsplits, options_.packing);
+    if (prof)
+        packMs = sinceMs(phaseStart);
     inform("SCAR: ", scenario_.name, " on ", mcm_.name(), ": ",
            plan.windows.size(), " windows, target ",
            optTargetName(options_.target));
@@ -94,8 +123,16 @@ Scar::run()
     // internally.
     for (std::size_t w = 0; w < plan.windows.size(); ++w) {
         const WindowAssignment& wa = plan.windows[w];
+        if (prof)
+            phaseStart = Clock::now();
         const auto allocations =
             provisionNodes(wa, db_, options_.target, options_.prov);
+        if (prof) {
+            provisionMs += sinceMs(phaseStart);
+            allocationsSearched +=
+                static_cast<std::int64_t>(allocations.size());
+            phaseStart = Clock::now();
+        }
         const std::uint64_t windowSeed =
             mixSeed(options_.seed, static_cast<std::uint64_t>(w));
 
@@ -116,6 +153,8 @@ Scar::run()
                 best.best = found.best;
             }
         }
+        if (prof)
+            searchMs += sinceMs(phaseStart);
         SCAR_REQUIRE(best.found,
                      "no feasible placement found for a window of ",
                      scenario_.name, " on ", mcm_.name());
@@ -196,6 +235,19 @@ Scar::run()
             options_.customScore(result.metrics)) {
             result.metrics = best;
         }
+    }
+
+    if (prof) {
+        db_.setCounters(nullptr);
+        runCounters_ = nullptr;
+        prof->enabled = true;
+        prof->totalMs = sinceMs(runStart);
+        prof->packMs = packMs;
+        prof->provisionMs = provisionMs;
+        prof->searchMs = searchMs;
+        prof->windows = static_cast<std::int64_t>(result.windows.size());
+        prof->allocationsSearched = allocationsSearched;
+        prof->captureCounters(counters);
     }
     return result;
 }

@@ -24,7 +24,8 @@
  * so run() returns a bit-identical ScheduleResult at any pool size —
  * including fully serial — and is safe to invoke concurrently from
  * multiple threads (e.g. background schedule solves in the serving
- * runtime).
+ * runtime). Exception: a profiled run (ScarOptions::profile set)
+ * attaches live counters to the instance and must run exclusively.
  */
 
 #ifndef SCAR_SCHED_SCAR_H
@@ -34,6 +35,7 @@
 #include <memory>
 
 #include "common/thread_pool.h"
+#include "obs/solve_profile.h"
 #include "sched/evolutionary.h"
 #include "sched/greedy_packing.h"
 #include "sched/sched_engine.h"
@@ -70,6 +72,15 @@ struct ScarOptions
     int threads = 0;
     /** Explicit worker pool override (not owned); wins over threads. */
     ThreadPool* pool = nullptr;
+    /**
+     * When set, run() fills this with per-phase wall timings and
+     * cache-efficacy counters (see obs/solve_profile.h). Profiling
+     * never changes the schedule, but a profiled run attaches live
+     * counters to this instance's cost database, so run() must then
+     * be the only solve using the instance — the concurrent-run
+     * guarantee above applies to the default (nullptr) state only.
+     */
+    obs::SolveProfile* profile = nullptr;
 };
 
 /** One scheduled time window of the final schedule. */
@@ -152,6 +163,7 @@ class Scar
     const Mcm mcm_;
     ScarOptions options_;
     CostDb db_;
+    obs::SearchCounters* runCounters_ = nullptr; ///< live in profiled run()
     std::unique_ptr<ThreadPool> ownedPool_; ///< when threads > 1
     ThreadPool* pool_ = nullptr;            ///< null = serial search
 };

@@ -85,8 +85,13 @@ WindowScheduler::soloCost(int model, const Segmentation& seg,
     key.insert(key.end(), path.begin(), path.end());
 
     std::pair<double, double> cached;
-    if (cache.find(key, cached))
+    if (cache.find(key, cached)) {
+        obs::SearchCounters::bump(opts_.counters,
+                                  &obs::SearchCounters::soloHits);
         return cached;
+    }
+    obs::SearchCounters::bump(opts_.counters,
+                              &obs::SearchCounters::soloMisses);
 
     WindowPlacement placement;
     placement.entryChiplet.assign(
@@ -176,6 +181,8 @@ WindowScheduler::placeCombo(const std::vector<int>& present,
                             Result& result) const
 {
     const Topology& topo = db_.mcm().topology();
+    obs::SearchCounters::bump(opts_.counters,
+                              &obs::SearchCounters::combosPlaced);
     auto entryOf = [&](int model) {
         return model < static_cast<int>(entry.size()) ? entry[model] : -1;
     };
@@ -302,6 +309,7 @@ WindowScheduler::search(const WindowAssignment& wa,
     // never shifts another's.
     SoloCache cache;
     PathCache pathCache;
+    pathCache.setCounters(opts_.counters);
     std::vector<std::vector<Segmentation>> segLists;
     segLists.reserve(present.size());
     for (int m : present) {
@@ -413,6 +421,7 @@ WindowScheduler::placeSegmentations(
     SoloCache localCache;
     SoloCache& cache = sharedCache != nullptr ? *sharedCache : localCache;
     PathCache localPaths;
+    localPaths.setCounters(opts_.counters);
     PathCache& paths = sharedPaths != nullptr ? *sharedPaths : localPaths;
     placeCombo(presentModels, segs, entry, cache, paths, result);
     if (result.top.empty())

@@ -66,6 +66,12 @@ struct WindowSearchOptions
      * search serially. Results are identical either way.
      */
     ThreadPool* pool = nullptr;
+    /**
+     * Live profiling counters (cache hits, fan-out sizes); nullptr —
+     * the default — records nothing and costs one predicted branch
+     * per site. Counters never influence search results.
+     */
+    obs::SearchCounters* counters = nullptr;
 };
 
 /** A fully evaluated window placement. */

@@ -80,6 +80,8 @@ PathCache::get(const Topology& topo, int length,
                const std::vector<bool>& blocked, int maxTotal)
 {
     if (topo.numNodes() > 64) {
+        obs::SearchCounters::bump(counters_,
+                                  &obs::SearchCounters::pathMisses);
         return std::make_shared<const PathList>(
             enumeratePathsAllRoots(topo, length, blocked, maxTotal));
     }
@@ -99,8 +101,13 @@ PathCache::get(const Topology& topo, int length,
                     "PathCache shared across different maxTotal caps");
         topo_ = &topo;
         maxTotal_ = maxTotal;
-        if (const auto* cached = map_.find(key))
+        if (const auto* cached = map_.find(key)) {
+            obs::SearchCounters::bump(counters_,
+                                      &obs::SearchCounters::pathHits);
             return *cached;
+        }
+        obs::SearchCounters::bump(counters_,
+                                  &obs::SearchCounters::pathMisses);
     }
 
     // Enumerate outside the lock: concurrent misses on one key then

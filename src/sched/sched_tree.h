@@ -19,6 +19,7 @@
 
 #include "arch/topology.h"
 #include "common/flat_hash.h"
+#include "obs/solve_profile.h"
 
 namespace scar
 {
@@ -73,6 +74,15 @@ class PathCache
                                         const std::vector<bool>& blocked,
                                         int maxTotal);
 
+    /**
+     * Attaches (or detaches, with nullptr) hit/miss counters for
+     * profiled solves. Bitmask bypasses (> 64 nodes) count as misses.
+     */
+    void setCounters(obs::SearchCounters* counters)
+    {
+        counters_ = counters;
+    }
+
   private:
     struct Key
     {
@@ -102,6 +112,7 @@ class PathCache
     FlatHashMap<Key, std::shared_ptr<const PathList>, KeyHash> map_;
     const Topology* topo_ = nullptr; ///< pinned by the first get()
     int maxTotal_ = -1;              ///< pinned by the first get()
+    obs::SearchCounters* counters_ = nullptr; ///< profiled solves only
 };
 
 } // namespace scar

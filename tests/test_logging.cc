@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the leveled logger: level-name parsing, the SCAR_LOG_LEVEL
+ * environment knob, and the explicit-override precedence rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace scar
+{
+namespace
+{
+
+/** RAII save/restore of the process-wide log level. */
+struct LevelGuard
+{
+    LogLevel saved = logLevel();
+    ~LevelGuard() { setLogLevel(saved); }
+};
+
+TEST(Logging, ParsesEveryLevelNameCaseInsensitively)
+{
+    LogLevel level = LogLevel::Warn;
+    EXPECT_TRUE(parseLogLevel("debug", level));
+    EXPECT_EQ(level, LogLevel::Debug);
+    EXPECT_TRUE(parseLogLevel("INFO", level));
+    EXPECT_EQ(level, LogLevel::Info);
+    EXPECT_TRUE(parseLogLevel("Warn", level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("eRRor", level));
+    EXPECT_EQ(level, LogLevel::Error);
+    EXPECT_TRUE(parseLogLevel("silent", level));
+    EXPECT_EQ(level, LogLevel::Silent);
+}
+
+TEST(Logging, RejectsUnknownNamesWithoutTouchingOut)
+{
+    LogLevel level = LogLevel::Info;
+    EXPECT_FALSE(parseLogLevel("loud", level));
+    EXPECT_FALSE(parseLogLevel("", level));
+    EXPECT_FALSE(parseLogLevel("warn ", level));
+    EXPECT_EQ(level, LogLevel::Info);
+}
+
+TEST(Logging, AppliesValidEnvironmentLevel)
+{
+    LevelGuard guard;
+    ASSERT_EQ(setenv("SCAR_LOG_LEVEL", "debug", 1), 0);
+    EXPECT_TRUE(applyLogLevelFromEnv());
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    ASSERT_EQ(setenv("SCAR_LOG_LEVEL", "error", 1), 0);
+    EXPECT_TRUE(applyLogLevelFromEnv());
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    unsetenv("SCAR_LOG_LEVEL");
+}
+
+TEST(Logging, IgnoresInvalidOrAbsentEnvironmentLevel)
+{
+    LevelGuard guard;
+    setLogLevel(LogLevel::Info);
+    ASSERT_EQ(setenv("SCAR_LOG_LEVEL", "verbose", 1), 0);
+    EXPECT_FALSE(applyLogLevelFromEnv());
+    EXPECT_EQ(logLevel(), LogLevel::Info);
+    unsetenv("SCAR_LOG_LEVEL");
+    EXPECT_FALSE(applyLogLevelFromEnv());
+    EXPECT_EQ(logLevel(), LogLevel::Info);
+}
+
+TEST(Logging, ExplicitSetWinsOverLaterEnvState)
+{
+    LevelGuard guard;
+    ASSERT_EQ(setenv("SCAR_LOG_LEVEL", "debug", 1), 0);
+    // setLogLevel after the env apply must stick: the env is read
+    // once on first use, never re-applied behind the caller's back.
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    unsetenv("SCAR_LOG_LEVEL");
+}
+
+} // namespace
+} // namespace scar
