@@ -106,8 +106,11 @@ BM_WindowEvaluate(benchmark::State& state)
 BENCHMARK(BM_WindowEvaluate);
 
 /**
- * Contention-free window evaluation: the configuration the beam
- * search's solo scoring uses (thousands of calls per window search).
+ * Contention-free window evaluation through the dedicated solo fast
+ * path: the configuration the beam search's solo scoring uses
+ * (thousands of calls per window search). evaluateSolo skips the
+ * contention fixed point and link bookkeeping the full evaluate()
+ * carries even when both are disabled.
  */
 void
 BM_WindowEvaluateSolo(benchmark::State& state)
@@ -131,7 +134,7 @@ BM_WindowEvaluateSolo(benchmark::State& state)
     placement.models = {a};
 
     for (auto _ : state) {
-        benchmark::DoNotOptimize(eval.evaluate(placement));
+        benchmark::DoNotOptimize(eval.evaluateSolo(placement));
     }
 }
 BENCHMARK(BM_WindowEvaluateSolo);

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the discrete-event runtime:
+ * host-side event throughput of the fleet engine on a warm schedule
+ * cache — the epoch drain, the indexed calendar, and the
+ * cluster -> pod -> shard routing are what is being timed, not the
+ * solver (every mix is cached after the warmup replay).
+ *
+ * Gated by scripts/check_bench_regression.py against
+ * bench_results/micro_runtime.json.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "micro_bench_main.h"
+#include "common/thread_pool.h"
+#include "cost/maestro_lite.h"
+#include "runtime/fleet.h"
+#include "workload/layer.h"
+#include "workload/model_zoo.h"
+
+using namespace scar;
+using namespace scar::runtime;
+
+namespace
+{
+
+/**
+ * Calibration anchor: the same GEMM evaluation the other micro suites
+ * anchor on. Untouched by runtime work, so its time tracks machine
+ * speed and normalizes the gate across runners.
+ */
+void
+BM_RuntimeCalibrationGemm(benchmark::State& state)
+{
+    const MaestroLite model;
+    ChipletSpec spec;
+    spec.dataflow = Dataflow::NvdlaWS;
+    const Layer gemm = makeGemmLayer(0, "g", 128, 5120, 1280);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.evalLayer(gemm, spec));
+    }
+}
+BENCHMARK(BM_RuntimeCalibrationGemm);
+
+/**
+ * One saturated fleet replay per iteration, solver cost excluded: a
+ * warmup replay populates the shared schedule cache, so the timed
+ * replays walk the event loop alone — epoch drains, calendar
+ * updates, BestFit routing over the pod index, commits. The argument
+ * is the shard count; the request stream scales with it (constant
+ * per-shard load), so items/s is comparable across sizes and a
+ * near-flat rate across the 4x fleet growth is the O(log N) routing
+ * contract.
+ */
+void
+BM_FleetEngineEvents(benchmark::State& state)
+{
+    const int shards = static_cast<int>(state.range(0));
+    const int requests = 50 * shards;
+
+    std::vector<ServedModel> catalog;
+    {
+        ServedModel a;
+        a.model = zoo::eyeCod(4);
+        a.rateRps = 20.0 * shards;
+        a.sloSec = 0.5;
+        catalog.push_back(std::move(a));
+        ServedModel b;
+        b.model = zoo::handSP(2);
+        b.rateRps = 12.0 * shards;
+        b.sloSec = 0.5;
+        catalog.push_back(std::move(b));
+    }
+    const std::vector<Request> trace =
+        poissonTrace(catalog, requests, /*seed=*/11);
+
+    ThreadPool pool(1);
+    FleetOptions options;
+    options.shards = shards;
+    options.routing = RoutingPolicy::BestFit;
+    options.serving.pool = &pool;
+    options.serving.modeledSolveSec = 0.0;
+    FleetSimulator fleet(catalog, templates::hetSides3x3(templates::kArvrPes),
+                         options);
+    fleet.run(trace); // warm the schedule cache
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fleet.run(trace));
+    }
+    state.SetItemsProcessed(state.iterations() * requests);
+}
+BENCHMARK(BM_FleetEngineEvents)->Arg(4)->Arg(16);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    return scar::bench::runMicroBench("micro_runtime", argc, argv);
+}

@@ -11,11 +11,20 @@
  * where Lat(l -> df) = intra-chiplet cycles + the amortized DRAM
  * streaming time of the layer's weights (heavy LLM layers are
  * DRAM-resident, so packing decisions must see that cost).
+ *
+ * Cross-solve reuse: the per-model tables are pure functions of the
+ * model's content and the chiplet specs, independent of which scenario
+ * mix the model appears in. A process-wide cache keyed by that content
+ * (see ModelCostTables below) lets a serving fleet that solves many
+ * mixes over the same catalog build each model's tables exactly once
+ * instead of once per schedule-cache miss.
  */
 
 #ifndef SCAR_COST_COST_DB_H
 #define SCAR_COST_COST_DB_H
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "arch/mcm.h"
@@ -36,6 +45,52 @@ struct CostDbOptions
      * weight tiles); a positive value fixes b' for every model.
      */
     int fixedMiniBatch = 0;
+
+    /**
+     * Consult the process-wide model-table cache before building a
+     * model's tables (and publish fresh builds to it). The cached
+     * tables are shared immutably, so reuse is bit-transparent: every
+     * query answers exactly as a fresh build would. Off forces a
+     * private build — used by tests pinning that transparency and by
+     * benchmarks measuring cold construction.
+     */
+    bool reuseTables = true;
+};
+
+/**
+ * Per-model cost tables: everything CostDb derives for one model that
+ * depends only on (layer dims/types, batch, per-dataflow chiplet
+ * specs, L2 budget, mini-batch policy, energy constants) — NOT on the
+ * scenario mix the model appears in. Immutable once built, shared via
+ * shared_ptr across every CostDb whose content key matches.
+ */
+struct ModelCostTables
+{
+    /** Candidate chiplet-level mini-batches; index 0 is the
+     *  capacity-derived b', index 1 (when distinct) streaming b'=1. */
+    std::vector<int> miniBatches;
+
+    // costs[candidate][layer][dataflowIndex]
+    std::vector<std::vector<std::array<LayerCost, kNumDataflows>>> costs;
+
+    /**
+     * All-pairs running sums for one (candidate, dataflow): entry
+     * (first, last) holds the sequential sum over layers
+     * [first, last], laid out as a packed upper triangle.
+     */
+    struct RangeSums
+    {
+        std::vector<double> cycles;   ///< sum intraCycles() * bPrime
+        std::vector<double> energyNj; ///< sum intraEnergyNj * bPrime
+    };
+
+    // rangeSums[candidate][dataflowIndex]
+    std::vector<std::array<RangeSums, kNumDataflows>> rangeSums;
+
+    std::vector<double> weightPrefix; ///< L+1 prefix of weightBytes()
+    // Sparse table: level k holds the max activation footprint over
+    // [i, i + 2^k - 1].
+    std::vector<std::vector<double>> actMax;
 };
 
 /** Precomputed per-(layer, dataflow) costs for one scenario + MCM. */
@@ -125,6 +180,32 @@ class CostDb
     /** The MCM this database was built for. */
     const Mcm& mcm() const { return mcm_; }
 
+    // ---- cross-solve table reuse ---------------------------------
+
+    /** Hits/misses against the process-wide model-table cache. */
+    struct TableStats
+    {
+        std::int64_t hits = 0;   ///< models whose tables were reused
+        std::int64_t misses = 0; ///< models built (and published)
+    };
+
+    /**
+     * This database's construction outcome: of its models, how many
+     * table sets came from the process-wide cache vs were built here.
+     * Stable after construction; Scar::run copies it into a profiled
+     * solve's SolveProfile.
+     */
+    const TableStats& tableStats() const { return tableStats_; }
+
+    /** Process-wide cache totals (all CostDb constructions so far). */
+    static TableStats tableCacheTotals();
+
+    /**
+     * Drops every cached table set (test isolation; in-flight shared
+     * pointers stay valid — the cache holds references, not storage).
+     */
+    static void clearTableCache();
+
     // ---- profiling hooks -----------------------------------------
 
     /**
@@ -146,38 +227,16 @@ class CostDb
     const Scenario& scenario_;
     const Mcm& mcm_;
     obs::SearchCounters* counters_ = nullptr; ///< profiled solves only
-    // costs_[model][candidate][layer][dataflowIndex]; candidate 0 is
-    // the capacity-derived b' (used for expectations), candidate 1 —
-    // when distinct — is the streaming b' = 1.
-    std::vector<std::vector<
-        std::vector<std::array<LayerCost, kNumDataflows>>>>
-        costs_;
-    std::vector<std::vector<int>> miniBatches_; ///< per model candidates
     std::array<double, kNumDataflows> classWeight_{};
     double offchipBpc_;
     double dramLatencyCycles_;
-
-    /**
-     * All-pairs running sums for one (model, candidate, dataflow):
-     * entry (first, last) holds the sequential sum over layers
-     * [first, last], laid out as a packed upper triangle.
-     */
-    struct RangeSums
-    {
-        std::vector<double> cycles;   ///< sum intraCycles() * bPrime
-        std::vector<double> energyNj; ///< sum intraEnergyNj * bPrime
-    };
+    TableStats tableStats_; ///< this construction's reuse outcome
 
     std::size_t triIndex(int model, int first, int last) const;
-    void buildRangeTables();
 
-    // rangeSums_[model][candidate][dataflowIndex]
-    std::vector<std::vector<std::array<RangeSums, kNumDataflows>>>
-        rangeSums_;
-    std::vector<std::vector<double>> weightPrefix_; ///< per model, L+1
-    // Sparse table per model: level k holds the max activation
-    // footprint over [i, i + 2^k - 1].
-    std::vector<std::vector<std::vector<double>>> actMax_;
+    // One immutable table set per model, possibly shared with other
+    // CostDb instances through the process-wide cache.
+    std::vector<std::shared_ptr<const ModelCostTables>> tables_;
 };
 
 } // namespace scar

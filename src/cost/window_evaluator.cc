@@ -48,6 +48,178 @@ WindowEvaluator::validate(const WindowPlacement& placement) const
     }
 }
 
+void
+WindowEvaluator::validateSolo(const WindowPlacement& placement) const
+{
+    // Same contract as validate(), restricted to one model. The
+    // occupancy scratch vector (O(numChiplets) touched memory per
+    // evaluation) is replaced by a pairwise check over the model's own
+    // segments — with a single model those are the only chiplets that
+    // could collide, and segment counts are small (<= path length).
+    const Scenario& sc = db_.scenario();
+    const ModelPlacement& mp = placement.models.front();
+    SCAR_REQUIRE(mp.modelIdx >= 0 && mp.modelIdx < sc.numModels(),
+                 "bad model index ", mp.modelIdx);
+    const Model& model = sc.models[mp.modelIdx];
+    SCAR_REQUIRE(!mp.segments.empty(), "model ", model.name,
+                 " placed with no segments");
+    int prevLast = mp.segments.front().range.first - 1;
+    for (std::size_t k = 0; k < mp.segments.size(); ++k) {
+        const PlacedSegment& seg = mp.segments[k];
+        SCAR_REQUIRE(!seg.range.empty(), "empty segment for model ",
+                     model.name);
+        SCAR_REQUIRE(seg.range.first == prevLast + 1,
+                     "segments must be contiguous for model ",
+                     model.name, " (got first=", seg.range.first,
+                     " after last=", prevLast, ")");
+        SCAR_REQUIRE(seg.range.last < model.numLayers(),
+                     "segment exceeds model ", model.name);
+        SCAR_REQUIRE(seg.chiplet >= 0 &&
+                         seg.chiplet < db_.mcm().numChiplets(),
+                     "bad chiplet id ", seg.chiplet);
+        for (std::size_t j = 0; j < k; ++j)
+            SCAR_REQUIRE(mp.segments[j].chiplet != seg.chiplet,
+                         "chiplet ", seg.chiplet,
+                         " hosts more than one segment in this window");
+        prevLast = seg.range.last;
+    }
+}
+
+int
+WindowEvaluator::entryOf(const WindowPlacement& placement,
+                         int modelIdx) const
+{
+    if (modelIdx < static_cast<int>(placement.entryChiplet.size()))
+        return placement.entryChiplet[modelIdx];
+    return -1;
+}
+
+double
+WindowEvaluator::segmentWeights(int modelIdx,
+                                const PlacedSegment& seg) const
+{
+    // Segment reductions are O(1) range queries against the CostDb
+    // tables (see cost_db.h: values are bit-identical to the
+    // per-layer loops they replaced).
+    return db_.segmentWeightBytes(modelIdx, seg.range.first,
+                                  seg.range.last);
+}
+
+bool
+WindowEvaluator::segmentResident(int modelIdx, const PlacedSegment& seg,
+                                 int bPrime) const
+{
+    const double weights = segmentWeights(modelIdx, seg);
+    const double maxAct =
+        db_.segmentMaxActBytes(modelIdx, seg.range.first,
+                               seg.range.last) *
+        bPrime;
+    const double l2 = db_.mcm().chiplet(seg.chiplet).spec.l2Bytes;
+    return weights + maxAct <= l2;
+}
+
+template <typename Factor>
+ModelWindowCost
+WindowEvaluator::evalModel(const WindowPlacement& placement,
+                           const ModelPlacement& mp, int bIdx,
+                           Factor&& factor) const
+{
+    const Scenario& sc = db_.scenario();
+    const Mcm& mcm = db_.mcm();
+    const Model& model = sc.models[mp.modelIdx];
+    const int bPrime = db_.miniBatchCandidates(mp.modelIdx)[bIdx];
+    const int b = model.batch;
+    const int steps =
+        static_cast<int>(std::ceil(static_cast<double>(b) / bPrime));
+
+    ModelWindowCost modelCost;
+    modelCost.segments.reserve(mp.segments.size());
+    double maxSteady = 0.0;
+    for (std::size_t k = 0; k < mp.segments.size(); ++k) {
+        const PlacedSegment& seg = mp.segments[k];
+        const int c = seg.chiplet;
+        const Dataflow df = mcm.chiplet(c).spec.dataflow;
+        const Layer& first = model.layers[seg.range.first];
+        const Layer& last = model.layers[seg.range.last];
+
+        const double compute = db_.segmentCycles(
+            mp.modelIdx, bIdx, df, seg.range.first, seg.range.last);
+        const double intraEnergy = db_.segmentEnergyNj(
+            mp.modelIdx, bIdx, df, seg.range.first, seg.range.last);
+
+        // Input side: DRAM or entry-chiplet NoP for the head
+        // segment, inter-segment NoP otherwise.
+        double ipLat = 0.0;
+        double ipEnergy = 0.0;
+        if (k == 0) {
+            const double bytes = first.inputBytes() * bPrime;
+            const int entry = entryOf(placement, mp.modelIdx);
+            if (entry >= 0) {
+                ipLat = comm_.nopLatencyCycles(
+                    bytes * factor(entry, c), entry, c);
+                ipEnergy = comm_.nopEnergyNj(bytes, entry, c);
+            } else {
+                ipLat = comm_.dramLatencyCycles(bytes, c);
+                ipEnergy = comm_.dramEnergyNj(bytes, c);
+            }
+        } else {
+            const int prevC = mp.segments[k - 1].chiplet;
+            const Layer& prevLast =
+                model.layers[mp.segments[k - 1].range.last];
+            const double bytes = prevLast.outputBytes() * bPrime;
+            ipLat = comm_.nopLatencyCycles(
+                bytes * factor(prevC, c), prevC, c);
+            ipEnergy = comm_.nopEnergyNj(bytes, prevC, c);
+        }
+
+        // Output side: DRAM writeback only when the model's final
+        // layer completes here.
+        double opLat = 0.0;
+        double opEnergy = 0.0;
+        if (k + 1 == mp.segments.size() &&
+            seg.range.last == model.numLayers() - 1) {
+            const double bytes = last.outputBytes() * bPrime;
+            opLat = comm_.dramLatencyCycles(bytes, c);
+            opEnergy = comm_.dramEnergyNj(bytes, c);
+        }
+
+        const bool resident = segmentResident(mp.modelIdx, seg,
+                                              bPrime);
+        const double wBytes = segmentWeights(mp.modelIdx, seg);
+        const double wLat = comm_.dramLatencyCycles(wBytes, c);
+        const double wEnergy = comm_.dramEnergyNj(wBytes, c);
+
+        SegmentCost segCost;
+        segCost.weightsResident = resident;
+        segCost.steadySampleCycles =
+            ipLat + compute + opLat + (resident ? 0.0 : wLat);
+        segCost.firstSampleCycles =
+            segCost.steadySampleCycles + (resident ? wLat : 0.0);
+        segCost.energyNj = steps * (intraEnergy + ipEnergy +
+                                    opEnergy) +
+                           wEnergy * (resident ? 1.0 : steps);
+
+        maxSteady = std::max(maxSteady, segCost.steadySampleCycles);
+        modelCost.energyNj += segCost.energyNj;
+        modelCost.segments.push_back(segCost);
+    }
+
+    // The pipelining formula of Section III-E:
+    // sum_k Lat(sg_k|b') + (b/b' - 1) * max_k Lat(sg_k|b').
+    for (const SegmentCost& segCost : modelCost.segments)
+        modelCost.latencyCycles += segCost.firstSampleCycles;
+    modelCost.latencyCycles += (steps - 1) * maxSteady;
+    return modelCost;
+}
+
+namespace
+{
+struct NoContention
+{
+    int operator()(int, int) const { return 1; }
+};
+} // namespace
+
 WindowCost
 WindowEvaluator::evaluate(const WindowPlacement& placement) const
 {
@@ -61,122 +233,7 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
     const Topology& topo = mcm.topology();
     const int numNodes = topo.numNodes();
 
-    auto entryOf = [&](int modelIdx) {
-        if (modelIdx < static_cast<int>(placement.entryChiplet.size()))
-            return placement.entryChiplet[modelIdx];
-        return -1;
-    };
-    // Segment reductions are O(1) range queries against the CostDb
-    // tables (see cost_db.h: values are bit-identical to the
-    // per-layer loops they replaced).
-    auto segmentWeights = [&](int modelIdx, const PlacedSegment& seg) {
-        return db_.segmentWeightBytes(modelIdx, seg.range.first,
-                                      seg.range.last);
-    };
-    auto segmentResident = [&](int modelIdx, const PlacedSegment& seg,
-                               int bPrime) {
-        const double weights = segmentWeights(modelIdx, seg);
-        const double maxAct =
-            db_.segmentMaxActBytes(modelIdx, seg.range.first,
-                                   seg.range.last) *
-            bPrime;
-        const double l2 = mcm.chiplet(seg.chiplet).spec.l2Bytes;
-        return weights + maxAct <= l2;
-    };
-
-    // Evaluates one model's placement at a given mini-batch candidate,
-    // pricing NoP transfers with the supplied contention factor. The
-    // factor is a templated callable (generic lambda), so the inner
-    // loop carries no std::function allocation or indirect call.
-    auto evalModel = [&](const ModelPlacement& mp, int bIdx,
-                         auto&& factor) {
-        const Model& model = sc.models[mp.modelIdx];
-        const int bPrime = db_.miniBatchCandidates(mp.modelIdx)[bIdx];
-        const int b = model.batch;
-        const int steps =
-            static_cast<int>(std::ceil(static_cast<double>(b) / bPrime));
-
-        ModelWindowCost modelCost;
-        modelCost.segments.reserve(mp.segments.size());
-        double maxSteady = 0.0;
-        for (std::size_t k = 0; k < mp.segments.size(); ++k) {
-            const PlacedSegment& seg = mp.segments[k];
-            const int c = seg.chiplet;
-            const Dataflow df = mcm.chiplet(c).spec.dataflow;
-            const Layer& first = model.layers[seg.range.first];
-            const Layer& last = model.layers[seg.range.last];
-
-            const double compute = db_.segmentCycles(
-                mp.modelIdx, bIdx, df, seg.range.first, seg.range.last);
-            const double intraEnergy = db_.segmentEnergyNj(
-                mp.modelIdx, bIdx, df, seg.range.first, seg.range.last);
-
-            // Input side: DRAM or entry-chiplet NoP for the head
-            // segment, inter-segment NoP otherwise.
-            double ipLat = 0.0;
-            double ipEnergy = 0.0;
-            if (k == 0) {
-                const double bytes = first.inputBytes() * bPrime;
-                const int entry = entryOf(mp.modelIdx);
-                if (entry >= 0) {
-                    ipLat = comm_.nopLatencyCycles(
-                        bytes * factor(entry, c), entry, c);
-                    ipEnergy = comm_.nopEnergyNj(bytes, entry, c);
-                } else {
-                    ipLat = comm_.dramLatencyCycles(bytes, c);
-                    ipEnergy = comm_.dramEnergyNj(bytes, c);
-                }
-            } else {
-                const int prevC = mp.segments[k - 1].chiplet;
-                const Layer& prevLast =
-                    model.layers[mp.segments[k - 1].range.last];
-                const double bytes = prevLast.outputBytes() * bPrime;
-                ipLat = comm_.nopLatencyCycles(
-                    bytes * factor(prevC, c), prevC, c);
-                ipEnergy = comm_.nopEnergyNj(bytes, prevC, c);
-            }
-
-            // Output side: DRAM writeback only when the model's final
-            // layer completes here.
-            double opLat = 0.0;
-            double opEnergy = 0.0;
-            if (k + 1 == mp.segments.size() &&
-                seg.range.last == model.numLayers() - 1) {
-                const double bytes = last.outputBytes() * bPrime;
-                opLat = comm_.dramLatencyCycles(bytes, c);
-                opEnergy = comm_.dramEnergyNj(bytes, c);
-            }
-
-            const bool resident = segmentResident(mp.modelIdx, seg,
-                                                  bPrime);
-            const double wBytes = segmentWeights(mp.modelIdx, seg);
-            const double wLat = comm_.dramLatencyCycles(wBytes, c);
-            const double wEnergy = comm_.dramEnergyNj(wBytes, c);
-
-            SegmentCost segCost;
-            segCost.weightsResident = resident;
-            segCost.steadySampleCycles =
-                ipLat + compute + opLat + (resident ? 0.0 : wLat);
-            segCost.firstSampleCycles =
-                segCost.steadySampleCycles + (resident ? wLat : 0.0);
-            segCost.energyNj = steps * (intraEnergy + ipEnergy +
-                                        opEnergy) +
-                               wEnergy * (resident ? 1.0 : steps);
-
-            maxSteady = std::max(maxSteady, segCost.steadySampleCycles);
-            modelCost.energyNj += segCost.energyNj;
-            modelCost.segments.push_back(segCost);
-        }
-
-        // The pipelining formula of Section III-E:
-        // sum_k Lat(sg_k|b') + (b/b' - 1) * max_k Lat(sg_k|b').
-        for (const SegmentCost& segCost : modelCost.segments)
-            modelCost.latencyCycles += segCost.firstSampleCycles;
-        modelCost.latencyCycles += (steps - 1) * maxSteady;
-        return modelCost;
-    };
-
-    auto noContention = [](int, int) { return 1; };
+    const NoContention noContention;
 
     // ---- Step 1: choose the mini-batch b' per model. Section III-E
     // leaves b' <= b free; candidates are capacity folding vs
@@ -189,7 +246,8 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
         double bestLat = std::numeric_limits<double>::infinity();
         for (int bIdx = 0; bIdx < numCandidates; ++bIdx) {
             const double lat =
-                evalModel(mp, bIdx, noContention).latencyCycles;
+                evalModel(placement, mp, bIdx, noContention)
+                    .latencyCycles;
             if (lat < bestLat) {
                 bestLat = lat;
                 chosenBIdx[mi] = bIdx;
@@ -225,7 +283,7 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
 
             if (k == 0) {
                 const double inBytes = first.inputBytes() * b;
-                const int entry = entryOf(mp.modelIdx);
+                const int entry = entryOf(placement, mp.modelIdx);
                 if (entry >= 0) {
                     flows.push_back({entry, c, inBytes, false});
                 } else {
@@ -300,10 +358,10 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
     for (std::size_t mi = 0; mi < placement.models.size(); ++mi) {
         ModelWindowCost modelCost =
             options_.contention
-                ? evalModel(placement.models[mi], chosenBIdx[mi],
-                            contentionFactor)
-                : evalModel(placement.models[mi], chosenBIdx[mi],
-                            noContention);
+                ? evalModel(placement, placement.models[mi],
+                            chosenBIdx[mi], contentionFactor)
+                : evalModel(placement, placement.models[mi],
+                            chosenBIdx[mi], noContention);
         window.latencyCycles =
             std::max(window.latencyCycles, modelCost.latencyCycles);
         window.energyNj += modelCost.energyNj;
@@ -317,6 +375,49 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
             std::max(window.latencyCycles, window.dramBoundCycles);
     }
     return window;
+}
+
+SoloWindowCost
+WindowEvaluator::evaluateSolo(const WindowPlacement& placement) const
+{
+    // Counts as one evaluator invocation, exactly like the evaluate()
+    // call it replaces — profiled windowEvals totals are unchanged.
+    obs::SearchCounters::bump(db_.counters(),
+                              &obs::SearchCounters::windowEvals);
+    SCAR_REQUIRE(placement.models.size() == 1,
+                 "evaluateSolo requires exactly one placed model, got ",
+                 placement.models.size());
+    SCAR_REQUIRE(!options_.contention && !options_.dramRoofline,
+                 "evaluateSolo requires contention and dramRoofline "
+                 "disabled");
+    validateSolo(placement);
+
+    // evaluate() prices every mini-batch candidate contention-free in
+    // its selection step, then re-prices the winner — with contention
+    // and the roofline off, that final pass reproduces the selection
+    // pass bit-for-bit (evalModel is pure). So the winner's cost from
+    // the selection loop IS the answer; the re-evaluation, the flow
+    // enumeration, and the contention tables are skipped entirely.
+    // Selection keeps the FIRST strict-< winner, matching evaluate().
+    const ModelPlacement& mp = placement.models.front();
+    const int numCandidates = static_cast<int>(
+        db_.miniBatchCandidates(mp.modelIdx).size());
+    const NoContention noContention;
+    SoloWindowCost best;
+    double bestLat = std::numeric_limits<double>::infinity();
+    for (int bIdx = 0; bIdx < numCandidates; ++bIdx) {
+        const ModelWindowCost cost =
+            evalModel(placement, mp, bIdx, noContention);
+        if (cost.latencyCycles < bestLat) {
+            bestLat = cost.latencyCycles;
+            // evaluate() folds the winner into WindowCost as
+            // max(0, lat) and 0 + energy — identities for the
+            // non-negative costs produced here.
+            best.latencyCycles = cost.latencyCycles;
+            best.energyNj = cost.energyNj;
+        }
+    }
+    return best;
 }
 
 } // namespace scar

@@ -96,6 +96,17 @@ struct WindowCost
     std::vector<ModelWindowCost> perModel;
 };
 
+/**
+ * Cost of a contention-free single-model window, as returned by the
+ * solo fast path. Carries exactly the two scalars `soloCost` consumes;
+ * both are bit-identical to the corresponding WindowCost fields.
+ */
+struct SoloWindowCost
+{
+    double latencyCycles = 0.0;
+    double energyNj = 0.0;
+};
+
 /** Evaluation knobs. */
 struct EvaluatorOptions
 {
@@ -117,6 +128,21 @@ class WindowEvaluator
      */
     WindowCost evaluate(const WindowPlacement& placement) const;
 
+    /**
+     * Fast path for the beam search's solo scoring: a single model,
+     * contention and DRAM roofline off (the `soloOptions` evaluator
+     * configuration). Skips flow enumeration, the contention tables,
+     * and the final re-evaluation pass — the mini-batch selection loop
+     * already prices every candidate, so the winner's latency/energy
+     * are returned directly. Both scalars are bit-identical to the
+     * `evaluate()` result on the same placement because candidate
+     * pricing goes through the same `evalModel` member in the same
+     * floating-point operation order (pinned in tests/test_cost.cc).
+     * Requires: exactly one placed model; contention and dramRoofline
+     * disabled in the evaluator options.
+     */
+    SoloWindowCost evaluateSolo(const WindowPlacement& placement) const;
+
     /** The underlying per-transfer communication model. */
     const CommModel& comm() const { return comm_; }
 
@@ -133,6 +159,27 @@ class WindowEvaluator
     };
 
     void validate(const WindowPlacement& placement) const;
+    void validateSolo(const WindowPlacement& placement) const;
+
+    /** Entry chiplet of a model, -1 when its input comes from DRAM. */
+    int entryOf(const WindowPlacement& placement, int modelIdx) const;
+    double segmentWeights(int modelIdx, const PlacedSegment& seg) const;
+    bool segmentResident(int modelIdx, const PlacedSegment& seg,
+                         int bPrime) const;
+
+    /**
+     * Prices one model's placement at mini-batch candidate `bIdx`,
+     * inflating NoP transfers by the supplied contention factor. The
+     * factor is a templated callable, so the inner loop carries no
+     * std::function allocation or indirect call. Shared verbatim by
+     * evaluate() and evaluateSolo() — the solo fast path's
+     * bit-exactness contract rests on both going through this one
+     * function.
+     */
+    template <typename Factor>
+    ModelWindowCost evalModel(const WindowPlacement& placement,
+                              const ModelPlacement& mp, int bIdx,
+                              Factor&& factor) const;
 
     const CostDb& db_;
     CommModel comm_;

@@ -56,6 +56,12 @@ SolveProfile::costDbRangeRate() const
     return rate(costDbRangeQueries, costDbLayerQueries);
 }
 
+double
+SolveProfile::costDbTableHitRate() const
+{
+    return rate(costDbTableHits, costDbTableMisses);
+}
+
 std::string
 SolveProfile::summary() const
 {
@@ -88,6 +94,8 @@ SolveProfile::summary() const
     };
     cacheRow("SoloCache", soloHits, soloMisses);
     cacheRow("PathCache", pathHits, pathMisses);
+    cacheRow("CostDb model tables", costDbTableHits,
+             costDbTableMisses);
     caches.addRow({"CostDb range tables",
                    std::to_string(costDbRangeQueries),
                    std::to_string(costDbLayerQueries) + " per-layer",

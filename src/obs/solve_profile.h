@@ -79,6 +79,14 @@ struct SolveProfile
     std::int64_t costDbRangeQueries = 0;
     std::int64_t costDbLayerQueries = 0;
 
+    // Cross-solve CostDb table reuse: of this solve's models, how many
+    // per-layer table sets came from the process-wide cache vs were
+    // built by this solve's CostDb construction (cost/cost_db.h).
+    // Filled by Scar::run from CostDb::tableStats(), not from the live
+    // SearchCounters — the outcome is fixed at construction time.
+    std::int64_t costDbTableHits = 0;
+    std::int64_t costDbTableMisses = 0;
+
     /** Copies the live counters into the snapshot fields. */
     void captureCounters(const SearchCounters& counters);
 
@@ -94,6 +102,12 @@ struct SolveProfile
      * database has no misses; every query is answered).
      */
     double costDbRangeRate() const;
+
+    /**
+     * Cross-solve table-reuse fraction in [0, 1]; 0 when no models
+     * were costed (or reuse was disabled).
+     */
+    double costDbTableHitRate() const;
 
     /** Human-readable multi-line report (table + cache rates). */
     std::string summary() const;

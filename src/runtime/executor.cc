@@ -23,6 +23,12 @@ ReplayExecutor::start(std::shared_ptr<const CachedSchedule> schedule,
     dispatch_ = std::move(dispatch);
     window_ = 0;
     windowEndSec_ = startSec + schedule_->windowSec.front();
+    // Replicate advance()'s rounding sequence exactly: the final
+    // boundary must equal the windowEndSec_ the last advance() will
+    // report, bit for bit.
+    finalBoundarySec_ = windowEndSec_;
+    for (std::size_t w = 1; w < schedule_->windowSec.size(); ++w)
+        finalBoundarySec_ += schedule_->windowSec[w];
     ++dispatches_;
     for (BatchGroup& group : dispatch_.groups) {
         for (Request& req : group.requests)
@@ -35,6 +41,13 @@ ReplayExecutor::nextBoundarySec() const
 {
     SCAR_REQUIRE(busy_, "executor: nextBoundarySec while idle");
     return windowEndSec_;
+}
+
+double
+ReplayExecutor::finalBoundarySec() const
+{
+    SCAR_REQUIRE(busy_, "executor: finalBoundarySec while idle");
+    return finalBoundarySec_;
 }
 
 WindowTick
@@ -65,6 +78,18 @@ ReplayExecutor::advance()
         windowEndSec_ += schedule_->windowSec[window_];
     }
     return tick;
+}
+
+std::size_t
+ReplayExecutor::drainUntil(double boundSec,
+                           std::vector<WindowTick>& out)
+{
+    std::size_t ticks = 0;
+    while (busy_ && windowEndSec_ < boundSec) {
+        out.push_back(advance());
+        ++ticks;
+    }
+    return ticks;
 }
 
 std::size_t
@@ -113,6 +138,10 @@ ReplayExecutor::resume(SuspendedReplay replay, double startSec)
     dispatch_ = std::move(replay.dispatch);
     window_ = replay.window;
     windowEndSec_ = startSec + schedule_->windowSec[window_];
+    finalBoundarySec_ = windowEndSec_;
+    for (std::size_t w = window_ + 1; w < schedule_->windowSec.size();
+         ++w)
+        finalBoundarySec_ += schedule_->windowSec[w];
 }
 
 } // namespace runtime

@@ -97,6 +97,30 @@ class ReplayExecutor
     WindowTick advance();
 
     /**
+     * Batch advance for the parallel epoch engine (runtime/fleet.cc):
+     * crosses every boundary strictly before boundSec, appending each
+     * tick to `out` in replay order, and stops at the first boundary
+     * at or past the bound (or when the dispatch ends). Equivalent to
+     * calling advance() in a loop while nextBoundarySec() < boundSec;
+     * exists so a fleet epoch can drain each shard independently —
+     * the method touches only this executor's state.
+     * @return the number of ticks appended
+     */
+    std::size_t drainUntil(double boundSec,
+                           std::vector<WindowTick>& out);
+
+    /**
+     * Absolute time of the replay's *last* boundary, on the same
+     * accumulated clock advance() uses (windowEndSec_ summed window
+     * by window). This is the exact instant busy() clears — the
+     * fleet's busyUntilSec (startSec + makespanSec, one rounding) can
+     * differ from it by ulps, and the epoch engine's conservative
+     * bound must never admit a dispatch-done tick, so it keys on this
+     * value. Requires busy().
+     */
+    double finalBoundarySec() const;
+
+    /**
      * Windows not yet fully replayed, the upcoming one included.
      * Requires busy(). 1 means the replay ends at the next boundary —
      * preempting then is a no-op (the package frees anyway), which is
@@ -133,6 +157,7 @@ class ReplayExecutor
     Dispatch dispatch_;
     std::size_t window_ = 0;   ///< next boundary to cross
     double windowEndSec_ = 0.0; ///< absolute end of that window
+    double finalBoundarySec_ = 0.0; ///< accumulated last-window end
     long dispatches_ = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <array>
 #include <limits>
 #include <set>
+#include <tuple>
 
 #include "common/error.h"
 #include "common/logging.h"
@@ -39,6 +40,51 @@ fnv1a(const std::string& s)
     return static_cast<std::size_t>(h);
 }
 
+using ClassIndex =
+    std::map<std::string, std::set<std::pair<double, int>>>;
+using ClassHeads = std::set<std::tuple<double, int, std::string>>;
+
+/** Inserts (key, shard) under cls, keeping `heads` = the minimum of
+ *  every non-empty class set. */
+void
+insertClassed(ClassIndex& byClass, ClassHeads& heads,
+              const std::string& cls, std::pair<double, int> entry)
+{
+    auto& bucket = byClass[cls];
+    if (bucket.empty()) {
+        bucket.insert(entry);
+        heads.insert({entry.first, entry.second, cls});
+        return;
+    }
+    const std::pair<double, int> head = *bucket.begin();
+    bucket.insert(entry);
+    if (entry < head) {
+        heads.erase({head.first, head.second, cls});
+        heads.insert({entry.first, entry.second, cls});
+    }
+}
+
+/** Removes (key, shard) from cls, keeping `heads` consistent. */
+void
+eraseClassed(ClassIndex& byClass, ClassHeads& heads,
+             const std::string& cls, std::pair<double, int> entry)
+{
+    const auto it = byClass.find(cls);
+    SCAR_ASSERT(it != byClass.end(),
+                "fleet: routing index class missing on erase");
+    auto& bucket = it->second;
+    const bool wasHead = *bucket.begin() == entry;
+    bucket.erase(entry);
+    if (wasHead) {
+        heads.erase({entry.first, entry.second, cls});
+        if (!bucket.empty())
+            heads.insert({bucket.begin()->first,
+                          bucket.begin()->second, cls});
+    }
+    if (bucket.empty())
+        byClass.erase(it);
+}
+
 } // namespace
 
 const char*
@@ -67,6 +113,10 @@ FleetSimulator::FleetSimulator(std::vector<ServedModel> catalog,
                  "fleet: negative preemption slack threshold");
     SCAR_REQUIRE(options_.serving.preemption.resumeOverheadSec >= 0.0,
                  "fleet: negative preemption resume overhead");
+    SCAR_REQUIRE(options_.engineThreads >= 0,
+                 "fleet: negative engineThreads");
+    SCAR_REQUIRE(options_.cacheStripes >= 0,
+                 "fleet: negative cacheStripes");
     // Mix signatures key the schedule cache by model name, so two
     // catalog entries sharing a name would silently replay each
     // other's schedules — as would names containing the signature's
@@ -108,12 +158,43 @@ FleetSimulator::FleetSimulator(std::vector<ServedModel> catalog,
     const int numCaches =
         options_.sharedCache ? 1 : options_.shards;
     for (int c = 0; c < numCaches; ++c)
-        caches_.push_back(
-            std::make_unique<AsyncScheduleCache>(*pool_, cacheOpts));
+        caches_.push_back(std::make_unique<AsyncScheduleCache>(
+            *pool_, cacheOpts, options_.cacheStripes));
     shards_.resize(options_.shards);
     for (int s = 0; s < options_.shards; ++s) {
         shards_[s].cache =
             caches_[options_.sharedCache ? 0 : s].get();
+    }
+
+    // Routing pods: shards sharing a (package template, schedule
+    // cache) pair are interchangeable up to their previous-mix class,
+    // so they fold into one pod of the cluster -> pod -> shard
+    // hierarchy. '|' appears in neither half, so the key is injective.
+    std::map<std::string, int> podIndex;
+    podOf_.resize(shards_.size(), -1);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        const std::string key =
+            templates_[s].signature() + "|" +
+            std::to_string(options_.sharedCache ? 0
+                                                : static_cast<int>(s));
+        const auto [it, inserted] =
+            podIndex.emplace(key, static_cast<int>(pods_.size()));
+        if (inserted)
+            pods_.emplace_back();
+        pods_[it->second].shards.push_back(static_cast<int>(s));
+        podOf_[s] = it->second;
+    }
+    idx_.resize(shards_.size());
+
+    // Epoch engine concurrency: 1 drains inline, 0 borrows the
+    // serving pool, > 1 owns a dedicated pool. Output is identical
+    // at every setting.
+    if (options_.engineThreads == 0)
+        enginePool_ = pool_;
+    else if (options_.engineThreads > 1) {
+        ownedEnginePool_ =
+            std::make_unique<ThreadPool>(options_.engineThreads);
+        enginePool_ = ownedEnginePool_.get();
     }
 }
 
@@ -312,6 +393,15 @@ FleetSimulator::routeDispatch(const std::string& mixSig,
                               const Scenario& mix, double nowSec,
                               bool allowDefer, bool urgent)
 {
+    // The indexed cluster -> pod -> shard path covers every policy
+    // when preemption is off (then no shard is ever suspended and no
+    // dispatch urgent — the two things the flat scan below handles
+    // specially). Preemptive fleets stay on the flat scan;
+    // indexedRouting = false forces it for A/B validation.
+    if (options_.indexedRouting &&
+        !options_.serving.preemption.enabled)
+        return routeIndexed(mixSig, mix, nowSec, allowDefer);
+
     const std::size_t n = shards_.size();
     // A shard parking a suspended replay is reserved for its resume:
     // only urgent dispatches (the reason it was preempted at all) may
@@ -376,7 +466,34 @@ FleetSimulator::routeDispatch(const std::string& mixSig,
                 bestCost = cost;
             }
         }
-        return best >= 0 && isCandidate(best) ? best : -1;
+        if (best < 0)
+            return -1;
+        if (isCandidate(best))
+            return best;
+        // An occupied shard won: defer only while its backlog fits
+        // the deferral horizon (next boundary / solve-ready plus one
+        // makespan of this mix); past it, the batch takes the best
+        // idle candidate instead of waiting out a long replay.
+        if (deferralWithinHorizon(static_cast<std::size_t>(best),
+                                  mixSig, mix, nowSec))
+            return -1;
+        int cbest = -1;
+        double cbestCost = kInf;
+        for (std::size_t s = 0; s < n; ++s) {
+            if (!isCandidate(s))
+                continue;
+            const double cost = costs()[s];
+            bool better =
+                cbest < 0 || cost < cbestCost - kCostTieEps;
+            if (!better && cost < cbestCost + kCostTieEps)
+                better = shards_[s].busySec <
+                         shards_[cbest].busySec;
+            if (better) {
+                cbest = static_cast<int>(s);
+                cbestCost = cost;
+            }
+        }
+        return cbest;
     };
 
     int chosen = -1;
@@ -528,6 +645,318 @@ FleetSimulator::resumeSuspended(Shard& shard, double nowSec)
     shard.suspendedKey.clear();
 }
 
+void
+FleetSimulator::syncShard(std::size_t s)
+{
+    Shard& sh = shards_[s];
+    ShardIndexKeys& k = idx_[s];
+    Pod& pod = pods_[podOf_[s]];
+    const int si = static_cast<int>(s);
+
+    // Retract the keys the shard is registered under. Every index
+    // mutation flows through this function, so the stored snapshot
+    // keys are exact.
+    if (k.inBoundary)
+        boundaryQueue_.erase({k.boundarySec, si});
+    if (k.inPendingQ)
+        pendingQueue_.erase({k.pendingSec, si});
+    if (k.inBusyEnd)
+        busyEndQueue_.erase({k.busyEndSec, si});
+    if (k.inFree) {
+        freeShards_.erase(si);
+        freeByBusy_.erase({k.freeBusySec, si});
+        eraseClassed(pod.freeByClass, pod.freeHeads, k.freeClass,
+                     {k.freeBusySec, si});
+    }
+    if (k.inOcc)
+        eraseClassed(pod.occByClass, pod.occHeads, k.occClass,
+                     {k.occAvailSec, si});
+    if (k.suspendedAny)
+        --suspendedCount_;
+    if (k.suspendedIdle)
+        --suspendedIdleCount_;
+
+    // Re-derive from the shard's current state.
+    const bool busy = sh.executor.busy();
+    k.inBoundary = busy;
+    k.inBusyEnd = busy;
+    if (busy) {
+        k.boundarySec = sh.executor.nextBoundarySec();
+        boundaryQueue_.insert({k.boundarySec, si});
+        // The epoch bound keys on the executor's accumulated final
+        // boundary, not busyUntilSec: the two can differ by ulps and
+        // an epoch must never admit a dispatch-done tick.
+        k.busyEndSec = sh.executor.finalBoundarySec();
+        busyEndQueue_.insert({k.busyEndSec, si});
+    }
+    k.inPendingQ = sh.hasPending && !busy;
+    if (k.inPendingQ) {
+        k.pendingSec = sh.pendingReadySec;
+        pendingQueue_.insert({k.pendingSec, si});
+    }
+    k.suspendedAny = sh.hasSuspended;
+    if (k.suspendedAny)
+        ++suspendedCount_;
+    k.suspendedIdle = sh.hasSuspended && !busy && !sh.hasPending;
+    if (k.suspendedIdle)
+        ++suspendedIdleCount_;
+
+    // Candidate rule of routeDispatch's non-urgent path.
+    const bool candidate = !busy && !sh.hasPending && !sh.hasSuspended;
+    k.inFree = candidate;
+    if (candidate) {
+        k.freeBusySec = sh.busySec;
+        k.freeClass = sh.lastKey;
+        freeShards_.insert(si);
+        freeByBusy_.insert({k.freeBusySec, si});
+        insertClassed(pod.freeByClass, pod.freeHeads, k.freeClass,
+                      {k.freeBusySec, si});
+    }
+    // Occupied shards index by availability instant (replay end or
+    // parked dispatch's projected end) — the dispatchCostSec wait is
+    // monotone in it, so the earliest-available shard of a class is
+    // its cheapest. prevKey follows dispatchCostSec: the running
+    // replay's key when busy, the parked dispatch's otherwise.
+    const bool occupied = busy || sh.hasPending;
+    k.inOcc = occupied;
+    if (occupied) {
+        k.occClass = busy ? sh.lastKey : sh.pendingKey;
+        k.occAvailSec = busy ? sh.busyUntilSec : sh.pendingEndSec;
+        insertClassed(pod.occByClass, pod.occHeads, k.occClass,
+                      {k.occAvailSec, si});
+    }
+}
+
+void
+FleetSimulator::rebuildCalendar()
+{
+    boundaryQueue_.clear();
+    pendingQueue_.clear();
+    busyEndQueue_.clear();
+    freeShards_.clear();
+    freeByBusy_.clear();
+    suspendedCount_ = 0;
+    suspendedIdleCount_ = 0;
+    for (Pod& pod : pods_) {
+        pod.freeByClass.clear();
+        pod.freeHeads.clear();
+        pod.occByClass.clear();
+        pod.occHeads.clear();
+    }
+    idx_.assign(shards_.size(), ShardIndexKeys{});
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+        syncShard(s);
+}
+
+std::vector<int>
+FleetSimulator::candidateReps(const std::string& mixSig) const
+{
+    std::vector<int> reps;
+    for (const Pod& pod : pods_) {
+        if (pod.freeByClass.empty())
+            continue;
+        const std::string match = cacheKey(
+            mixSig, static_cast<std::size_t>(pod.shards.front()));
+        // No-switch candidates: the matching class and the
+        // never-dispatched class cost the same, so their joint
+        // cheapest — min by (busySec, shard) — represents both.
+        const std::pair<double, int>* noSwitch = nullptr;
+        for (const std::string& cls :
+             {match, std::string()}) {
+            const auto it = pod.freeByClass.find(cls);
+            if (it == pod.freeByClass.end())
+                continue;
+            const std::pair<double, int>& head = *it->second.begin();
+            if (noSwitch == nullptr || head < *noSwitch)
+                noSwitch = &head;
+        }
+        if (noSwitch != nullptr)
+            reps.push_back(noSwitch->second);
+        // Switching candidates all pay the same overhead, so the
+        // first class head outside the two no-switch classes — at
+        // most two skips — is the cheapest of them all.
+        for (const auto& head : pod.freeHeads) {
+            const std::string& cls = std::get<2>(head);
+            if (cls == match || cls.empty())
+                continue;
+            reps.push_back(std::get<1>(head));
+            break;
+        }
+    }
+    std::sort(reps.begin(), reps.end());
+    return reps;
+}
+
+std::vector<int>
+FleetSimulator::occupiedReps(const std::string& mixSig) const
+{
+    std::vector<int> reps;
+    for (const Pod& pod : pods_) {
+        if (pod.occByClass.empty())
+            continue;
+        const std::string match = cacheKey(
+            mixSig, static_cast<std::size_t>(pod.shards.front()));
+        const auto it = pod.occByClass.find(match);
+        if (it != pod.occByClass.end())
+            reps.push_back(it->second.begin()->second);
+        // An occupied shard always has a non-empty class (it holds
+        // or parks a dispatch), so only the match class is skipped.
+        for (const auto& head : pod.occHeads) {
+            if (std::get<2>(head) == match)
+                continue;
+            reps.push_back(std::get<1>(head));
+            break;
+        }
+    }
+    std::sort(reps.begin(), reps.end());
+    return reps;
+}
+
+bool
+FleetSimulator::deferralWithinHorizon(std::size_t s,
+                                      const std::string& mixSig,
+                                      const Scenario& mix,
+                                      double nowSec)
+{
+    const Shard& sh = shards_[s];
+    // The shard's next chance to take work: its next window boundary
+    // while replaying (the instant preemption could cut in), or its
+    // parked solve's ready instant.
+    const double nextFreeSec = sh.executor.busy()
+                                   ? sh.executor.nextBoundarySec()
+                                   : sh.pendingReadySec;
+    const std::string key = cacheKey(mixSig, s);
+    const CachePeek peek = sh.cache->peek(key);
+    const double makespanSec =
+        peek.schedule != nullptr
+            ? peek.schedule->makespanSec
+            : estimateMakespanKeyed(key, s, mix);
+    const double horizonSec =
+        std::max(0.0, nextFreeSec - nowSec) + makespanSec;
+    const double occWaitSec = std::max(
+        0.0, (sh.executor.busy() ? sh.busyUntilSec : sh.pendingEndSec) -
+                 nowSec);
+    return occWaitSec <= horizonSec + kCostTieEps;
+}
+
+int
+FleetSimulator::routeIndexed(const std::string& mixSig,
+                             const Scenario& mix, double nowSec,
+                             bool allowDefer)
+{
+    // Preemption is off on this path, so the candidate set is
+    // exactly freeShards_ (no shard ever parks a suspended replay).
+    const std::size_t nCand = freeShards_.size();
+    std::map<int, double> costMemo;
+    auto costOf = [&](int s) {
+        const auto it = costMemo.find(s);
+        if (it != costMemo.end())
+            return it->second;
+        const double c = dispatchCostSec(
+            static_cast<std::size_t>(s), mixSig, mix, nowSec, false);
+        costMemo.emplace(s, c);
+        return c;
+    };
+    std::vector<int> reps;
+    auto ensureReps = [&]() {
+        if (reps.empty())
+            reps = candidateReps(mixSig);
+    };
+    auto leastLoaded = [&]() {
+        return freeByBusy_.empty() ? -1 : freeByBusy_.begin()->second;
+    };
+    // Folds the serial BestFit scan over the given shards (sorted by
+    // index, so the iteration-order tie-breaks match the flat loop).
+    auto fold = [&](const std::vector<int>& pool,
+                    bool candidatesOnly) {
+        int best = -1;
+        double bestCost = kInf;
+        for (const int s : pool) {
+            const bool candidate = idx_[s].inFree;
+            if (candidatesOnly && !candidate)
+                continue;
+            const double cost = costOf(s);
+            bool better = best < 0 || cost < bestCost - kCostTieEps;
+            if (!better && cost < bestCost + kCostTieEps) {
+                const bool bestCandidate = idx_[best].inFree;
+                better =
+                    (candidate && !bestCandidate) ||
+                    (candidate == bestCandidate &&
+                     shards_[s].busySec < shards_[best].busySec);
+            }
+            if (better) {
+                best = s;
+                bestCost = cost;
+            }
+        }
+        return best;
+    };
+
+    int chosen = -1;
+    switch (options_.routing) {
+      case RoutingPolicy::RoundRobin: {
+        if (!freeShards_.empty()) {
+            auto it = freeShards_.lower_bound(
+                static_cast<int>(rrNext_));
+            if (it == freeShards_.end())
+                it = freeShards_.begin();
+            chosen = *it;
+            rrNext_ = static_cast<std::size_t>(chosen) + 1;
+        }
+        break;
+      }
+      case RoutingPolicy::LeastLoaded:
+        chosen = leastLoaded();
+        break;
+      case RoutingPolicy::MixAffinity: {
+        const int target =
+            static_cast<int>(fnv1a(mixSig) % shards_.size());
+        chosen = freeShards_.count(target) > 0 ? target
+                                               : leastLoaded();
+        break;
+      }
+      case RoutingPolicy::BestFit: {
+        ensureReps();
+        std::vector<int> pool = reps;
+        if (allowDefer) {
+            const std::vector<int> occ = occupiedReps(mixSig);
+            pool.insert(pool.end(), occ.begin(), occ.end());
+            std::sort(pool.begin(), pool.end());
+        }
+        const int best = fold(pool, false);
+        if (best < 0) {
+            chosen = -1;
+        } else if (idx_[best].inFree) {
+            chosen = best;
+        } else if (deferralWithinHorizon(
+                       static_cast<std::size_t>(best), mixSig, mix,
+                       nowSec)) {
+            chosen = -1; // defer: the occupied shard frees in time
+        } else {
+            // Past the deferral horizon: best idle candidate instead.
+            chosen = fold(pool, true);
+        }
+        break;
+      }
+    }
+    if (chosen < 0)
+        return -1;
+
+    // Routing-quality accounting, identical to the flat scan: the
+    // pod representatives cover every pod's cheapest candidate, so
+    // their minimum is the fleet-wide minimum candidate cost.
+    if (nCand >= 2) {
+        ++contestedRoutes_;
+        ensureReps();
+        double minCost = kInf;
+        for (const int s : reps)
+            minCost = std::min(minCost, costOf(s));
+        if (costOf(chosen) <= minCost + kCostTieEps)
+            ++costOptimalRoutes_;
+    }
+    return chosen;
+}
+
 ServingReport
 FleetSimulator::run(const std::vector<Request>& trace)
 {
@@ -605,23 +1034,20 @@ FleetSimulator::run(const std::vector<Request>& trace)
         });
     }
 
+    // The per-run reset above cleared lastKey (the routing class)
+    // and the accounting the calendar keys snapshot, so re-derive
+    // every index entry before the loop reads them.
+    rebuildCalendar();
+
     auto anyBusyOrPending = [&]() {
-        for (const Shard& shard : shards_) {
-            if (shard.executor.busy() || shard.hasPending ||
-                shard.hasSuspended)
-                return true;
-        }
-        return false;
+        return !boundaryQueue_.empty() || !pendingQueue_.empty() ||
+               suspendedCount_ > 0;
     };
     // Mirrors routeDispatch's candidate rule: a shard parking a
     // suspended replay only counts for urgent dispatches.
     auto anyCandidate = [&](bool urgent) {
-        for (const Shard& shard : shards_) {
-            if (!shard.executor.busy() && !shard.hasPending &&
-                (urgent || !shard.hasSuspended))
-                return true;
-        }
-        return false;
+        return !freeShards_.empty() ||
+               (urgent && suspendedIdleCount_ > 0);
     };
     const PreemptionOptions& preemption =
         options_.serving.preemption;
@@ -641,13 +1067,16 @@ FleetSimulator::run(const std::vector<Request>& trace)
     // Scenario/signature rebuild on the (frequent) other events.
     long queueEpoch = 0;
     long lastSpeculativeEpoch = -1;
-    while (next < trace.size() || admission.queuedCount() > 0 ||
-           anyBusyOrPending()) {
-        // Fixed-interval sampling on the virtual clock. The fleet
-        // state is piecewise-constant between events (sample-and-hold),
-        // so the value at each scheduled instant is the value now;
-        // rows are stamped with the scheduled time, and the headline
-        // series double as ph = C counter tracks in the trace.
+    // Fixed-interval sampling on the virtual clock. The fleet state
+    // is piecewise-constant between events (sample-and-hold), so the
+    // value at each scheduled instant is the value now; rows are
+    // stamped with the scheduled time, and the headline series double
+    // as ph = C counter tracks in the trace. Fired at the loop head
+    // and after each epoch-committed tick (the serial loop fires a
+    // tick's due samples at the head of the following iteration, so
+    // an epoch commit replays the same interleaving — the sampled
+    // state is provably constant across an epoch's ticks).
+    auto fireSamples = [&]() {
         while (rec && rec->samples().due(nowSec)) {
             const double atSec = rec->samples().nextSampleSec();
             const double queueDepth = admission.queuedCount();
@@ -681,6 +1110,81 @@ FleetSimulator::run(const std::vector<Request>& trace)
             rec->trace().counterVirtual("cache_hit_rate", atSec,
                                         hitRate);
         }
+    };
+    // One crossed window boundary: the replay span, the completed
+    // requests' records and lifecycle events. Shared verbatim by the
+    // serial boundary branch and the epoch commit so both emit the
+    // exact same byte stream.
+    auto commitTick = [&](int shardIdx, WindowTick& tick) {
+        Shard& sh = shards_[shardIdx];
+        if (rec)
+            rec->trace().completeVirtual(
+                shardIdx + 1,
+                "w" + std::to_string(tick.windowIdx), "replay",
+                sh.traceWindowStartSec,
+                tick.timeSec - sh.traceWindowStartSec,
+                {obs::argInt("window", tick.windowIdx)});
+        sh.traceWindowStartSec = tick.timeSec;
+        for (Request& req : tick.completed) {
+            records_.push_back(req);
+            if (rec) {
+                const std::string& model =
+                    catalog_[req.modelIdx].model.name;
+                const double queueSec =
+                    req.dispatchSec - req.arrivalSec;
+                const double execSec =
+                    req.completionSec - req.dispatchSec;
+                rec->trace().asyncEndVirtual(
+                    static_cast<std::uint64_t>(req.id),
+                    "req " + model, "request", tick.timeSec,
+                    {obs::argNum("latency_sec", req.latencySec()),
+                     obs::argNum("queue_sec", queueSec),
+                     obs::argNum("exec_sec", execSec),
+                     obs::argBool("slo_violated", req.sloViolated()),
+                     obs::argBool("preempted", req.preempted)});
+                rec->metrics().counter("requests.completed").inc();
+                if (req.sloViolated())
+                    rec->metrics()
+                        .counter("requests.slo_violations")
+                        .inc();
+                rec->metrics()
+                    .histogram("latency_sec")
+                    .record(req.latencySec());
+                rec->metrics()
+                    .histogram("queue_wait_sec")
+                    .record(queueSec);
+                rec->metrics()
+                    .histogram("exec_sec")
+                    .record(execSec);
+            }
+        }
+    };
+    // Admits the next trace arrival: shared by the serial arrival
+    // branch and the epoch drain (which absorbs arrivals that can
+    // only enqueue). Timestamps come from the request itself, so the
+    // rendered trace is identical on either path.
+    auto commitArrival = [&]() {
+        admission.enqueue(trace[next]);
+        if (rec) {
+            const Request& req = trace[next];
+            const std::string& model =
+                catalog_[req.modelIdx].model.name;
+            std::vector<obs::TraceArg> args{
+                obs::argText("model", model)};
+            if (req.deadlineSec < kInf)
+                args.push_back(
+                    obs::argNum("deadline_sec", req.deadlineSec));
+            rec->trace().asyncBeginVirtual(
+                static_cast<std::uint64_t>(req.id), "req " + model,
+                "request", req.arrivalSec, std::move(args));
+            rec->metrics().counter("requests.arrived").inc();
+        }
+        ++next;
+        ++queueEpoch;
+    };
+    while (next < trace.size() || admission.queuedCount() > 0 ||
+           anyBusyOrPending()) {
+        fireSamples();
 
         // Urgency is loop-invariant within one event iteration
         // (nothing below changes the queues before the next event),
@@ -694,22 +1198,36 @@ FleetSimulator::run(const std::vector<Request>& trace)
         // resume/re-preempt cycle); the moment urgency clears, the
         // preempted replay continues from its cursor.
         bool resumed = false;
-        for (Shard& shard : shards_) {
-            if (!shard.hasSuspended || shard.executor.busy() ||
-                shard.hasPending || urgent)
-                continue;
-            resumeSuspended(shard, nowSec);
-            resumed = true;
+        if (suspendedCount_ > 0) {
+            for (Shard& shard : shards_) {
+                if (!shard.hasSuspended || shard.executor.busy() ||
+                    shard.hasPending || urgent)
+                    continue;
+                resumeSuspended(shard, nowSec);
+                syncShard(static_cast<std::size_t>(&shard -
+                                                   shards_.data()));
+                resumed = true;
+            }
         }
         if (resumed)
             continue;
 
         // 1. Start parked dispatches whose schedule is usable now.
+        // The pending queue holds exactly the parked-idle shards
+        // keyed by ready instant, so the due set is its prefix; the
+        // serial loop visited shards in index order, so sort the due
+        // indices before starting them (start order fixes the trace
+        // event order and the switch-overhead charging instant).
         bool started = false;
-        for (Shard& shard : shards_) {
-            if (!shard.hasPending || shard.executor.busy() ||
-                shard.pendingReadySec > nowSec)
-                continue;
+        std::vector<int> dueIdx;
+        for (const auto& [readySec, si] : pendingQueue_) {
+            if (readySec > nowSec)
+                break;
+            dueIdx.push_back(si);
+        }
+        std::sort(dueIdx.begin(), dueIdx.end());
+        for (const int si : dueIdx) {
+            Shard& shard = shards_[si];
             // Wall-clock join: blocks only if the background solve is
             // still running; the virtual clock is unaffected. Cache
             // hits parked their schedule at lookup time.
@@ -746,6 +1264,7 @@ FleetSimulator::run(const std::vector<Request>& trace)
             shard.hasPending = false;
             shard.pendingKey.clear();
             shard.pendingSchedule.reset();
+            syncShard(static_cast<std::size_t>(si));
             started = true;
         }
         if (started)
@@ -816,6 +1335,7 @@ FleetSimulator::run(const std::vector<Request>& trace)
                 shard.pendingReadySec = found.readySec;
                 shard.pendingEndSec = endSec;
                 shard.pendingSchedule = found.schedule;
+                syncShard(static_cast<std::size_t>(target));
                 shard.solveStallSec +=
                     std::max(0.0, found.readySec - nowSec);
                 if (rec) {
@@ -883,25 +1403,22 @@ FleetSimulator::run(const std::vector<Request>& trace)
             }
         }
 
-        // 4. Advance the virtual clock to the next event.
+        // 4. Advance the virtual clock to the next event. The
+        // calendar's ordered sets hand over each next-event time in
+        // O(log N); the boundary head ties exactly like the old scan
+        // (strict <, so the lowest shard index wins equal times —
+        // set order is (time, idx)).
         const double tArrival =
             next < trace.size() ? trace[next].arrivalSec : kInf;
         double tBoundary = kInf;
         int boundaryShard = -1;
-        for (std::size_t s = 0; s < shards_.size(); ++s) {
-            if (!shards_[s].executor.busy())
-                continue;
-            const double t = shards_[s].executor.nextBoundarySec();
-            if (t < tBoundary) {
-                tBoundary = t;
-                boundaryShard = static_cast<int>(s);
-            }
+        if (!boundaryQueue_.empty()) {
+            tBoundary = boundaryQueue_.begin()->first;
+            boundaryShard = boundaryQueue_.begin()->second;
         }
-        double tPending = kInf;
-        for (const Shard& shard : shards_) {
-            if (shard.hasPending && !shard.executor.busy())
-                tPending = std::min(tPending, shard.pendingReadySec);
-        }
+        const double tPending = !pendingQueue_.empty()
+                                    ? pendingQueue_.begin()->first
+                                    : kInf;
         // The batching timer only matters while a shard can accept a
         // dispatch: busy shards dispatch as soon as they free up. A
         // deferred batch is already past its timer — its next chance
@@ -937,110 +1454,182 @@ FleetSimulator::run(const std::vector<Request>& trace)
 
         if (tArrival <= tBoundary && tArrival <= tPending &&
             tArrival <= tTimer && tArrival <= tUrgent) {
-            admission.enqueue(trace[next]);
-            if (rec) {
-                const Request& req = trace[next];
-                const std::string& model =
-                    catalog_[req.modelIdx].model.name;
-                std::vector<obs::TraceArg> args{
-                    obs::argText("model", model)};
-                if (req.deadlineSec < kInf)
-                    args.push_back(
-                        obs::argNum("deadline_sec", req.deadlineSec));
-                rec->trace().asyncBeginVirtual(
-                    static_cast<std::uint64_t>(req.id),
-                    "req " + model, "request", req.arrivalSec,
-                    std::move(args));
-                rec->metrics().counter("requests.arrived").inc();
-            }
-            ++next;
-            ++queueEpoch;
+            commitArrival();
         } else if (tBoundary <= tPending && tBoundary <= tTimer &&
                    tBoundary <= tUrgent) {
-            Shard& sh = shards_[boundaryShard];
-            WindowTick tick = sh.executor.advance();
-            if (rec)
-                rec->trace().completeVirtual(
-                    boundaryShard + 1,
-                    "w" + std::to_string(tick.windowIdx), "replay",
-                    sh.traceWindowStartSec,
-                    tick.timeSec - sh.traceWindowStartSec,
-                    {obs::argInt("window", tick.windowIdx)});
-            sh.traceWindowStartSec = tick.timeSec;
-            for (Request& req : tick.completed) {
-                records_.push_back(req);
-                if (rec) {
-                    const std::string& model =
-                        catalog_[req.modelIdx].model.name;
-                    const double queueSec =
-                        req.dispatchSec - req.arrivalSec;
-                    const double execSec =
-                        req.completionSec - req.dispatchSec;
-                    rec->trace().asyncEndVirtual(
-                        static_cast<std::uint64_t>(req.id),
-                        "req " + model, "request", tick.timeSec,
-                        {obs::argNum("latency_sec", req.latencySec()),
-                         obs::argNum("queue_sec", queueSec),
-                         obs::argNum("exec_sec", execSec),
-                         obs::argBool("slo_violated",
-                                      req.sloViolated()),
-                         obs::argBool("preempted", req.preempted)});
-                    rec->metrics().counter("requests.completed").inc();
-                    if (req.sloViolated())
-                        rec->metrics()
-                            .counter("requests.slo_violations")
-                            .inc();
-                    rec->metrics()
-                        .histogram("latency_sec")
-                        .record(req.latencySec());
-                    rec->metrics()
-                        .histogram("queue_wait_sec")
-                        .record(queueSec);
-                    rec->metrics()
-                        .histogram("exec_sec")
-                        .record(execSec);
+            // Epoch drain. Without preemption and with no dispatch
+            // deferred, the serial loop's steps 0-3 are provably
+            // no-ops strictly before the conservative bound
+            //   B = min(tArrival, tPending, tTimer,
+            //           earliest final boundary, speculation guard)
+            // (tArrival drops out of B when arrivals are absorbed —
+            // see absorbArrivals below):
+            //  - no suspensions exist, so step 0 never fires;
+            //  - no parked schedule comes due before tPending >= B;
+            //  - no shard frees mid-epoch (a dispatch-done tick lands
+            //    at its final boundary >= B), so the candidate set is
+            //    frozen and step 2 cannot dispatch before the timer
+            //    or an arrival, both >= B;
+            //  - step 3 already speculated on the current queue
+            //    epoch, or the guard caps B at the forced-dispatch
+            //    instant where ready() could newly turn true.
+            // So every window tick strictly before B commits with no
+            // interleaved routing decision, and the busy shards can
+            // drain their tick runs in parallel. Commit order — a
+            // k-way merge on (timeSec, shardIdx) — replays the serial
+            // scan's tie-break (strict <, lowest index wins, one
+            // shard's equal-time run drains contiguously), and the
+            // sample block fires after each tick exactly like the
+            // serial loop head does, so report, metrics, and trace
+            // come out byte-identical at any engine-thread count.
+            bool epochDone = false;
+            if (!preemption.enabled && !deferred) {
+                // With no free shard (and none freeing before the
+                // bound), no urgency, and speculation off, an
+                // arrival strictly inside the epoch can only
+                // enqueue — every routing decision needs a candidate
+                // shard, and none appears until >= bound — so
+                // arrivals are absorbed into the commit stream
+                // (merged by timestamp, arrival wins ties like the
+                // serial branch order) instead of capping the epoch.
+                // This is what lets a saturated fleet's epochs span
+                // whole replay windows rather than one inter-arrival
+                // gap.
+                const bool absorbArrivals =
+                    freeShards_.empty() &&
+                    !options_.speculativeSolve;
+                double bound =
+                    absorbArrivals
+                        ? std::min(tPending, tTimer)
+                        : std::min({tArrival, tPending, tTimer});
+                if (!busyEndQueue_.empty())
+                    bound = std::min(bound,
+                                     busyEndQueue_.begin()->first);
+                if (options_.speculativeSolve &&
+                    options_.serving.modeledSolveSec > 0.0 &&
+                    admission.queuedCount() > 0 &&
+                    queueEpoch != lastSpeculativeEpoch)
+                    bound = std::min(
+                        bound, admission.nextForcedDispatchSec());
+                if (tBoundary < bound) {
+                    // Only the prefix with a next boundary inside the
+                    // epoch has ticks to drain.
+                    std::vector<int> busyIdx;
+                    for (const auto& [t, si] : boundaryQueue_) {
+                        if (t >= bound)
+                            break;
+                        busyIdx.push_back(si);
+                    }
+                    std::vector<std::vector<WindowTick>> ticks(
+                        busyIdx.size());
+                    auto drainOne = [&](std::size_t i) {
+                        shards_[busyIdx[i]].executor.drainUntil(
+                            bound, ticks[i]);
+                    };
+                    if (enginePool_ != nullptr && busyIdx.size() > 1)
+                        enginePool_->parallelFor(busyIdx.size(),
+                                                 drainOne);
+                    else
+                        for (std::size_t i = 0; i < busyIdx.size();
+                             ++i)
+                            drainOne(i);
+                    // Merge-commit on the event thread.
+                    std::set<std::tuple<double, int, std::size_t>>
+                        heads;
+                    std::vector<std::size_t> cur(busyIdx.size(), 0);
+                    std::size_t committed = 0;
+                    for (std::size_t i = 0; i < busyIdx.size(); ++i)
+                        if (!ticks[i].empty())
+                            heads.insert({ticks[i].front().timeSec,
+                                          busyIdx[i], i});
+                    while (!heads.empty() ||
+                           (absorbArrivals && next < trace.size() &&
+                            trace[next].arrivalSec < bound)) {
+                        const double tTick =
+                            heads.empty()
+                                ? kInf
+                                : std::get<0>(*heads.begin());
+                        if (absorbArrivals && next < trace.size() &&
+                            trace[next].arrivalSec < bound &&
+                            trace[next].arrivalSec <= tTick) {
+                            nowSec = trace[next].arrivalSec;
+                            commitArrival();
+                            fireSamples();
+                            continue;
+                        }
+                        const auto [t, si, i] = *heads.begin();
+                        heads.erase(heads.begin());
+                        WindowTick& tick = ticks[i][cur[i]];
+                        ++cur[i];
+                        nowSec = tick.timeSec;
+                        commitTick(si, tick);
+                        fireSamples();
+                        ++committed;
+                        if (cur[i] < ticks[i].size())
+                            heads.insert(
+                                {ticks[i][cur[i]].timeSec, si, i});
+                    }
+                    if (committed > 0) {
+                        for (const int si : busyIdx)
+                            syncShard(static_cast<std::size_t>(si));
+                        epochDone = true;
+                    }
                 }
             }
-            // Boundary preemption: an urgent request is waiting, no
-            // shard can take it, and this replay just reached a cut
-            // point with windows still ahead — suspend it here; the
-            // next loop iteration dispatches the urgent batch onto
-            // the freed shard. When the tick ended the dispatch the
-            // shard frees naturally (preempting at the last window
-            // is the degenerate no-op), and a shard already parking
-            // a suspended replay is never preempted again (depth 1).
-            if (!tick.dispatchDone && !sh.hasSuspended &&
-                urgentQueued(nowSec) && !anyCandidate(true)) {
-                sh.suspended = sh.executor.suspend();
-                sh.hasSuspended = true;
-                sh.suspendedKey = sh.lastKey;
-                // The remaining windows will be re-charged at resume.
-                sh.busySec -= sh.suspended.remainingSec;
-                ++sh.preemptions;
-                if (rec) {
-                    rec->trace().instantVirtual(
-                        boundaryShard + 1, "preempt", "preemption",
-                        tick.timeSec,
-                        {obs::argInt("next_window",
-                                     static_cast<long long>(
-                                         sh.suspended.window)),
-                         obs::argNum("remaining_sec",
-                                     sh.suspended.remainingSec)});
-                    // suspend() just marked every still-riding
-                    // request preempted; tag their lifecycle tracks.
-                    for (const BatchGroup& group :
-                         sh.suspended.dispatch.groups)
-                        for (const Request& req : group.requests)
-                            if (req.preempted)
-                                rec->trace().asyncInstantVirtual(
-                                    static_cast<std::uint64_t>(
-                                        req.id),
-                                    "preempted", "request",
-                                    tick.timeSec);
-                    rec->metrics()
-                        .counter("preemption.suspends")
-                        .inc();
+            if (!epochDone) {
+                // Single-tick path: preemptive fleets, a pending
+                // deferral, or an epoch whose bound already sits at
+                // the head boundary (e.g. a shard in its final
+                // window).
+                Shard& sh = shards_[boundaryShard];
+                WindowTick tick = sh.executor.advance();
+                commitTick(boundaryShard, tick);
+                // Boundary preemption: an urgent request is waiting,
+                // no shard can take it, and this replay just reached
+                // a cut point with windows still ahead — suspend it
+                // here; the next loop iteration dispatches the urgent
+                // batch onto the freed shard. When the tick ended the
+                // dispatch the shard frees naturally (preempting at
+                // the last window is the degenerate no-op), and a
+                // shard already parking a suspended replay is never
+                // preempted again (depth 1).
+                if (!tick.dispatchDone && !sh.hasSuspended &&
+                    urgentQueued(nowSec) && !anyCandidate(true)) {
+                    sh.suspended = sh.executor.suspend();
+                    sh.hasSuspended = true;
+                    sh.suspendedKey = sh.lastKey;
+                    // The remaining windows will be re-charged at
+                    // resume.
+                    sh.busySec -= sh.suspended.remainingSec;
+                    ++sh.preemptions;
+                    if (rec) {
+                        rec->trace().instantVirtual(
+                            boundaryShard + 1, "preempt",
+                            "preemption", tick.timeSec,
+                            {obs::argInt("next_window",
+                                         static_cast<long long>(
+                                             sh.suspended.window)),
+                             obs::argNum(
+                                 "remaining_sec",
+                                 sh.suspended.remainingSec)});
+                        // suspend() just marked every still-riding
+                        // request preempted; tag their lifecycle
+                        // tracks.
+                        for (const BatchGroup& group :
+                             sh.suspended.dispatch.groups)
+                            for (const Request& req : group.requests)
+                                if (req.preempted)
+                                    rec->trace().asyncInstantVirtual(
+                                        static_cast<std::uint64_t>(
+                                            req.id),
+                                        "preempted", "request",
+                                        tick.timeSec);
+                        rec->metrics()
+                            .counter("preemption.suspends")
+                            .inc();
+                    }
                 }
+                syncShard(static_cast<std::size_t>(boundaryShard));
             }
         }
         // Pending-ready, timer, and urgency events need no action
@@ -1077,7 +1666,7 @@ FleetSimulator::run(const std::vector<Request>& trace)
         modelNames.push_back(sm.model.name);
     ServingReport report = summarizeServing(
         records_, static_cast<long>(trace.size()), dispatches,
-        paddedSlots, delta, cachedMixes, modelNames);
+        paddedSlots, delta, cachedMixes, modelNames, enginePool_);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
         const Shard& shard = shards_[s];
         ShardReport sr;

@@ -59,6 +59,44 @@
  * accounting, cache contents) is a function of virtual time only;
  * wall-clock solve speed affects how long run() takes, never what it
  * returns.
+ *
+ * Parallel epoch engine: between two consecutive *state-changing*
+ * events (an arrival, a parked solve coming ready, a batching-timer
+ * or speculation instant, or the earliest replay end), the only
+ * events in the fleet are window-boundary crossings — pure replay
+ * bookkeeping that touches one shard each. run() exploits that: it
+ * computes the conservative lookahead bound B = min(next arrival,
+ * min parked-solve ready, batching timer, speculation instant,
+ * earliest busy shard's replay end), lets every busy shard drain all
+ * its boundaries strictly before B concurrently (engineThreads), and
+ * then commits the ticks in (time, shard index) order — exactly the
+ * order the serial loop would have produced, including the
+ * flight-recorder trace and sampler rows, so the report and trace
+ * are byte-identical at any engineThreads value. Epochs are only
+ * formed when preemption is off and no dispatch is deferred (both
+ * re-inspect the fleet after every tick, so they stay on the
+ * serial path).
+ *
+ * Event calendar: the per-event O(shards) scans of the serial loop
+ * (next boundary, next parked-ready, candidate checks) are replaced
+ * by incrementally maintained ordered indexes — a boundary queue, a
+ * parked-solve queue, a replay-end queue, and free/occupied shard
+ * sets — all updated at a single choke point (syncShard) whenever a
+ * shard changes state, so picking the next event is O(log shards).
+ *
+ * Hierarchical routing: shards are grouped into pods of identical
+ * (package template, schedule cache) pairs — the cluster -> pod ->
+ * shard hierarchy. Within a pod, every idle shard with the same
+ * previous-mix class (same last replayed key, or never dispatched)
+ * has the *same* BestFit cost for a given mix, and the occupied cost
+ * is monotone in the shard's availability instant, so each pod is
+ * represented by O(1) cheapest-in-class heads and BestFit folds over
+ * O(pods) representatives instead of all N shards — O(log N)
+ * maintenance per state change. The fold replays the serial
+ * tie-break rules over the representatives, so the chosen shard and
+ * the routing-quality counters match the flat scan (the one
+ * documented exception: chains of distinct costs spaced closer than
+ * the 1e-12 tie epsilon can tie-break differently).
  */
 
 #ifndef SCAR_RUNTIME_FLEET_H
@@ -66,7 +104,10 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "arch/mcm.h"
@@ -207,8 +248,52 @@ struct FleetOptions
      * keeps absorbing new arrivals — under bursty phase changes that
      * capture effect can cost more than the better package saves, so
      * it is toggleable. Ignored by the other routing policies.
+     *
+     * Deferral horizon: a dispatch only waits for an occupied shard
+     * when that wait is bounded by the shard's next window boundary
+     * plus one makespan of the deferred mix — the preemption-style
+     * horizon at which the shard could plausibly take the work. An
+     * occupied shard whose full replay backlog stretches past that
+     * horizon never captures a deferral (it used to: the old bound
+     * was the whole backlog, so a long replay on the "right" package
+     * could park a batch for many makespans while idle shards sat
+     * empty); past the horizon the dispatch goes to the best idle
+     * candidate instead.
      */
     bool bestFitDefer = true;
+    /**
+     * Route through the hierarchical cluster -> pod -> shard index
+     * (O(log N) candidates per dispatch) instead of the flat O(N)
+     * shard scan. The indexed path reproduces the flat scan's
+     * choices — same cost model, same tie-breaks — so this exists
+     * only as an A/B lever for validation and for measuring the
+     * routing speedup; preemptive fleets always use the flat scan
+     * (suspension states change candidates mid-replay). Equality can
+     * diverge only on exact cost ties closer than the routing
+     * epsilon, which real (heterogeneous, staggered) traffic does
+     * not produce.
+     */
+    bool indexedRouting = true;
+    /**
+     * Concurrency of the epoch engine draining window boundaries
+     * between state-changing events: 1 (the default) drains inline
+     * on the caller; 0 borrows the serving worker pool; > 1 builds a
+     * dedicated engine pool of that many threads. The exported
+     * report and flight-recorder trace are byte-identical at every
+     * setting — the engine only parallelizes provably independent
+     * per-shard replay bookkeeping and commits it in the serial
+     * event order.
+     */
+    int engineThreads = 1;
+    /**
+     * Lock stripes per AsyncScheduleCache (0 picks the cache's
+     * default: 16 for an unbounded store, 1 when cacheCapacity
+     * bounds it — a global LRU order needs a global lock). Striping
+     * is a pure partition of the key space, so counters and contents
+     * are unaffected; it only removes mutex contention when many
+     * engine threads and solver workers share one global cache.
+     */
+    int cacheStripes = 0;
     /**
      * One schedule cache shared by every shard (each (mix, package)
      * pair solved once fleet-wide) versus a private cache per shard
@@ -392,6 +477,99 @@ class FleetSimulator
      */
     void resumeSuspended(Shard& shard, double nowSec);
 
+    /** Ordered (key, shard) indexes: class -> cheapest-first shards. */
+    using ClassIndex =
+        std::map<std::string, std::set<std::pair<double, int>>>;
+    /** The head (cheapest entry) of every class, globally ordered. */
+    using ClassHeads = std::set<std::tuple<double, int, std::string>>;
+
+    /**
+     * One routing pod: the shards sharing a (package template,
+     * schedule cache) pair. Within a pod a given mix has one cache
+     * key, one makespan estimate, and one switch-overhead rule per
+     * previous-mix class, so the cheapest candidate of each class —
+     * the head of its (busySec, shard) set — represents every shard
+     * of that class in the BestFit fold. Occupied shards are indexed
+     * by availability instant: their cost is monotone in it, so the
+     * earliest-available shard of a class is its cheapest.
+     */
+    struct Pod
+    {
+        std::vector<int> shards;
+        ClassIndex freeByClass; ///< (busySec, shard) per class
+        ClassHeads freeHeads;
+        ClassIndex occByClass;  ///< (availEndSec, shard) per class
+        ClassHeads occHeads;
+    };
+
+    /** The calendar/index keys shard s is currently registered
+     *  under, so syncShard can erase them exactly before re-deriving
+     *  the shard's state. */
+    struct ShardIndexKeys
+    {
+        bool inBoundary = false;
+        double boundarySec = 0.0;
+        bool inPendingQ = false;
+        double pendingSec = 0.0;
+        bool inBusyEnd = false;
+        double busyEndSec = 0.0;
+        bool inFree = false;
+        double freeBusySec = 0.0;
+        std::string freeClass;
+        bool inOcc = false;
+        double occAvailSec = 0.0;
+        std::string occClass;
+        bool suspendedAny = false;
+        bool suspendedIdle = false;
+    };
+
+    /**
+     * The single choke point keeping every calendar and routing
+     * index consistent with shard s's state. Called after each
+     * mutation of a shard (park, start, tick, suspend, resume, epoch
+     * drain); O(log N) per call.
+     */
+    void syncShard(std::size_t s);
+
+    /** Re-syncs every shard (run() entry, after the per-run reset). */
+    void rebuildCalendar();
+
+    /**
+     * The candidate representatives for mixSig: for every pod, the
+     * cheapest idle shard of the matching / never-dispatched classes
+     * and the cheapest idle shard that would pay a switch — at most
+     * two per pod, covering the pod's full candidate cost range —
+     * sorted by shard index so a fold over them replays the serial
+     * scan's tie-breaks.
+     */
+    std::vector<int> candidateReps(const std::string& mixSig) const;
+
+    /** As candidateReps, for the occupied (busy or parked) shards:
+     *  the earliest-available shard of the matching class and of the
+     *  cheapest switching class per pod. */
+    std::vector<int> occupiedReps(const std::string& mixSig) const;
+
+    /**
+     * The satellite deferral-horizon rule shared by the flat and
+     * indexed BestFit paths: deferring to occupied shard s is only
+     * allowed while the wait for it (its backlog end) stays within
+     * the preemption-style horizon — the shard's next free event
+     * (window boundary when replaying, solve-ready when parked) plus
+     * one makespan of the deferred mix.
+     */
+    bool deferralWithinHorizon(std::size_t s,
+                               const std::string& mixSig,
+                               const Scenario& mix, double nowSec);
+
+    /**
+     * The O(pods) BestFit pick over class representatives; same
+     * contract as the flat fold in routeDispatch (returns -1 to
+     * defer). Only used when preemption is off — urgent traffic and
+     * suspended-shard reservations stay on the flat scan.
+     */
+    int routeIndexed(const std::string& mixSig, const Scenario& mix,
+                     double nowSec, bool allowDefer);
+
     std::vector<ServedModel> catalog_;
     FleetOptions options_;
     std::vector<Mcm> templates_; ///< one per shard
@@ -400,6 +578,25 @@ class FleetSimulator
     std::vector<Shard> shards_;
     std::vector<Request> records_;
     std::size_t rrNext_ = 0; ///< round-robin cursor
+
+    // --- Event calendar (see syncShard) ---
+    std::vector<ShardIndexKeys> idx_;          ///< one per shard
+    std::set<std::pair<double, int>> boundaryQueue_; ///< busy shards
+    std::set<std::pair<double, int>> pendingQueue_;  ///< parked shards
+    std::set<std::pair<double, int>> busyEndQueue_;  ///< replay ends
+    std::set<int> freeShards_; ///< idle, unparked, not suspended
+    std::set<std::pair<double, int>> freeByBusy_; ///< (busySec, shard)
+    int suspendedCount_ = 0;     ///< shards owing a resume
+    int suspendedIdleCount_ = 0; ///< ... of which currently idle
+
+    // --- Hierarchical routing (cluster -> pod -> shard) ---
+    std::vector<Pod> pods_;
+    std::vector<int> podOf_; ///< shard -> pod
+
+    // --- Epoch engine ---
+    ThreadPool* enginePool_ = nullptr; ///< nullptr = inline drain
+    std::unique_ptr<ThreadPool> ownedEnginePool_;
+
     /** Memoized WindowEvaluator makespan estimates, keyed like the
      *  schedule caches by (mix, package) signature. */
     std::map<std::string, double> makespanEstimates_;

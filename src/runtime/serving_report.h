@@ -20,6 +20,9 @@
 
 namespace scar
 {
+
+class ThreadPool;
+
 namespace runtime
 {
 
@@ -168,6 +171,20 @@ ServingReport summarizeServing(const std::vector<Request>& requests,
                                const ScheduleCacheStats& cacheStats,
                                long uniqueMixes,
                                const std::vector<std::string>& modelNames);
+
+/**
+ * As above, with the per-model breakdowns computed on the pool (one
+ * task per catalog model — each model's sorts and percentiles are
+ * independent). Results are byte-identical to the serial overload;
+ * a null pool runs inline.
+ */
+ServingReport summarizeServing(const std::vector<Request>& requests,
+                               long offered, long dispatches,
+                               long paddedSlots,
+                               const ScheduleCacheStats& cacheStats,
+                               long uniqueMixes,
+                               const std::vector<std::string>& modelNames,
+                               ThreadPool* pool);
 
 } // namespace runtime
 } // namespace scar

@@ -248,6 +248,8 @@ Scar::run()
         prof->windows = static_cast<std::int64_t>(result.windows.size());
         prof->allocationsSearched = allocationsSearched;
         prof->captureCounters(counters);
+        prof->costDbTableHits = db_.tableStats().hits;
+        prof->costDbTableMisses = db_.tableStats().misses;
     }
     return result;
 }

@@ -103,7 +103,10 @@ WindowScheduler::soloCost(int model, const Segmentation& seg,
         mp.segments.push_back(PlacedSegment{seg.segments[k], path[k]});
     placement.models.push_back(std::move(mp));
 
-    const WindowCost cost = soloEval_.evaluate(placement);
+    // Solo fast path: one model, contention-free — skips flow
+    // enumeration and the final re-evaluation while returning the
+    // same two scalars bit-for-bit (pinned in tests/test_cost.cc).
+    const SoloWindowCost cost = soloEval_.evaluateSolo(placement);
     const std::pair<double, double> result{cost.latencyCycles,
                                            cost.energyNj};
     cache.insert(std::move(key), result);

@@ -488,5 +488,117 @@ TEST(WindowEvalContention, EvaluationNeverGrowsLoadTables)
     EXPECT_EQ(first.maxLinkSharers, second.maxLinkSharers);
 }
 
+TEST(SoloFastPath, BitExactAgainstFullEvaluate)
+{
+    // The beam search's soloCost goes through evaluateSolo; its
+    // pruning thresholds compare those numbers against full-evaluate
+    // window costs, so the fast path must be bit-exact, not merely
+    // close. Cover single- and multi-segment placements of both
+    // models on a heterogeneous package.
+    const Scenario sc = tinyScenario();
+    const Mcm mcm = templates::hetSides3x3();
+    const CostDb db(sc, mcm);
+    const WindowEvaluator eval(db, {false, false});
+
+    std::vector<WindowPlacement> placements;
+    for (int model = 0; model < sc.numModels(); ++model) {
+        const int last = sc.models[model].numLayers() - 1;
+        WindowPlacement whole;
+        ModelPlacement mp;
+        mp.modelIdx = model;
+        mp.segments = {PlacedSegment{LayerRange{0, last}, model}};
+        whole.models = {mp};
+        placements.push_back(whole);
+
+        WindowPlacement split;
+        ModelPlacement sp;
+        sp.modelIdx = model;
+        sp.segments = {PlacedSegment{LayerRange{0, last / 2}, 1},
+                       PlacedSegment{LayerRange{last / 2 + 1, last},
+                                     4}};
+        split.models = {sp};
+        placements.push_back(split);
+    }
+    for (const WindowPlacement& placement : placements) {
+        const WindowCost full = eval.evaluate(placement);
+        const SoloWindowCost solo = eval.evaluateSolo(placement);
+        EXPECT_EQ(solo.latencyCycles, full.latencyCycles);
+        EXPECT_EQ(solo.energyNj, full.energyNj);
+    }
+}
+
+TEST(SoloFastPath, RequiresSoloConfiguration)
+{
+    const Scenario sc = tinyScenario();
+    const Mcm mcm = templates::hetSides3x3();
+    const CostDb db(sc, mcm);
+    WindowPlacement p;
+    ModelPlacement mp;
+    mp.modelIdx = 0;
+    mp.segments = {PlacedSegment{
+        LayerRange{0, sc.models[0].numLayers() - 1}, 0}};
+    p.models = {mp};
+
+    // Contention/roofline on: the fast path would not match evaluate.
+    const WindowEvaluator contended(db);
+    EXPECT_THROW(contended.evaluateSolo(p), FatalError);
+    // More than one model: not a solo window.
+    WindowPlacement two = p;
+    ModelPlacement other;
+    other.modelIdx = 1;
+    other.segments = {PlacedSegment{
+        LayerRange{0, sc.models[1].numLayers() - 1}, 5}};
+    two.models.push_back(other);
+    const WindowEvaluator solo(db, {false, false});
+    EXPECT_THROW(solo.evaluateSolo(two), FatalError);
+}
+
+TEST(CostDb, TableReuseIsCountedAndBitTransparent)
+{
+    const Scenario sc = tinyScenario();
+    const Mcm mcm = templates::hetSides3x3();
+    CostDb::clearTableCache();
+
+    // Cold build: every model's tables are built and published.
+    const CostDb cold(sc, mcm);
+    EXPECT_EQ(cold.tableStats().misses, sc.numModels());
+    EXPECT_EQ(cold.tableStats().hits, 0);
+
+    // Same (models, package) content key: full reuse.
+    const CostDb warm(sc, mcm);
+    EXPECT_EQ(warm.tableStats().hits, sc.numModels());
+    EXPECT_EQ(warm.tableStats().misses, 0);
+
+    // A private build answers identically — reuse must never change
+    // a single bit of any query.
+    CostDbOptions privateBuild;
+    privateBuild.reuseTables = false;
+    const CostDb fresh(sc, mcm, MaestroLite{}, privateBuild);
+    EXPECT_EQ(fresh.tableStats().hits, 0);
+    for (int m = 0; m < sc.numModels(); ++m) {
+        for (int l = 0; l < sc.models[m].numLayers(); ++l) {
+            for (const Dataflow df :
+                 {Dataflow::NvdlaWS, Dataflow::ShiOS}) {
+                EXPECT_EQ(warm.layerCycles(m, l, df),
+                          fresh.layerCycles(m, l, df));
+                EXPECT_EQ(warm.layerEnergyNj(m, l, df),
+                          fresh.layerEnergyNj(m, l, df));
+            }
+            EXPECT_EQ(warm.expectedLayerCycles(m, l),
+                      fresh.expectedLayerCycles(m, l));
+        }
+    }
+
+    // A different batch changes the content key: no false sharing.
+    Scenario rebatched = sc;
+    rebatched.models[0].batch += 1;
+    rebatched.finalize();
+    const CostDb other(rebatched, mcm);
+    EXPECT_EQ(other.tableStats().hits, 1)
+        << "the unchanged model still reuses";
+    EXPECT_EQ(other.tableStats().misses, 1);
+    CostDb::clearTableCache();
+}
+
 } // namespace
 } // namespace scar

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Tests for the planet-scale serving additions: the parallel epoch
+ * engine (serial-vs-parallel byte identity of the report, metrics,
+ * samples, and trace export at several engine-thread counts), the
+ * conservative epoch bound (drainUntil never crosses it and never
+ * emits a dispatch-done tick inside an epoch), the hierarchical
+ * cluster -> pod -> shard routing index (identical decisions and
+ * routing-quality counters to the flat BestFit scan on small
+ * fleets), and the signature-striped AsyncScheduleCache (exactly
+ * one solve per key under concurrent callers, stripe-count rules).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "arch/mcm_templates.h"
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "eval/reporter.h"
+#include "obs/flight_recorder.h"
+#include "runtime/fleet.h"
+#include "workload/model_zoo.h"
+
+namespace scar
+{
+namespace runtime
+{
+namespace
+{
+
+std::vector<ServedModel>
+twoModelCatalog()
+{
+    std::vector<ServedModel> catalog(2);
+    catalog[0].model = zoo::eyeCod(4);
+    catalog[0].rateRps = 200.0;
+    catalog[0].sloSec = 0.05;
+    catalog[1].model = zoo::handSP(2);
+    catalog[1].rateRps = 100.0;
+    catalog[1].sloSec = 0.05;
+    return catalog;
+}
+
+/** Every observable artifact of one fleet run, rendered to text so
+ *  equality checks are byte-for-byte, not field-by-field. */
+struct RunArtifacts
+{
+    std::string report;
+    std::string traceJson;
+    std::string metricsJson;
+    std::string metricsCsv;
+    std::string samplesCsv;
+
+    bool operator==(const RunArtifacts& o) const
+    {
+        return report == o.report && traceJson == o.traceJson &&
+               metricsJson == o.metricsJson &&
+               metricsCsv == o.metricsCsv &&
+               samplesCsv == o.samplesCsv;
+    }
+};
+
+RunArtifacts
+runFleet(FleetOptions options, const std::vector<ServedModel>& catalog,
+         int requests, unsigned seed)
+{
+    obs::FlightRecorder rec;
+    options.recorder = &rec;
+    FleetSimulator fleet(catalog,
+                         templates::hetSides3x3(templates::kArvrPes),
+                         options);
+    const auto trace = poissonTrace(catalog, requests, seed);
+    RunArtifacts out;
+    out.report = describeServingReport(fleet.run(trace));
+    out.traceJson = rec.trace().toJson();
+    out.metricsJson = rec.metrics().toJson();
+    out.metricsCsv = rec.metrics().toCsv();
+    out.samplesCsv = rec.samples().toCsv();
+    return out;
+}
+
+/** A 4-shard heterogeneous BestFit fleet exercising every epoch
+ *  hazard at once: deferral, speculation, solve stalls, switches. */
+FleetOptions
+epochFleetOptions()
+{
+    FleetOptions options;
+    options.shardTemplates = {
+        templates::hetSides3x3(templates::kArvrPes),
+        templates::simba3x3(Dataflow::ShiOS, templates::kArvrPes),
+        templates::hetSides3x3(templates::kArvrPes),
+        templates::simba3x3(Dataflow::NvdlaWS, 64)};
+    options.routing = RoutingPolicy::BestFit;
+    options.serving.modeledSolveSec = 0.01;
+    options.serving.switchOverheadSec = 0.002;
+    options.serving.admission.maxQueueDelaySec = 0.005;
+    return options;
+}
+
+TEST(ParallelFleet, EngineThreadsAreByteInvisible)
+{
+    const auto catalog = twoModelCatalog();
+    FleetOptions options = epochFleetOptions();
+    options.engineThreads = 1; // serial reference
+    const RunArtifacts serial = runFleet(options, catalog, 400, 17);
+
+    // 0 borrows the serving pool; > 1 builds a dedicated engine pool.
+    for (const int threads : {0, 4, 8}) {
+        options.engineThreads = threads;
+        const RunArtifacts parallel =
+            runFleet(options, catalog, 400, 17);
+        EXPECT_TRUE(serial == parallel)
+            << "engineThreads = " << threads
+            << " diverged from the serial engine";
+    }
+}
+
+TEST(ParallelFleet, SingleShardServingPathIsUnchanged)
+{
+    // The golden serving scenario shape: one shard, RoundRobin. The
+    // epoch engine must leave it byte-identical too.
+    const auto catalog = twoModelCatalog();
+    FleetOptions options;
+    options.shards = 1;
+    options.routing = RoutingPolicy::RoundRobin;
+    options.serving.modeledSolveSec = 0.01;
+    options.engineThreads = 1;
+    const RunArtifacts serial = runFleet(options, catalog, 250, 3);
+    options.engineThreads = 8;
+    const RunArtifacts parallel = runFleet(options, catalog, 250, 3);
+    EXPECT_TRUE(serial == parallel);
+}
+
+TEST(ParallelFleet, PreemptiveFleetsIgnoreEngineThreads)
+{
+    // Preemption keeps the single-tick path; engineThreads must be
+    // inert there, not break it.
+    const auto catalog = twoModelCatalog();
+    FleetOptions options = epochFleetOptions();
+    options.serving.preemption.enabled = true;
+    options.serving.preemption.slackThresholdSec = 0.004;
+    options.engineThreads = 1;
+    const RunArtifacts serial = runFleet(options, catalog, 300, 29);
+    options.engineThreads = 8;
+    const RunArtifacts parallel = runFleet(options, catalog, 300, 29);
+    EXPECT_TRUE(serial == parallel);
+}
+
+TEST(ParallelFleet, DrainUntilStopsStrictlyBeforeBound)
+{
+    // Two windows of 1 s each starting at 2 s: boundaries at 3 and 4.
+    CachedSchedule entry;
+    Scenario mix;
+    mix.name = "mix";
+    mix.models = {zoo::eyeCod(1)};
+    entry.mix = mix;
+    ScheduledWindow w0;
+    ModelPlacement mp;
+    mp.modelIdx = 0;
+    mp.segments.push_back(
+        {LayerRange{0, mix.models[0].numLayers() - 1}, 0});
+    w0.placement.models = {mp};
+    w0.cost.latencyCycles = 500.0e6; // 1 s at the 500 MHz clock
+    ScheduledWindow w1 = w0;
+    entry.result.windows = {w0, w1};
+    buildReplayView(entry);
+
+    Dispatch dispatch;
+    dispatch.mix = entry.mix;
+    dispatch.catalogIdx = {0};
+    BatchGroup g;
+    g.catalogIdx = 0;
+    g.batch = 1;
+    Request r;
+    r.id = 0;
+    r.modelIdx = 0;
+    r.arrivalSec = 1.0;
+    g.requests = {r};
+    dispatch.groups = {g};
+
+    ReplayExecutor executor;
+    executor.start(std::make_shared<CachedSchedule>(entry), dispatch,
+                   2.0);
+    EXPECT_DOUBLE_EQ(executor.finalBoundarySec(), 4.0);
+
+    // Bound below the first boundary: nothing drains.
+    std::vector<WindowTick> ticks;
+    EXPECT_EQ(executor.drainUntil(3.0, ticks), 0u);
+    EXPECT_TRUE(ticks.empty());
+    EXPECT_TRUE(executor.busy());
+
+    // Bound between the boundaries: exactly the first tick, and the
+    // executor still owns its final window.
+    EXPECT_EQ(executor.drainUntil(3.5, ticks), 1u);
+    ASSERT_EQ(ticks.size(), 1u);
+    EXPECT_DOUBLE_EQ(ticks[0].timeSec, 3.0);
+    EXPECT_FALSE(ticks[0].dispatchDone);
+    EXPECT_TRUE(executor.busy());
+
+    // A bound at the final boundary (the epoch engine's cap) leaves
+    // the dispatch-done tick for the serial path.
+    EXPECT_EQ(executor.drainUntil(executor.finalBoundarySec(), ticks),
+              0u);
+    EXPECT_TRUE(executor.busy());
+    EXPECT_EQ(executor.drainUntil(100.0, ticks), 1u);
+    ASSERT_EQ(ticks.size(), 2u);
+    EXPECT_TRUE(ticks[1].dispatchDone);
+    EXPECT_FALSE(executor.busy());
+}
+
+TEST(ParallelFleet, IndexedRoutingMatchesFlatBestFit)
+{
+    // Acceptance gate: on small fleets the hierarchical index must
+    // reproduce the flat scan's decisions and its routing-quality
+    // counters exactly. Heterogeneous templates and a Poisson stream
+    // keep candidate costs distinct (no eps-level ties).
+    const auto catalog = twoModelCatalog();
+    for (const bool defer : {true, false}) {
+        FleetOptions options = epochFleetOptions();
+        options.bestFitDefer = defer;
+        options.indexedRouting = false;
+        const RunArtifacts flat = runFleet(options, catalog, 400, 11);
+        options.indexedRouting = true;
+        const RunArtifacts indexed =
+            runFleet(options, catalog, 400, 11);
+        EXPECT_TRUE(flat == indexed) << "bestFitDefer = " << defer;
+    }
+}
+
+TEST(ParallelFleet, IndexedRoutingMatchesFlatOnEveryPolicy)
+{
+    const auto catalog = twoModelCatalog();
+    for (const RoutingPolicy policy :
+         {RoutingPolicy::RoundRobin, RoutingPolicy::LeastLoaded,
+          RoutingPolicy::MixAffinity}) {
+        FleetOptions options = epochFleetOptions();
+        options.routing = policy;
+        options.indexedRouting = false;
+        const RunArtifacts flat = runFleet(options, catalog, 300, 23);
+        options.indexedRouting = true;
+        const RunArtifacts indexed =
+            runFleet(options, catalog, 300, 23);
+        EXPECT_TRUE(flat == indexed)
+            << "policy " << static_cast<int>(policy);
+    }
+}
+
+TEST(ParallelFleet, IndexedRoutingKeepsCostOptimalityCounters)
+{
+    const auto catalog = twoModelCatalog();
+    FleetOptions options = epochFleetOptions();
+    FleetSimulator fleet(catalog,
+                         templates::hetSides3x3(templates::kArvrPes),
+                         options);
+    const auto trace = poissonTrace(catalog, 400, 31);
+    const ServingReport report = fleet.run(trace);
+    // BestFit is cost-optimal by construction; the indexed path must
+    // keep both the contested count and the optimal count intact.
+    EXPECT_GT(report.contestedRoutes, 0);
+    EXPECT_EQ(report.costOptimalRoutes, report.contestedRoutes);
+    EXPECT_DOUBLE_EQ(report.costOptimalRouteFrac, 1.0);
+}
+
+// ---- striped AsyncScheduleCache ------------------------------------
+
+Scenario
+mixNamed(const std::string& name, int batch)
+{
+    Scenario sc;
+    sc.name = name;
+    sc.models = {zoo::eyeCod(batch)};
+    return sc;
+}
+
+ScheduleResult
+stubSchedule(const Scenario& mix)
+{
+    ScheduleResult result;
+    ScheduledWindow sw;
+    sw.cost.latencyCycles = 1000.0;
+    for (int m = 0; m < mix.numModels(); ++m) {
+        ModelPlacement mp;
+        mp.modelIdx = m;
+        mp.segments.push_back(
+            {LayerRange{0, mix.models[m].numLayers() - 1}, m});
+        sw.placement.models.push_back(mp);
+    }
+    result.windows.push_back(sw);
+    return result;
+}
+
+TEST(StripedCache, DefaultStripeCountsFollowTheCapacityRule)
+{
+    ThreadPool pool(2);
+    const AsyncScheduleCache unbounded(pool);
+    EXPECT_EQ(unbounded.stripeCount(), 16);
+
+    ScheduleCacheOptions bounded;
+    bounded.capacity = 8;
+    const AsyncScheduleCache lru(pool, bounded);
+    EXPECT_EQ(lru.stripeCount(), 1)
+        << "a global LRU order needs a global lock";
+
+    const AsyncScheduleCache four(pool, ScheduleCacheOptions{}, 4);
+    EXPECT_EQ(four.stripeCount(), 4);
+
+    EXPECT_THROW(AsyncScheduleCache(pool, bounded, 4), FatalError);
+}
+
+TEST(StripedCache, SolvesExactlyOncePerKeyUnderConcurrency)
+{
+    ThreadPool pool(4);
+    AsyncScheduleCache cache(pool);
+    std::atomic<int> solves{0};
+    const auto compute = [&](const Scenario& mix) {
+        ++solves;
+        return stubSchedule(mix);
+    };
+
+    // 8 distinct keys, 4 racing getOrCompute callers per key: each
+    // key must solve exactly once and every caller must see the same
+    // entry, stripes notwithstanding.
+    constexpr int kKeys = 8;
+    constexpr int kCallers = 4;
+    std::vector<std::shared_ptr<const CachedSchedule>> seen(
+        kKeys * kCallers);
+    ThreadPool callers(8);
+    callers.parallelFor(
+        static_cast<std::size_t>(kKeys * kCallers),
+        [&](std::size_t i) {
+            const int key = static_cast<int>(i) % kKeys;
+            seen[i] = cache.getOrCompute(
+                mixNamed("mix" + std::to_string(key), key + 1),
+                compute);
+        });
+    EXPECT_EQ(solves.load(), kKeys);
+    EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+    for (int key = 0; key < kKeys; ++key)
+        for (int c = 1; c < kCallers; ++c)
+            EXPECT_EQ(seen[key], seen[c * kKeys + key])
+                << "caller " << c << " of key " << key
+                << " saw a different entry";
+
+    const ScheduleCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, kKeys);
+    EXPECT_EQ(stats.hits + stats.misses, kKeys * kCallers);
+}
+
+TEST(StripedCache, PrefetchLookupJoinSpanStripes)
+{
+    ThreadPool pool(2);
+    AsyncScheduleCache cache(pool);
+    std::atomic<int> solves{0};
+    const auto compute = [&](const Scenario& mix) {
+        ++solves;
+        return stubSchedule(mix);
+    };
+
+    for (int k = 0; k < 6; ++k)
+        cache.prefetch(mixNamed("pf" + std::to_string(k), k + 1),
+                       compute, 0.5);
+    // Idempotent per key, regardless of stripe placement.
+    for (int k = 0; k < 6; ++k)
+        cache.prefetch(mixNamed("pf" + std::to_string(k), k + 1),
+                       compute, 0.5);
+    cache.drainInFlight();
+    EXPECT_EQ(solves.load(), 6);
+    EXPECT_EQ(cache.size(), 6u);
+
+    // lookup() joins the stored entries as hits on their stripes.
+    for (int k = 0; k < 6; ++k) {
+        const Scenario mix = mixNamed("pf" + std::to_string(k), k + 1);
+        const AsyncLookup found =
+            cache.lookup(mix, compute, 1.0, 0.25);
+        EXPECT_NE(found.schedule, nullptr);
+        EXPECT_FALSE(found.startedSolve);
+        EXPECT_DOUBLE_EQ(found.readySec, 1.0);
+    }
+    EXPECT_EQ(solves.load(), 6);
+    EXPECT_EQ(cache.stats().hits, 6);
+}
+
+} // namespace
+} // namespace runtime
+} // namespace scar
