@@ -14,6 +14,7 @@
 #include "cost/window_evaluator.h"
 #include "eval/scenario_suite.h"
 #include "workload/model_zoo.h"
+#include "workload/transformer_builder.h"
 
 using namespace scar;
 
@@ -138,6 +139,43 @@ BM_WindowEvaluateSolo(benchmark::State& state)
     }
 }
 BENCHMARK(BM_WindowEvaluateSolo);
+
+/**
+ * Window evaluation over a single autoregressive decode step (fused
+ * M = 1 GEMMs whose reduction width carries the KV cache). This is
+ * the placement-scoring unit cost of the LLM serving path: every
+ * decode round that misses the schedule cache pays a window search
+ * made of these evaluations.
+ */
+void
+BM_DecodeStepEvaluate(benchmark::State& state)
+{
+    TransformerConfig cfg;
+    cfg.name = "chat";
+    cfg.numBlocks = 4;
+    cfg.dModel = 256;
+    cfg.dFf = 1024;
+    cfg.vocab = 0;
+    Scenario sc;
+    sc.name = "decode";
+    sc.models = {buildDecodeStepModel(cfg, 256)};
+    sc.finalize();
+    const Mcm mcm = templates::hetSides3x3();
+    const CostDb db(sc, mcm);
+    const WindowEvaluator eval(db);
+
+    WindowPlacement placement;
+    ModelPlacement a;
+    a.modelIdx = 0;
+    a.segments = {PlacedSegment{LayerRange{0, 5}, 0},
+                  PlacedSegment{LayerRange{6, 11}, 3}};
+    placement.models = {a};
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(eval.evaluate(placement));
+    }
+}
+BENCHMARK(BM_DecodeStepEvaluate);
 
 } // namespace
 

@@ -154,6 +154,28 @@ describeServingReport(const runtime::ServingReport& report)
         table.addRow({"Preempted p99 (s)",
                       TextTable::num(report.preemptedP99Sec, 4)});
     }
+    // Autoregressive rows render only when the catalog served an LLM
+    // entry: non-LLM runs must report byte-identically to the
+    // pre-LLM format.
+    if (report.llmEnabled) {
+        table.addSeparator();
+        table.addRow({"LLM requests",
+                      std::to_string(report.llmRequests)});
+        table.addRow({"Decode rounds",
+                      std::to_string(report.llmDecodeRounds)});
+        table.addRow({"Continuous-batching joins",
+                      std::to_string(report.llmJoins)});
+        table.addRow({"Decode batch mean",
+                      TextTable::num(report.llmMeanDecodeBatch, 2)});
+        table.addRow({"TTFT mean (s)",
+                      TextTable::num(report.meanTtftSec, 4)});
+        table.addRow({"TTFT p99 (s)",
+                      TextTable::num(report.p99TtftSec, 4)});
+        table.addRow({"TPOT mean (s)",
+                      TextTable::num(report.meanTpotSec, 4)});
+        table.addRow({"Gen tokens/s",
+                      TextTable::num(report.genTokensPerSec, 1)});
+    }
     out << table.render();
 
     // Queue-wait vs execution split per model: which component an SLO

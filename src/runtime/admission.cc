@@ -24,16 +24,75 @@ nextPow2(int n)
     return p;
 }
 
+/** Quantized decode-round batch for `boarded` riders. */
+int
+decodeRoundBatch(int boarded, int cap, bool quantize)
+{
+    if (boarded >= cap)
+        return cap;
+    return quantize ? std::min(nextPow2(boarded), cap) : boarded;
+}
+
+/** Context bucket and step count one decode round covers. */
+struct DecodeRound
+{
+    std::int64_t ctxBucket = 0;
+    int steps = 1;
+};
+
+/**
+ * Plans the round for the given boarders: price the KV footprint at
+ * the max rider context rounded up to the bucket, and advance by the
+ * largest step count that (a) no unfinished rider overshoots its
+ * output length, (b) no rider's context outgrows the priced bucket,
+ * (c) stays within the profile's per-round cap.
+ */
+DecodeRound
+planDecodeRound(const ServedModel& sm, const std::deque<Request>& q,
+                const std::vector<std::size_t>& boarders)
+{
+    std::int64_t maxCtx = 1;
+    int minRemaining = sm.llm.maxDecodeSteps;
+    for (const std::size_t i : boarders) {
+        const Request& req = q[i];
+        maxCtx = std::max(maxCtx, req.contextTokens());
+        const int remaining = req.outputTokens - req.generatedTokens;
+        if (remaining > 0)
+            minRemaining = std::min(minRemaining, remaining);
+    }
+    DecodeRound round;
+    round.ctxBucket = llmLengthBucket(maxCtx, sm.llm.contextBucket);
+    const std::int64_t toBucketEdge = round.ctxBucket - maxCtx + 1;
+    round.steps = static_cast<int>(std::min<std::int64_t>(
+        std::min(minRemaining, sm.llm.maxDecodeSteps), toBucketEdge));
+    round.steps = std::max(round.steps, 1);
+    return round;
+}
+
 } // namespace
 
 AdmissionController::AdmissionController(
     const std::vector<ServedModel>& catalog, AdmissionOptions options)
-    : catalog_(catalog), options_(options), queues_(catalog.size())
+    : catalog_(catalog), options_(options), queues_(catalog.size()),
+      decodeQueues_(catalog.size())
 {
     SCAR_REQUIRE(!catalog_.empty(), "admission: empty catalog");
-    for (const ServedModel& sm : catalog_)
+    for (const ServedModel& sm : catalog_) {
         SCAR_REQUIRE(sm.model.batch >= 1, "admission: model ",
                      sm.model.name, " has batch ", sm.model.batch);
+        if (sm.llm.autoregressive) {
+            SCAR_REQUIRE(sm.llm.decoder.dModel >= 1 &&
+                             sm.llm.decoder.dFf >= 1 &&
+                             sm.llm.decoder.numBlocks >= 1,
+                         "admission: model ", sm.model.name,
+                         " has an invalid decoder config");
+            SCAR_REQUIRE(sm.llm.promptBucket >= 1 &&
+                             sm.llm.contextBucket >= 1 &&
+                             sm.llm.maxDecodeSteps >= 1,
+                         "admission: model ", sm.model.name,
+                         " has invalid LLM buckets");
+        }
+    }
     SCAR_REQUIRE(options_.maxQueueDelaySec >= 0.0,
                  "admission: negative maxQueueDelaySec");
 }
@@ -100,7 +159,11 @@ AdmissionController::dispatchBatch(std::size_t model) const
 Dispatch
 AdmissionController::formDispatch(double nowSec)
 {
-    SCAR_REQUIRE(ready(nowSec), "admission: formDispatch while idle");
+    // The speculative path dispatches partial batches before the
+    // batching timer: any queued work suffices.
+    SCAR_REQUIRE(ready(nowSec) || (options_.speculativePartialDispatch &&
+                                   queuedCount() > 0),
+                 "admission: formDispatch while idle");
     return formFrom(nowSec,
                     std::vector<bool>(queues_.size(), true));
 }
@@ -118,6 +181,10 @@ AdmissionController::formFrom(double nowSec,
         BatchGroup group;
         group.catalogIdx = static_cast<int>(m);
         group.batch = dispatchBatch(m);
+        // Derive the scheduled model before draining the queue: the
+        // prefill variant's bucket scans the queued prompts, and the
+        // peeked signature the fleet routed on saw the full queue.
+        Model scheduled = scheduledModel(m);
         const int boardCount =
             std::min(static_cast<int>(q.size()), group.batch);
         if (options_.order == QueueOrder::EarliestDeadline &&
@@ -175,7 +242,6 @@ AdmissionController::formFrom(double nowSec,
         // The scheduled model carries the dispatched batch size: the
         // mix signature (and so the schedule-cache key) reflects the
         // padded batch, not the raw queue depth.
-        Model scheduled = catalog_[m].model;
         scheduled.batch = group.batch;
         dispatch.mix.models.push_back(std::move(scheduled));
         dispatch.catalogIdx.push_back(static_cast<int>(m));
@@ -198,11 +264,32 @@ AdmissionController::peekFrom(const std::vector<bool>& take) const
     for (std::size_t m = 0; m < queues_.size(); ++m) {
         if (queues_[m].empty() || !take[m])
             continue;
-        Model scheduled = catalog_[m].model;
+        Model scheduled = scheduledModel(m);
         scheduled.batch = dispatchBatch(m);
         mix.models.push_back(std::move(scheduled));
     }
     return mix;
+}
+
+Model
+AdmissionController::scheduledModel(std::size_t model) const
+{
+    const ServedModel& sm = catalog_[model];
+    if (!sm.llm.autoregressive)
+        return sm.model;
+    // Prefill variant at the queue's max prompt, bucket-rounded. The
+    // max ranges over the whole queue — not just the boarders — so
+    // peekMix and formDispatch trivially agree on the signature the
+    // fleet's routing handshake asserts; the cost is mild over-padding
+    // when a long-prompt request waits behind the batch cap.
+    std::int64_t maxPrompt = 1;
+    for (const Request& req : queues_[model])
+        maxPrompt = std::max(
+            maxPrompt, static_cast<std::int64_t>(req.promptTokens));
+    TransformerConfig cfg = sm.llm.decoder;
+    cfg.name = sm.model.name;
+    return buildPrefillModel(
+        cfg, llmLengthBucket(maxPrompt, sm.llm.promptBucket));
 }
 
 bool
@@ -260,6 +347,146 @@ AdmissionController::formUrgentDispatch(double nowSec, double slackSec)
     for (std::size_t m = 0; m < queues_.size(); ++m)
         take[m] = modelUrgent(m, nowSec, slackSec);
     return formFrom(nowSec, take);
+}
+
+void
+AdmissionController::enqueueDecode(const Request& request)
+{
+    SCAR_REQUIRE(request.modelIdx >= 0 &&
+                     request.modelIdx <
+                         static_cast<int>(catalog_.size()),
+                 "admission: decode request model ", request.modelIdx,
+                 " outside catalog");
+    SCAR_REQUIRE(catalog_[request.modelIdx].llm.autoregressive,
+                 "admission: decode enqueue for non-LLM model ",
+                 catalog_[request.modelIdx].model.name);
+    SCAR_REQUIRE(request.prefillDone(),
+                 "admission: decode enqueue before prefill");
+    decodeQueues_[request.modelIdx].push_back(request);
+}
+
+int
+AdmissionController::decodeQueuedCount() const
+{
+    int total = 0;
+    for (const auto& q : decodeQueues_)
+        total += static_cast<int>(q.size());
+    return total;
+}
+
+int
+AdmissionController::decodeQueuedCount(int model) const
+{
+    SCAR_REQUIRE(model >= 0 &&
+                     model < static_cast<int>(decodeQueues_.size()),
+                 "admission: decode queue index ", model,
+                 " outside catalog");
+    return static_cast<int>(decodeQueues_[model].size());
+}
+
+std::vector<std::size_t>
+AdmissionController::decodeBoarders(std::size_t model) const
+{
+    const auto& q = decodeQueues_[model];
+    const int cap = catalog_[model].model.batch;
+    std::vector<std::size_t> boarders;
+    if (options_.llmBatching == LlmBatchingMode::Static) {
+        // A waiting locked batch outranks fresh arrivals and boards
+        // whole (its members only ever enter and leave the queue
+        // together, so every member is present).
+        std::int64_t minId = -1;
+        for (const Request& req : q) {
+            if (req.llmBatchId >= 0 &&
+                (minId < 0 || req.llmBatchId < minId))
+                minId = req.llmBatchId;
+        }
+        if (minId >= 0) {
+            for (std::size_t i = 0; i < q.size(); ++i) {
+                if (q[i].llmBatchId == minId)
+                    boarders.push_back(i);
+            }
+            return boarders;
+        }
+    }
+    const std::size_t count =
+        std::min(q.size(), static_cast<std::size_t>(cap));
+    for (std::size_t i = 0; i < count; ++i)
+        boarders.push_back(i);
+    return boarders;
+}
+
+Scenario
+AdmissionController::peekDecodeMix(int model) const
+{
+    SCAR_REQUIRE(decodeQueuedCount(model) > 0,
+                 "admission: peekDecodeMix on empty decode queue");
+    const std::size_t m = static_cast<std::size_t>(model);
+    const ServedModel& sm = catalog_[m];
+    const std::vector<std::size_t> boarders = decodeBoarders(m);
+    const DecodeRound round =
+        planDecodeRound(sm, decodeQueues_[m], boarders);
+    TransformerConfig cfg = sm.llm.decoder;
+    cfg.name = sm.model.name;
+    Model scheduled = buildDecodeStepModel(cfg, round.ctxBucket);
+    scheduled.batch =
+        decodeRoundBatch(static_cast<int>(boarders.size()),
+                         sm.model.batch, options_.quantizeBatches);
+    Scenario mix;
+    mix.name = "mix";
+    mix.models.push_back(std::move(scheduled));
+    return mix;
+}
+
+Dispatch
+AdmissionController::formDecodeDispatch(int model)
+{
+    SCAR_REQUIRE(decodeQueuedCount(model) > 0,
+                 "admission: formDecodeDispatch on empty decode "
+                 "queue");
+    const std::size_t m = static_cast<std::size_t>(model);
+    const ServedModel& sm = catalog_[m];
+    auto& q = decodeQueues_[m];
+    const std::vector<std::size_t> boarders = decodeBoarders(m);
+    const DecodeRound round = planDecodeRound(sm, q, boarders);
+
+    BatchGroup group;
+    group.catalogIdx = model;
+    group.batch =
+        decodeRoundBatch(static_cast<int>(boarders.size()),
+                         sm.model.batch, options_.quantizeBatches);
+    std::vector<bool> boarded(q.size(), false);
+    for (const std::size_t i : boarders) {
+        boarded[i] = true;
+        Request req = q[i];
+        if (options_.llmBatching == LlmBatchingMode::Static &&
+            req.llmBatchId < 0)
+            req.llmBatchId = nextLlmBatchId_;
+        // Finished lockstep padding rides without advancing.
+        req.ridingDecodeSteps =
+            req.generatedTokens >= req.outputTokens ? 0 : round.steps;
+        group.requests.push_back(std::move(req));
+    }
+    if (options_.llmBatching == LlmBatchingMode::Static)
+        ++nextLlmBatchId_;
+    std::deque<Request> remaining;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        if (!boarded[i])
+            remaining.push_back(q[i]);
+    }
+    q = std::move(remaining);
+
+    TransformerConfig cfg = sm.llm.decoder;
+    cfg.name = sm.model.name;
+    Model scheduled = buildDecodeStepModel(cfg, round.ctxBucket);
+    scheduled.batch = group.batch;
+
+    Dispatch dispatch;
+    dispatch.mix.name = "mix";
+    dispatch.mix.models.push_back(std::move(scheduled));
+    dispatch.catalogIdx.push_back(model);
+    dispatch.groups.push_back(std::move(group));
+    dispatch.llmDecodeSteps = round.steps;
+    return dispatch;
 }
 
 double

@@ -65,6 +65,29 @@ enum class QueueOrder
     EarliestDeadline,
 };
 
+/**
+ * How autoregressive decode rounds batch requests (only meaningful
+ * for catalog entries with LlmProfile::autoregressive set).
+ */
+enum class LlmBatchingMode
+{
+    /**
+     * Batch-and-replay baseline: the requests boarding a decode round
+     * are locked into one batch that decodes in lockstep until every
+     * member reaches its output length; finished members ride along
+     * as padding and retire with the batch, and later arrivals wait
+     * for the next batch.
+     */
+    Static,
+    /**
+     * Continuous batching: waiting requests join the in-flight decode
+     * stream at the next step-aligned window boundary (the fleet cuts
+     * the replay with ReplayExecutor::suspend) and finished sequences
+     * retire at their own final step, shrinking the dispatched mix.
+     */
+    Continuous,
+};
+
 /** Batching knobs. */
 struct AdmissionOptions
 {
@@ -78,6 +101,17 @@ struct AdmissionOptions
     bool quantizeBatches = true;
     /** Boarding order when a queue exceeds the batch cap. */
     QueueOrder order = QueueOrder::FifoArrival;
+    /** Decode-round batching policy for autoregressive models. */
+    LlmBatchingMode llmBatching = LlmBatchingMode::Continuous;
+    /**
+     * Dispatch a partial batch as soon as a shard would otherwise sit
+     * idle, instead of waiting out maxQueueDelaySec for the batch to
+     * fill. Raises occupancy under bursty load (and decode-batch
+     * occupancy under continuous batching) at the cost of smaller
+     * batches. Off by default: the timer-paced behavior is the
+     * baseline the goldens pin.
+     */
+    bool speculativePartialDispatch = false;
 };
 
 /** One model's share of a dispatch. */
@@ -96,6 +130,14 @@ struct Dispatch
     Scenario mix;                 ///< scenario handed to the scheduler
     std::vector<int> catalogIdx;  ///< mix.models[i] -> catalog index
     std::vector<BatchGroup> groups; ///< aligned with mix.models
+    /**
+     * Decode steps this dispatch advances each rider by (0 = not a
+     * decode round). A decode round replays the one-step schedule
+     * this many times (schedule_cache.h repeatSchedule), so the
+     * schedule-cache key — the one-step mix signature — is shared by
+     * every round of the same (context bucket, batch).
+     */
+    int llmDecodeSteps = 0;
 };
 
 /** Per-model queues plus the dispatch-forming policy. */
@@ -175,10 +217,54 @@ class AdmissionController
      */
     Dispatch formUrgentDispatch(double nowSec, double slackSec);
 
+    // ---- autoregressive decode queue -----------------------------
+    // Requests whose prefill has completed but whose output length is
+    // not reached wait here between decode rounds. Decode rounds are
+    // single-model dispatches formed by the fleet whenever a shard is
+    // free (no batching timer: generation throughput dominates).
+
+    /** Queues a prefill-completed request for its next decode round. */
+    void enqueueDecode(const Request& request);
+
+    /** Total decode-waiting requests across models. */
+    int decodeQueuedCount() const;
+
+    /** Decode-waiting requests of one catalog model. */
+    int decodeQueuedCount(int model) const;
+
+    /**
+     * The single-model mix formDecodeDispatch would build for this
+     * model right now: the one-step decode variant at the boarders'
+     * context bucket and quantized batch. Requires waiters.
+     */
+    Scenario peekDecodeMix(int model) const;
+
+    /**
+     * Forms a decode round for one model, consuming the boarding
+     * requests. Boarding follows options().llmBatching: Continuous
+     * boards the FIFO prefix up to the batch cap; Static boards the
+     * oldest locked batch if one is waiting, else locks a fresh one.
+     * Each boarded request is stamped with ridingDecodeSteps = the
+     * round's step count (0 for finished lockstep padding); the
+     * dispatch carries llmDecodeSteps > 0.
+     */
+    Dispatch formDecodeDispatch(int model);
+
     const std::vector<ServedModel>& catalog() const { return catalog_; }
+
+    const AdmissionOptions& options() const { return options_; }
 
   private:
     int dispatchBatch(std::size_t model) const;
+    /** Queue positions boarding the next decode round of `model`. */
+    std::vector<std::size_t> decodeBoarders(std::size_t model) const;
+    /**
+     * The scheduled model for queue `m`: the catalog model, or for
+     * autoregressive entries the prefill variant at the queue's max
+     * prompt bucket (identical in peek and form, so the mix-signature
+     * handshake with the fleet holds).
+     */
+    Model scheduledModel(std::size_t model) const;
     /** True when queue `model` holds a request urgent at nowSec. */
     bool modelUrgent(std::size_t model, double nowSec,
                      double slackSec) const;
@@ -191,6 +277,10 @@ class AdmissionController
     std::vector<ServedModel> catalog_;
     AdmissionOptions options_;
     std::vector<std::deque<Request>> queues_; ///< per model, FIFO
+    /** Per-model decode-round waiting rooms (LLM entries only). */
+    std::vector<std::deque<Request>> decodeQueues_;
+    /** Next Static-mode locked-batch id (monotone, deterministic). */
+    std::int64_t nextLlmBatchId_ = 0;
 };
 
 } // namespace runtime

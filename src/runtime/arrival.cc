@@ -63,6 +63,44 @@ poissonTrace(const std::vector<ServedModel>& catalog, int numRequests,
 }
 
 std::vector<Request>
+llmPoissonTrace(const std::vector<ServedModel>& catalog,
+                int numRequests, std::uint64_t seed)
+{
+    std::vector<Request> trace =
+        poissonTrace(catalog, numRequests, seed);
+    // Token lengths come from their own stream so adding them never
+    // perturbs the arrival pattern.
+    Rng rng(mixSeed(seed, 0x11F0uLL));
+    for (Request& req : trace) {
+        const LlmProfile& llm = catalog[req.modelIdx].llm;
+        if (!llm.autoregressive)
+            continue;
+        const int maxPrompt = static_cast<int>(llm.maxPromptTokens);
+        // Mean of two uniforms: triangular around maxPrompt / 2,
+        // shifted toward the profile mean by mixing in a draw capped
+        // at 2 * mean.
+        const int capped = static_cast<int>(std::min<std::int64_t>(
+            2 * llm.meanPromptTokens, llm.maxPromptTokens));
+        const int a = rng.uniformInt(1, std::max(1, capped));
+        const int b = rng.uniformInt(1, std::max(1, maxPrompt));
+        req.promptTokens = std::max(1, (a + b) / 2);
+        // Geometric output length (inverse CDF) with mean
+        // meanOutputTokens: the long tail a few requests decode far
+        // past the batch median.
+        const double mean = std::max(1.0, llm.meanOutputTokens);
+        const double p = 1.0 / mean;
+        const double u = 1.0 - rng.uniform(); // (0, 1]
+        const std::int64_t draw =
+            1 + static_cast<std::int64_t>(
+                    std::floor(std::log(u) / std::log(1.0 - p)));
+        req.outputTokens = static_cast<int>(
+            std::min<std::int64_t>(std::max<std::int64_t>(draw, 1),
+                                   llm.maxOutputTokens));
+    }
+    return trace;
+}
+
+std::vector<Request>
 traceFromArrivals(const std::vector<ServedModel>& catalog,
                   std::vector<std::pair<double, int>> arrivals)
 {

@@ -48,6 +48,22 @@ std::vector<Request> traceFromArrivals(
     const std::vector<ServedModel>& catalog,
     std::vector<std::pair<double, int>> arrivals);
 
+/**
+ * Chat-style autoregressive trace: poissonTrace arrivals, plus per
+ * request a prompt length and a target output length drawn from each
+ * LLM model's LlmProfile. Prompt lengths are uniform on
+ * [1, maxPromptTokens] biased toward meanPromptTokens (mean of two
+ * uniform draws, clamped); output lengths are geometric with mean
+ * meanOutputTokens capped at maxOutputTokens — the long-tail length
+ * mix where continuous batching beats batch-and-replay. Requests of
+ * non-autoregressive catalog entries pass through untouched. The
+ * token draws use a stream split from the seed, so the arrival
+ * pattern is identical to poissonTrace(catalog, numRequests, seed).
+ */
+std::vector<Request> llmPoissonTrace(
+    const std::vector<ServedModel>& catalog, int numRequests,
+    std::uint64_t seed = 0xC0FFEEuLL);
+
 } // namespace runtime
 } // namespace scar
 

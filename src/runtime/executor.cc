@@ -31,9 +31,21 @@ ReplayExecutor::start(std::shared_ptr<const CachedSchedule> schedule,
         finalBoundarySec_ += schedule_->windowSec[w];
     ++dispatches_;
     for (BatchGroup& group : dispatch_.groups) {
-        for (Request& req : group.requests)
-            req.dispatchSec = startSec;
+        for (Request& req : group.requests) {
+            // Only the first boarding stamps the dispatch instant: an
+            // LLM request re-dispatched for later decode rounds keeps
+            // its original queue-wait accounting.
+            if (req.dispatchSec < 0.0)
+                req.dispatchSec = startSec;
+        }
     }
+}
+
+const Dispatch&
+ReplayExecutor::dispatch() const
+{
+    SCAR_REQUIRE(busy_, "executor: dispatch() while idle");
+    return dispatch_;
 }
 
 double
@@ -100,7 +112,7 @@ ReplayExecutor::windowsRemaining() const
 }
 
 SuspendedReplay
-ReplayExecutor::suspend()
+ReplayExecutor::suspend(bool markPreempted)
 {
     SCAR_REQUIRE(busy_, "executor: suspend while idle");
     SuspendedReplay replay;
@@ -110,12 +122,14 @@ ReplayExecutor::suspend()
     // Requests whose model already completed (lastWindow < window_)
     // left through earlier ticks; everything still riding is
     // preempted.
-    for (std::size_t m = 0; m < dispatch_.groups.size(); ++m) {
-        if (schedule_->lastWindow[m] <
-            static_cast<int>(window_))
-            continue;
-        for (Request& req : dispatch_.groups[m].requests)
-            req.preempted = true;
+    if (markPreempted) {
+        for (std::size_t m = 0; m < dispatch_.groups.size(); ++m) {
+            if (schedule_->lastWindow[m] <
+                static_cast<int>(window_))
+                continue;
+            for (Request& req : dispatch_.groups[m].requests)
+                req.preempted = true;
+        }
     }
     replay.schedule = std::move(schedule_);
     replay.dispatch = std::move(dispatch_);

@@ -135,9 +135,13 @@ class ReplayExecutor
      * i.e. directly after an advance() whose tick was not
      * dispatchDone — so no window is partially replayed. Every
      * request still riding (its model completes in a remaining
-     * window) is marked preempted. Requires busy().
+     * window) is marked preempted when `markPreempted` is set; the
+     * continuous-batching join cut passes false — cutting a decode
+     * round to merge waiting requests is a policy choice in the
+     * riders' favor, not a preemption cost the report should tally.
+     * Requires busy().
      */
-    SuspendedReplay suspend();
+    SuspendedReplay suspend(bool markPreempted = true);
 
     /**
      * Continues a suspended replay from its saved cursor at startSec:
@@ -150,6 +154,12 @@ class ReplayExecutor
 
     /** Dispatches started so far (for report bookkeeping). */
     long dispatchCount() const { return dispatches_; }
+
+    /**
+     * The in-flight dispatch (the fleet inspects decode-round
+     * metadata at window boundaries). Requires busy().
+     */
+    const Dispatch& dispatch() const;
 
   private:
     bool busy_ = false;

@@ -130,7 +130,10 @@ FleetSimulator::FleetSimulator(std::vector<ServedModel> catalog,
         SCAR_REQUIRE(names.insert(sm.model.name).second,
                      "fleet: duplicate catalog model name ",
                      sm.model.name);
+        if (sm.llm.autoregressive)
+            llmEnabled_ = true;
     }
+    llmStreams_.assign(catalog_.size(), 0);
 
     // Heterogeneous fleets: one shard per listed template; otherwise
     // `shards` homogeneous copies of the constructor template.
@@ -983,9 +986,14 @@ FleetSimulator::run(const std::vector<Request>& trace)
         shard.preemptions = 0;
         shard.resumeOverheadSec = 0.0;
         shard.lastKey.clear();
+        shard.llmWindowsPerStep = 1;
     }
     contestedRoutes_ = 0;
     costOptimalRoutes_ = 0;
+    llmDecodeRounds_ = 0;
+    llmJoins_ = 0;
+    llmBoardedSum_ = 0;
+    std::fill(llmStreams_.begin(), llmStreams_.end(), 0);
     // Flight recorder: rec == nullptr is the disabled state, and every
     // hook below sits behind that check — a disabled run does no
     // observability work and stays byte-identical to an uninstrumented
@@ -1125,6 +1133,70 @@ FleetSimulator::run(const std::vector<Request>& trace)
                 tick.timeSec - sh.traceWindowStartSec,
                 {obs::argInt("window", tick.windowIdx)});
         sh.traceWindowStartSec = tick.timeSec;
+        // Autoregressive transition. For an LLM request a "completion"
+        // at a window boundary is the end of one prefill or one decode
+        // round, not necessarily the end of the request: unfinished
+        // sequences re-enter the decode queue, and tick.completed is
+        // filtered down to the truly retiring requests before the
+        // generic record loop below. Empty for non-LLM catalogs, so a
+        // run without LLM entries takes the pre-LLM path bit-for-bit.
+        if (llmEnabled_ && !tick.completed.empty()) {
+            // A decode round carries riders stamped by
+            // formDecodeDispatch; at least one is unfinished (a fully
+            // finished group retired at its previous round).
+            bool decodeRound = false;
+            for (const Request& req : tick.completed) {
+                if (req.ridingDecodeSteps > 0) {
+                    decodeRound = true;
+                    break;
+                }
+            }
+            bool allFinished = true;
+            if (decodeRound) {
+                for (Request& req : tick.completed) {
+                    req.generatedTokens += req.ridingDecodeSteps;
+                    req.ridingDecodeSteps = 0;
+                    if (req.generatedTokens < req.outputTokens)
+                        allFinished = false;
+                }
+                if (tick.dispatchDone)
+                    --llmStreams_[tick.completed.front().modelIdx];
+            }
+            const bool lockstep =
+                options_.serving.admission.llmBatching ==
+                LlmBatchingMode::Static;
+            std::vector<Request> retiring;
+            retiring.reserve(tick.completed.size());
+            for (Request& req : tick.completed) {
+                if (!catalog_[req.modelIdx].llm.autoregressive) {
+                    retiring.push_back(std::move(req));
+                    continue;
+                }
+                if (!decodeRound) {
+                    // Prefill completion = the first output token.
+                    req.firstTokenSec = tick.timeSec;
+                    req.generatedTokens = 1;
+                    if (rec)
+                        rec->trace().asyncInstantVirtual(
+                            static_cast<std::uint64_t>(req.id),
+                            "first-token", "request", tick.timeSec);
+                }
+                const bool finished =
+                    req.generatedTokens >= req.outputTokens;
+                // Static decode batches retire in lockstep: finished
+                // members ride as padding until the whole batch is
+                // done.
+                if (finished &&
+                    (!decodeRound || !lockstep || allFinished)) {
+                    retiring.push_back(std::move(req));
+                    continue;
+                }
+                req.completionSec = -1.0;
+                admission.enqueueDecode(req);
+                ++queueEpoch;
+            }
+            tick.completed = std::move(retiring);
+        }
         for (Request& req : tick.completed) {
             records_.push_back(req);
             if (rec) {
@@ -1183,6 +1255,7 @@ FleetSimulator::run(const std::vector<Request>& trace)
         ++queueEpoch;
     };
     while (next < trace.size() || admission.queuedCount() > 0 ||
+           (llmEnabled_ && admission.decodeQueuedCount() > 0) ||
            anyBusyOrPending()) {
         fireSamples();
 
@@ -1235,6 +1308,20 @@ FleetSimulator::run(const std::vector<Request>& trace)
                 shard.pendingSchedule != nullptr
                     ? std::move(shard.pendingSchedule)
                     : shard.cache->join(shard.pendingKey);
+            // A decode round replays the cached *one-step* schedule
+            // llmDecodeSteps times; the cache key stays the one-step
+            // signature so every round of the same (context bucket,
+            // batch) shares one cached solve. llmWindowsPerStep marks
+            // the step-aligned boundaries for the join cut.
+            if (shard.pending.llmDecodeSteps > 0) {
+                shard.llmWindowsPerStep =
+                    static_cast<int>(schedule->windowSec.size());
+                if (shard.pending.llmDecodeSteps > 1)
+                    schedule = repeatSchedule(
+                        schedule, shard.pending.llmDecodeSteps);
+            } else {
+                shard.llmWindowsPerStep = 1;
+            }
             double startSec = nowSec;
             if (!shard.lastKey.empty() &&
                 shard.lastKey != shard.pendingKey &&
@@ -1270,6 +1357,106 @@ FleetSimulator::run(const std::vector<Request>& trace)
         if (started)
             continue;
 
+        // 1.5 Decode rounds: a free shard and decode-queue waiters
+        // form a single-model decode dispatch with no batching timer
+        // (generation cadence dominates; a waiting sequence is never
+        // better off idle). Runs before step 2 so decode streams keep
+        // their cadence against competing prefill batches. Waiters
+        // appear only at commitTick (prefill completion, round end or
+        // join cut), so the very next loop iteration sees them here —
+        // the event calendar needs no extra timer for decode work.
+        if (llmEnabled_ && !freeShards_.empty() &&
+            admission.decodeQueuedCount() > 0) {
+            const bool continuous =
+                options_.serving.admission.llmBatching ==
+                LlmBatchingMode::Continuous;
+            int decodeModel = -1;
+            for (std::size_t m = 0; m < catalog_.size(); ++m) {
+                const int waiters =
+                    admission.decodeQueuedCount(static_cast<int>(m));
+                if (waiters == 0)
+                    continue;
+                // Continuous batching holds waiters for the running
+                // stream's next step boundary (join cut) instead of
+                // opening a rival round — unless a full batch is
+                // already waiting, which earns its own stream.
+                if (continuous && llmStreams_[m] > 0 &&
+                    waiters < catalog_[m].model.batch)
+                    continue;
+                decodeModel = static_cast<int>(m);
+                break;
+            }
+            if (decodeModel >= 0) {
+                const Scenario peeked =
+                    admission.peekDecodeMix(decodeModel);
+                const std::string sig = peeked.signature();
+                const int target = routeDispatch(
+                    sig, peeked, nowSec, /*allowDefer=*/false,
+                    /*urgent=*/false);
+                SCAR_ASSERT(target >= 0,
+                            "fleet: decode round found no shard with "
+                            "free shards available");
+                ++queueEpoch;
+                Dispatch dispatch =
+                    admission.formDecodeDispatch(decodeModel);
+                SCAR_ASSERT(dispatch.mix.signature() == sig,
+                            "fleet: decode dispatch mix diverged "
+                            "from the routed peek");
+                // Decode rounds do not add padded slots: occupancy
+                // stays a prefill-batching metric, and each request
+                // would otherwise be charged once per round. Decode
+                // batch fill is reported as llmMeanDecodeBatch.
+                ++llmStreams_[decodeModel];
+                ++llmDecodeRounds_;
+                llmBoardedSum_ += static_cast<long>(
+                    dispatch.groups.front().requests.size());
+                Shard& shard = shards_[target];
+                const std::string key =
+                    cacheKey(sig, static_cast<std::size_t>(target));
+                const AsyncLookup found = shard.cache->lookup(
+                    key, dispatch.mix, computes[target], nowSec,
+                    options_.serving.modeledSolveSec);
+                double endSec = found.readySec;
+                if (!shard.lastKey.empty() && shard.lastKey != key)
+                    endSec += options_.serving.switchOverheadSec;
+                // One-step makespan times the round's step count.
+                endSec +=
+                    (found.schedule != nullptr
+                         ? found.schedule->makespanSec
+                         : estimateMakespanKeyed(
+                               key,
+                               static_cast<std::size_t>(target),
+                               dispatch.mix)) *
+                    dispatch.llmDecodeSteps;
+                shard.hasPending = true;
+                shard.pending = std::move(dispatch);
+                shard.pendingKey = key;
+                shard.pendingReadySec = found.readySec;
+                shard.pendingEndSec = endSec;
+                shard.pendingSchedule = found.schedule;
+                syncShard(static_cast<std::size_t>(target));
+                shard.solveStallSec +=
+                    std::max(0.0, found.readySec - nowSec);
+                if (rec) {
+                    const int tid = target + 1;
+                    const bool hit = !found.startedSolve;
+                    rec->trace().instantVirtual(
+                        tid, hit ? "cache-hit" : "cache-miss",
+                        "cache", nowSec, {obs::argText("mix", sig)});
+                    rec->metrics()
+                        .counter(hit ? "cache.hits" : "cache.misses")
+                        .inc();
+                    rec->metrics().counter("dispatches.decode").inc();
+                    if (found.readySec > nowSec)
+                        rec->trace().completeVirtual(
+                            tid, "solve-stall", "stall", nowSec,
+                            found.readySec - nowSec,
+                            {obs::argText("mix", sig)});
+                }
+                continue;
+            }
+        }
+
         // 2. Free shard + ready batch: route, then form and park a
         // dispatch. Routing happens on the peeked mix *before* the
         // queues are consumed so BestFit can defer: when an occupied
@@ -1277,7 +1464,13 @@ FleetSimulator::run(const std::vector<Request>& trace)
         // the batch stays queued and is re-routed at the next event
         // (typically when the preferred shard frees up).
         bool deferred = false;
-        if ((admission.ready(nowSec) || urgent) &&
+        // Speculative partial dispatch: with the flag set, a shard
+        // that would otherwise idle claims whatever is queued right
+        // now instead of waiting out the batching timer.
+        const bool partialReady =
+            options_.serving.admission.speculativePartialDispatch &&
+            admission.queuedCount() > 0 && !freeShards_.empty();
+        if ((admission.ready(nowSec) || urgent || partialReady) &&
             anyCandidate(urgent)) {
             // An urgent batch boards only the models holding an
             // urgent request (shortest possible fast lane) and is
@@ -1483,7 +1676,13 @@ FleetSimulator::run(const std::vector<Request>& trace)
             // serial loop head does, so report, metrics, and trace
             // come out byte-identical at any engine-thread count.
             bool epochDone = false;
-            if (!preemption.enabled && !deferred) {
+            // LLM catalogs disable the epoch engine entirely: decode
+            // requeues and join cuts make every window boundary a
+            // potential routing decision, which breaks the epoch's
+            // no-interleaved-decision premise. The single-tick path
+            // commits on the event thread and is therefore trivially
+            // engine-thread-count deterministic.
+            if (!preemption.enabled && !deferred && !llmEnabled_) {
                 // With no free shard (and none freeing before the
                 // bound), no urgency, and speculation off, an
                 // arrival strictly inside the epoch can only
@@ -1629,6 +1828,66 @@ FleetSimulator::run(const std::vector<Request>& trace)
                             .inc();
                     }
                 }
+                // Continuous-batching join cut: waiters queued for the
+                // model decoding on this shard, and the replay just
+                // reached a step-aligned boundary with steps still
+                // ahead — cut the round here (suspend without the
+                // preemption mark), credit the riders with the steps
+                // already replayed, and send everyone back to the
+                // decode queue. The next iteration's step 1.5 forms
+                // the merged round on the freed shard. Riders cannot
+                // finish mid-round (the round's step count never
+                // exceeds any rider's remaining tokens), so all of
+                // them re-queue.
+                if (llmEnabled_ && !tick.dispatchDone &&
+                    !sh.hasSuspended && sh.executor.busy() &&
+                    options_.serving.admission.llmBatching ==
+                        LlmBatchingMode::Continuous) {
+                    const Dispatch& running = sh.executor.dispatch();
+                    const int model = running.llmDecodeSteps > 0
+                                          ? running.catalogIdx.front()
+                                          : -1;
+                    if (model >= 0 &&
+                        admission.decodeQueuedCount(model) > 0 &&
+                        (tick.windowIdx + 1) % sh.llmWindowsPerStep ==
+                            0) {
+                        const int stepsDone =
+                            (tick.windowIdx + 1) /
+                            sh.llmWindowsPerStep;
+                        SuspendedReplay cut =
+                            sh.executor.suspend(false);
+                        sh.busySec -= cut.remainingSec;
+                        --llmStreams_[model];
+                        ++llmJoins_;
+                        int riders = 0;
+                        for (BatchGroup& group : cut.dispatch.groups) {
+                            for (Request& req : group.requests) {
+                                if (req.ridingDecodeSteps > 0)
+                                    req.generatedTokens += stepsDone;
+                                req.ridingDecodeSteps = 0;
+                                req.completionSec = -1.0;
+                                admission.enqueueDecode(req);
+                                ++riders;
+                            }
+                        }
+                        ++queueEpoch;
+                        if (rec) {
+                            rec->trace().instantVirtual(
+                                boundaryShard + 1, "decode-join",
+                                "llm", tick.timeSec,
+                                {obs::argInt(
+                                     "riders",
+                                     static_cast<long long>(riders)),
+                                 obs::argInt(
+                                     "steps_done",
+                                     static_cast<long long>(
+                                         stepsDone))});
+                            rec->metrics()
+                                .counter("llm.joins")
+                                .inc();
+                        }
+                    }
+                }
                 syncShard(static_cast<std::size_t>(boundaryShard));
             }
         }
@@ -1688,6 +1947,16 @@ FleetSimulator::run(const std::vector<Request>& trace)
         report.shards.push_back(sr);
     }
     report.preemptionEnabled = options_.serving.preemption.enabled;
+    report.llmEnabled = llmEnabled_;
+    if (llmEnabled_) {
+        report.llmDecodeRounds = llmDecodeRounds_;
+        report.llmJoins = llmJoins_;
+        report.llmMeanDecodeBatch =
+            llmDecodeRounds_ > 0
+                ? static_cast<double>(llmBoardedSum_) /
+                      static_cast<double>(llmDecodeRounds_)
+                : 0.0;
+    }
     if (rec) {
         rec->metrics().gauge("horizon_sec").set(report.horizonSec);
         rec->metrics()
@@ -1716,6 +1985,9 @@ FleetSimulator::run(const std::vector<Request>& trace)
         inform("fleet: ", report.preemptions,
                " boundary preemptions, ", report.preemptedRequests,
                " preempted requests resumed");
+    if (llmEnabled_)
+        inform("fleet: ", report.llmDecodeRounds, " decode rounds, ",
+               report.llmJoins, " continuous-batching joins");
     return report;
 }
 

@@ -406,6 +406,13 @@ class FleetSimulator
         /** Trace bookkeeping: start instant of the window currently
          *  replaying (the span start when the next boundary ticks). */
         double traceWindowStartSec = 0.0;
+        /** Windows per decode step of the replaying dispatch (1 for
+         *  non-decode dispatches). A decode round replays the cached
+         *  one-step schedule llmDecodeSteps times, so only every
+         *  llmWindowsPerStep-th boundary is a step boundary — the
+         *  instants where a continuous-batching join may cut the
+         *  replay. */
+        int llmWindowsPerStep = 1;
     };
 
     /** The (mix signature, package signature) key of shard s. */
@@ -603,6 +610,25 @@ class FleetSimulator
     // Per-run routing-quality accounting (reset by run()).
     long contestedRoutes_ = 0;   ///< dispatches with >= 2 candidates
     long costOptimalRoutes_ = 0; ///< contested picks matching BestFit
+
+    // --- Autoregressive serving (continuous batching) ---
+    /** Any catalog entry has LlmProfile::autoregressive set. Gates
+     *  every LLM code path (a catalog without LLM entries runs the
+     *  pre-LLM event loop byte-for-byte) and disables the epoch
+     *  engine: decode requeues and join cuts are event-loop decisions
+     *  at every window boundary, so ticks must commit one at a time.
+     */
+    bool llmEnabled_ = false;
+    /** In-flight decode rounds (parked or replaying) per catalog
+     *  model. Continuous batching dispatches a second concurrent
+     *  round for a model only when a full batch of waiters exists;
+     *  otherwise waiters join the running stream at its next step
+     *  boundary. */
+    std::vector<int> llmStreams_;
+    // Per-run LLM accounting (reset by run()).
+    long llmDecodeRounds_ = 0;
+    long llmJoins_ = 0;
+    long llmBoardedSum_ = 0; ///< riders across all decode rounds
 };
 
 } // namespace runtime

@@ -170,6 +170,19 @@ makeCachedSchedule(const Scenario& mix,
 /** Builds the replay view of a schedule (exposed for testing). */
 void buildReplayView(CachedSchedule& entry);
 
+/**
+ * Tiles a one-step schedule `times` back to back: the replay view of
+ * an autoregressive decode round that advances every rider by `times`
+ * tokens. The cache keeps only the one-step entry (so every round of
+ * the same context bucket and batch shares one solved schedule); the
+ * fleet wraps it per dispatch. Every model's lastWindow moves to the
+ * final tiled window — decode riders complete, or rejoin the decode
+ * queue, together at the round's end.
+ */
+std::shared_ptr<const CachedSchedule>
+repeatSchedule(const std::shared_ptr<const CachedSchedule>& step,
+               int times);
+
 } // namespace runtime
 } // namespace scar
 

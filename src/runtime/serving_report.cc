@@ -96,6 +96,39 @@ summarizeServing(const std::vector<Request>& requests, long offered,
         report.preemptedP99Sec =
             sortedPercentile(preemptedLatencies, 99.0);
     }
+    // Autoregressive token metrics: TTFT (arrival -> first token,
+    // i.e. the prefill completion) and TPOT (decode cadence over the
+    // remaining outputTokens - 1 tokens).
+    {
+        std::vector<double> ttfts;
+        double ttftSum = 0.0;
+        double tpotSum = 0.0;
+        long tpotCount = 0;
+        std::int64_t genTokens = 0;
+        for (const Request& req : requests) {
+            if (!req.completed() || req.outputTokens <= 0)
+                continue;
+            ++report.llmRequests;
+            genTokens += req.outputTokens;
+            const double ttft = req.ttftSec();
+            ttfts.push_back(ttft);
+            ttftSum += ttft;
+            if (req.outputTokens > 1) {
+                tpotSum += (req.completionSec - req.firstTokenSec) /
+                           (req.outputTokens - 1);
+                ++tpotCount;
+            }
+        }
+        if (report.llmRequests > 0) {
+            report.meanTtftSec = ttftSum / report.llmRequests;
+            std::sort(ttfts.begin(), ttfts.end());
+            report.p99TtftSec = sortedPercentile(ttfts, 99.0);
+        }
+        if (tpotCount > 0)
+            report.meanTpotSec = tpotSum / tpotCount;
+        if (report.horizonSec > 0.0)
+            report.genTokensPerSec = genTokens / report.horizonSec;
+    }
     if (report.completed > 0) {
         report.meanLatencySec = sum / report.completed;
         std::sort(latencies.begin(), latencies.end());

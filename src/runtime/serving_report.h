@@ -136,6 +136,26 @@ struct ServingReport
     /** p99 latency over just those requests — the tail the preempted
      *  (typically datacenter) traffic pays for the urgent fast lane. */
     double preemptedP99Sec = 0.0;
+
+    // Autoregressive serving (runtime/request.h LlmProfile).
+    // llmEnabled gates the extra reporter rows so a run without LLM
+    // catalog entries renders byte-identically to the pre-LLM format.
+    bool llmEnabled = false;
+    /** Completed autoregressive requests (outputTokens > 0). */
+    long llmRequests = 0;
+    /** Decode rounds dispatched across all shards. */
+    long llmDecodeRounds = 0;
+    /** Continuous-batching join cuts (suspend + merged re-dispatch). */
+    long llmJoins = 0;
+    /** Mean riders per decode round (decode-batch occupancy). */
+    double llmMeanDecodeBatch = 0.0;
+    /** Time-to-first-token stats over completed LLM requests. */
+    double meanTtftSec = 0.0;
+    double p99TtftSec = 0.0;
+    /** Mean time-per-output-token past the first (decode cadence). */
+    double meanTpotSec = 0.0;
+    /** Generated tokens per virtual second over the run horizon. */
+    double genTokensPerSec = 0.0;
 };
 
 /**

@@ -57,4 +57,74 @@ buildTransformer(const TransformerConfig& config)
     return model;
 }
 
+Model
+buildPrefillModel(const TransformerConfig& config, std::int64_t promptLen)
+{
+    SCAR_REQUIRE(promptLen >= 1, "prefill needs >= 1 prompt token");
+    TransformerConfig prefill = config;
+    prefill.seqLen = promptLen;
+    prefill.name = config.name + ".prefill" + std::to_string(promptLen);
+    return buildTransformer(prefill);
+}
+
+Model
+buildDecodeStepModel(const TransformerConfig& config, std::int64_t contextLen)
+{
+    SCAR_REQUIRE(config.numBlocks >= 1, "transformer needs >= 1 block");
+    SCAR_REQUIRE(contextLen >= 1 && config.dModel >= 1 && config.dFf >= 1,
+                 "decode-step dims must be positive");
+
+    Model model;
+    model.name = config.name + ".decode" + std::to_string(contextLen);
+    model.batch = config.batch;
+
+    const std::int64_t ctx = contextLen;
+    const std::int64_t d = config.dModel;
+    const std::int64_t ff = config.dFf;
+    int id = 0;
+
+    auto gemm = [&](const std::string& name, std::int64_t m, std::int64_t n,
+                    std::int64_t kRed) {
+        model.layers.push_back(makeGemmLayer(id++, name, m, n, kRed));
+    };
+
+    if (config.vocab > 0) {
+        gemm("embed", 1, d, 1);
+    }
+
+    for (int b = 0; b < config.numBlocks; ++b) {
+        const std::string tag = "blk" + std::to_string(b) + ".";
+        if (config.granularity == TransformerGranularity::Coarse) {
+            // Fused MHA for one new token: MACs = d*(4d) [QKV+out
+            // proj] + 2*ctx*d [score row + context over the KV cache]
+            // == GEMM(M=1, N=4d+2ctx, K=d). The GEMM's weight side
+            // (N*K elements) carries the 2*ctx*d KV-cache entries, so
+            // the priced footprint grows with generated length.
+            gemm(tag + "mha", 1, 4 * d + 2 * ctx, d);
+        } else {
+            gemm(tag + "qkv", 1, 3 * d, d);
+            gemm(tag + "attn", 1, 2 * ctx, d);
+            gemm(tag + "proj", 1, d, d);
+        }
+        gemm(tag + "ffn1", 1, ff, d);
+        gemm(tag + "ffn2", 1, d, ff);
+    }
+
+    if (config.vocab > 0) {
+        gemm("lm_head", 1, config.vocab, d);
+    }
+
+    model.finalize();
+    return model;
+}
+
+std::int64_t
+llmLengthBucket(std::int64_t len, std::int64_t bucket)
+{
+    SCAR_REQUIRE(bucket >= 1, "length bucket must be positive");
+    if (len <= bucket)
+        return bucket;
+    return ((len + bucket - 1) / bucket) * bucket;
+}
+
 } // namespace scar

@@ -43,6 +43,34 @@ struct TransformerConfig
 /** Generates the layer sequence for the given transformer config. */
 Model buildTransformer(const TransformerConfig& config);
 
+/**
+ * Prefill phase of an autoregressive decoder: processes the whole
+ * prompt in one pass and produces the first output token. Identical
+ * to the encoder-style build at seqLen = promptLen; the model name
+ * embeds the prompt length ("<name>.prefill<len>") so schedule-cache
+ * keys distinguish length buckets.
+ */
+Model buildPrefillModel(const TransformerConfig& config,
+                        std::int64_t promptLen);
+
+/**
+ * One autoregressive decode step attending over `contextLen` cached
+ * tokens. Each block is a single-token (M = 1) GEMM sequence whose
+ * fused-MHA reduction width grows with the context: weight elements
+ * per block include the 2*contextLen*dModel KV-cache entries, so
+ * CostDb prices decode steps with length-dependent memory footprints
+ * out of the box. Named "<name>.decode<contextLen>".
+ */
+Model buildDecodeStepModel(const TransformerConfig& config,
+                           std::int64_t contextLen);
+
+/**
+ * Rounds `len` up to the next multiple of `bucket` (minimum one
+ * bucket). Length buckets keep the schedule-cache key space small:
+ * every decode step inside a bucket reuses one solved schedule.
+ */
+std::int64_t llmLengthBucket(std::int64_t len, std::int64_t bucket);
+
 } // namespace scar
 
 #endif // SCAR_WORKLOAD_TRANSFORMER_BUILDER_H
