@@ -177,6 +177,45 @@ BM_DecodeStepEvaluate(benchmark::State& state)
 }
 BENCHMARK(BM_DecodeStepEvaluate);
 
+/**
+ * The same two-model window as BM_WindowEvaluate, priced at the
+ * opt-in phased fidelity on the broadcast-plane package: flow
+ * enumeration, the per-phase link table (with shared-medium
+ * aggregation), and the M/D/1 factor memo all run. The gap to
+ * BM_WindowEvaluate is the full cost of the higher fidelity; CI
+ * gates it against the committed baseline like the other window
+ * benches.
+ */
+void
+BM_PhasedContention(benchmark::State& state)
+{
+    Scenario sc;
+    sc.name = "pair";
+    sc.models = {zoo::resNet50(4), zoo::bertBase(2)};
+    sc.finalize();
+    const Mcm mcm = templates::hetSidesBroadcast3x3();
+    const CostDb db(sc, mcm);
+    EvaluatorOptions options;
+    options.fidelity = CommFidelity::Phased;
+    const WindowEvaluator eval(db, options);
+
+    WindowPlacement placement;
+    ModelPlacement a;
+    a.modelIdx = 0;
+    a.segments = {PlacedSegment{LayerRange{0, 30}, 0},
+                  PlacedSegment{LayerRange{31, 71}, 3}};
+    ModelPlacement b;
+    b.modelIdx = 1;
+    b.segments = {PlacedSegment{LayerRange{0, 17}, 2},
+                  PlacedSegment{LayerRange{18, 35}, 5}};
+    placement.models = {a, b};
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(eval.evaluate(placement));
+    }
+}
+BENCHMARK(BM_PhasedContention);
+
 } // namespace
 
 int

@@ -23,20 +23,48 @@ buildSignature(const std::vector<Chiplet>& chiplets,
 {
     std::ostringstream sig;
     sig.precision(std::numeric_limits<double>::max_digits10);
-    if (topo.isMesh()) {
+    // Each interconnect class gets its own prefix so two packages
+    // differing only in interconnect (mesh vs torus vs broadcast
+    // plane over the same chiplets) never alias — the schedule caches
+    // key by this string (regression-tested in tests/test_het_fleet.cc).
+    switch (topo.kind()) {
+      case TopologyKind::Mesh:
         sig << "mesh" << topo.meshWidth() << "x" << topo.meshHeight();
-    } else {
+        break;
+      case TopologyKind::Torus:
+        sig << "torus" << topo.meshWidth() << "x" << topo.meshHeight();
+        break;
+      case TopologyKind::ExpressMesh:
+        sig << "xmesh" << topo.meshWidth() << "x" << topo.meshHeight()
+            << "+e";
+        for (std::size_t i = 0; i < topo.expressLinks().size(); ++i)
+            sig << (i == 0 ? "" : ",") << topo.expressLinks()[i].first
+                << "-" << topo.expressLinks()[i].second;
+        break;
+      case TopologyKind::BroadcastMesh:
+        sig << "bmesh" << topo.meshWidth() << "x" << topo.meshHeight()
+            << "+p";
+        for (std::size_t i = 0; i < topo.broadcastMembers().size(); ++i)
+            sig << (i == 0 ? "" : ",") << topo.broadcastMembers()[i];
+        break;
+      case TopologyKind::Generic:
         sig << "adj";
         for (int n = 0; n < topo.numNodes(); ++n) {
             sig << (n == 0 ? "" : ";");
             for (std::size_t i = 0; i < topo.neighbors(n).size(); ++i)
                 sig << (i == 0 ? "" : ",") << topo.neighbors(n)[i];
         }
+        break;
     }
     sig << "|nop" << params.bwNopGBps << ":" << params.nopHopLatencyNs
         << ":" << params.nopEnergyPjPerBit;
     sig << "|dram" << params.bwOffchipGBps << ":"
         << params.dramLatencyNs << ":" << params.dramEnergyPjPerBit;
+    // Plane constants appear only when a plane exists, so signatures
+    // of every pre-existing (wired) package stay byte-stable.
+    if (topo.hasBroadcastPlane())
+        sig << "|bcast" << params.bwBroadcastGBps << ":"
+            << params.broadcastEnergyPjPerBit;
     for (const Chiplet& c : chiplets) {
         sig << "|" << dataflowName(c.spec.dataflow) << ":"
             << c.spec.numPes << ":" << c.spec.bwNocGBps << ":"

@@ -26,6 +26,16 @@ struct PackageParams
     double bwOffchipGBps = 64.0;   ///< DRAM bandwidth
     double dramLatencyNs = 200.0;  ///< DRAM access latency
     double dramEnergyPjPerBit = 14.8;
+
+    // ---- Wireless broadcast plane (only read when the topology has
+    // one; see Topology::broadcastMesh). The shared medium carries
+    // one transmission at a time at bwBroadcastGBps, but a single
+    // transmission reaches every plane member — one-to-many flows pay
+    // one slot (cost/comm_model.h). Defaults follow the wireless-MCM
+    // literature: lower bandwidth than a wired hop, near-wired
+    // energy per bit, one-hop latency independent of distance.
+    double bwBroadcastGBps = 48.0;       ///< shared-medium bandwidth
+    double broadcastEnergyPjPerBit = 1.2; ///< per transmission
 };
 
 /**

@@ -12,12 +12,20 @@ namespace templates
 namespace
 {
 
-/** Builds a mesh MCM with a per-position dataflow assignment. */
+/**
+ * Builds a grid MCM over an already-constructed grid topology (mesh,
+ * torus, express, or broadcast — anything with meshWidth/meshHeight
+ * set) with a per-position dataflow assignment. Chiplet specs and
+ * memory-interface placement depend only on the grid coordinates, so
+ * interconnect variants of one organization differ in nothing but the
+ * topology (the "equal silicon" property bench_comm_fidelity gates).
+ */
 Mcm
-meshMcm(const std::string& name, int width, int height, int numPes,
+gridMcm(const std::string& name, Topology topo, int numPes,
         const std::function<Dataflow(int x, int y)>& assign)
 {
-    Topology topo = Topology::mesh(width, height);
+    const int width = topo.meshWidth();
+    const int height = topo.meshHeight();
     std::vector<Chiplet> chiplets;
     chiplets.reserve(static_cast<std::size_t>(width) * height);
     for (int y = 0; y < height; ++y) {
@@ -33,6 +41,31 @@ meshMcm(const std::string& name, int width, int height, int numPes,
         }
     }
     return Mcm(name, std::move(chiplets), std::move(topo));
+}
+
+/** Builds a mesh MCM with a per-position dataflow assignment. */
+Mcm
+meshMcm(const std::string& name, int width, int height, int numPes,
+        const std::function<Dataflow(int x, int y)>& assign)
+{
+    return gridMcm(name, Topology::mesh(width, height), numPes, assign);
+}
+
+/** The Het-Sides dataflow assignment (side columns NVDLA, middle Shi). */
+Dataflow
+hetSidesAssign(int x, int)
+{
+    return (x == 1) ? Dataflow::ShiOS : Dataflow::NvdlaWS;
+}
+
+/** All chiplet ids of a width x height grid, ascending. */
+std::vector<int>
+allNodes(int width, int height)
+{
+    std::vector<int> ids(static_cast<std::size_t>(width) * height);
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        ids[i] = static_cast<int>(i);
+    return ids;
 }
 
 /** Builds the rows-of-(2,3,4) triangular MCM with per-row dataflows. */
@@ -101,6 +134,42 @@ hetSides3x3(int numPes)
     return meshMcm("Het-Sides", 3, 3, numPes, [](int x, int) {
         return (x == 1) ? Dataflow::ShiOS : Dataflow::NvdlaWS;
     });
+}
+
+Mcm
+hetSidesTorus3x3(int numPes)
+{
+    return gridMcm("Het-Sides-Torus", Topology::torus(3, 3), numPes,
+                   hetSidesAssign);
+}
+
+Mcm
+hetSidesExpress3x3(int numPes)
+{
+    // Express links join the two mesh diagonals (0<->8, 2<->6): the
+    // longest mesh routes (4 hops) collapse to 1.
+    return gridMcm("Het-Sides-Express",
+                   Topology::expressMesh(3, 3, {{0, 8}, {2, 6}}),
+                   numPes, hetSidesAssign);
+}
+
+Mcm
+hetSidesBroadcast3x3(int numPes)
+{
+    return gridMcm("Het-Sides-Bcast",
+                   Topology::broadcastMesh(3, 3, allNodes(3, 3)),
+                   numPes, hetSidesAssign);
+}
+
+Mcm
+simbaTorus(int width, int height, Dataflow df, int numPes)
+{
+    const std::string name = std::string("Simba-T") +
+                             std::to_string(width) + "x" +
+                             std::to_string(height) + "(" +
+                             dataflowName(df) + ")";
+    return gridMcm(name, Topology::torus(width, height), numPes,
+                   [df](int, int) { return df; });
 }
 
 Mcm

@@ -53,6 +53,23 @@ Mcm hetSides3x3(int numPes = kDatacenterPes);
 /** 6x6 cross-heterogeneous mesh ("Het-Cross"). */
 Mcm hetCross6x6(int numPes = kDatacenterPes);
 
+// ---- Interconnect variants (equal silicon to hetSides3x3: same
+// chiplets, specs, and memory interfaces — only the NoP differs).
+// These feed bench_comm_fidelity's fidelity x topology sweep.
+
+/** Het-Sides on a 3x3 torus (wraparound XY routing). */
+Mcm hetSidesTorus3x3(int numPes = kDatacenterPes);
+
+/** Het-Sides with express links across the mesh diagonals. */
+Mcm hetSidesExpress3x3(int numPes = kDatacenterPes);
+
+/** Het-Sides with a package-wide wireless broadcast plane. */
+Mcm hetSidesBroadcast3x3(int numPes = kDatacenterPes);
+
+/** Homogeneous width x height torus of the given dataflow. */
+Mcm simbaTorus(int width, int height, Dataflow df,
+               int numPes = kDatacenterPes);
+
 /** Triangular homogeneous package ("Simba-T"), rows of 2,3,4 chiplets. */
 Mcm simbaTriangular(Dataflow df, int numPes = kDatacenterPes);
 

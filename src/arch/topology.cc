@@ -8,8 +8,21 @@
 namespace scar
 {
 
+const char*
+topologyKindName(TopologyKind kind)
+{
+    switch (kind) {
+      case TopologyKind::Mesh:          return "mesh";
+      case TopologyKind::Torus:         return "torus";
+      case TopologyKind::ExpressMesh:   return "express-mesh";
+      case TopologyKind::BroadcastMesh: return "broadcast-mesh";
+      case TopologyKind::Generic:       return "generic";
+    }
+    return "unknown";
+}
+
 Topology
-Topology::mesh(int width, int height)
+Topology::meshSkeleton(int width, int height)
 {
     SCAR_REQUIRE(width >= 1 && height >= 1, "mesh dims must be positive");
     Topology topo;
@@ -30,8 +43,106 @@ Topology::mesh(int width, int height)
             }
         }
     }
+    return topo;
+}
+
+Topology
+Topology::mesh(int width, int height)
+{
+    Topology topo = meshSkeleton(width, height);
+    topo.kind_ = TopologyKind::Mesh;
     topo.computeHopMatrix();
     topo.computeRouteTables();
+    return topo;
+}
+
+Topology
+Topology::torus(int width, int height)
+{
+    Topology topo = meshSkeleton(width, height);
+    topo.kind_ = TopologyKind::Torus;
+    auto id = [width](int x, int y) { return y * width + x; };
+    // Wraparound links, appended after the mesh skeleton so mesh link
+    // ids stay a prefix. A dimension of 2 already has the "wrap" as
+    // its only mesh link; adding it again would duplicate adjacency.
+    if (width >= 3) {
+        for (int y = 0; y < height; ++y) {
+            topo.adj_[id(width - 1, y)].push_back(id(0, y));
+            topo.adj_[id(0, y)].push_back(id(width - 1, y));
+        }
+    }
+    if (height >= 3) {
+        for (int x = 0; x < width; ++x) {
+            topo.adj_[id(x, height - 1)].push_back(id(x, 0));
+            topo.adj_[id(x, 0)].push_back(id(x, height - 1));
+        }
+    }
+    topo.computeHopMatrix();
+    topo.computeRouteTables();
+    return topo;
+}
+
+Topology
+Topology::expressMesh(int width, int height, std::vector<Link> express)
+{
+    Topology topo = meshSkeleton(width, height);
+    topo.kind_ = TopologyKind::ExpressMesh;
+    const int n = width * height;
+    for (const Link& e : express) {
+        SCAR_REQUIRE(e.first >= 0 && e.first < n && e.second >= 0 &&
+                         e.second < n,
+                     "express link ", e.first, "->", e.second,
+                     " out of range");
+        SCAR_REQUIRE(e.first != e.second, "express link must join two "
+                                          "distinct chiplets");
+        const auto& nbrs = topo.adj_[e.first];
+        SCAR_REQUIRE(std::find(nbrs.begin(), nbrs.end(), e.second) ==
+                         nbrs.end(),
+                     "express link ", e.first, "->", e.second,
+                     " duplicates an existing link");
+        topo.adj_[e.first].push_back(e.second);
+        topo.adj_[e.second].push_back(e.first);
+    }
+    topo.expressLinks_ = std::move(express);
+    topo.computeHopMatrix();
+    topo.computeRouteTables();
+    return topo;
+}
+
+Topology
+Topology::broadcastMesh(int width, int height, std::vector<int> members)
+{
+    Topology topo = meshSkeleton(width, height);
+    topo.kind_ = TopologyKind::BroadcastMesh;
+    const int n = width * height;
+    SCAR_REQUIRE(members.size() >= 2,
+                 "broadcast plane needs at least two members");
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        SCAR_REQUIRE(members[i] >= 0 && members[i] < n,
+                     "broadcast member ", members[i], " out of range");
+        SCAR_REQUIRE(i == 0 || members[i - 1] < members[i],
+                     "broadcast members must be ascending and unique");
+    }
+    // Directed plane links between every ordered member pair that the
+    // mesh does not already join in one hop; appended after the mesh
+    // skeleton so mesh link ids stay a prefix.
+    std::vector<Link> planeLinks;
+    for (const int a : members) {
+        for (const int b : members) {
+            if (a == b)
+                continue;
+            const auto& nbrs = topo.adj_[a];
+            if (std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end())
+                continue;
+            topo.adj_[a].push_back(b);
+            planeLinks.emplace_back(a, b);
+        }
+    }
+    topo.broadcastMembers_ = std::move(members);
+    topo.computeHopMatrix();
+    topo.computeRouteTables();
+    for (const Link& p : planeLinks)
+        topo.linkMedium_[topo.linkId(p.first, p.second)] = 0;
     return topo;
 }
 
@@ -110,6 +221,7 @@ Topology::computeRouteTables()
             }
         }
     }
+    linkMedium_.assign(links_.size(), -1);
 
     // All-pairs routes, derived once from the same route() every
     // caller used before the cache existed.
@@ -171,23 +283,40 @@ Topology::route(int src, int dst) const
 {
     SCAR_ASSERT(src >= 0 && src < numNodes(), "bad src ", src);
     SCAR_ASSERT(dst >= 0 && dst < numNodes(), "bad dst ", dst);
-    if (!isMesh())
+    if (kind_ != TopologyKind::Mesh && kind_ != TopologyKind::Torus)
         return bfsPath(src, dst);
 
-    // Deterministic XY routing: travel along X, then along Y.
+    // Deterministic XY routing: travel along X, then along Y. On the
+    // torus each dimension travels whichever direction is shorter
+    // (ties toward increasing coordinates), stepping with wraparound.
+    const int w = meshWidth_;
+    const int h = meshHeight_;
     std::vector<int> path;
-    int x = src % meshWidth_;
-    int y = src / meshWidth_;
-    const int dx = dst % meshWidth_;
-    const int dy = dst / meshWidth_;
+    int x = src % w;
+    int y = src / w;
+    const int dx = dst % w;
+    const int dy = dst / w;
     path.push_back(src);
-    while (x != dx) {
-        x += (dx > x) ? 1 : -1;
-        path.push_back(y * meshWidth_ + x);
+    if (kind_ == TopologyKind::Mesh) {
+        while (x != dx) {
+            x += (dx > x) ? 1 : -1;
+            path.push_back(y * w + x);
+        }
+        while (y != dy) {
+            y += (dy > y) ? 1 : -1;
+            path.push_back(y * w + x);
+        }
+        return path;
     }
+    const int stepX = ((dx - x + w) % w <= (x - dx + w) % w) ? 1 : -1;
+    while (x != dx) {
+        x = (x + stepX + w) % w;
+        path.push_back(y * w + x);
+    }
+    const int stepY = ((dy - y + h) % h <= (y - dy + h) % h) ? 1 : -1;
     while (y != dy) {
-        y += (dy > y) ? 1 : -1;
-        path.push_back(y * meshWidth_ + x);
+        y = (y + stepY + h) % h;
+        path.push_back(y * w + x);
     }
     return path;
 }
@@ -214,6 +343,13 @@ Topology::linkById(int id) const
 {
     SCAR_ASSERT(id >= 0 && id < numLinks(), "bad link id ", id);
     return links_[id];
+}
+
+int
+Topology::linkMedium(int id) const
+{
+    SCAR_ASSERT(id >= 0 && id < numLinks(), "bad link id ", id);
+    return linkMedium_[id];
 }
 
 const std::vector<int>&

@@ -5,7 +5,22 @@
  * The default is the Simba-style 2D mesh with XY routing; the
  * scheduler itself only consumes adjacency and routes, so any
  * connected graph works (paper Section V-E generalizes to triangular
- * topologies through the adjacency matrix).
+ * topologies through the adjacency matrix). Beyond the mesh, three
+ * interconnect classes are config-selectable:
+ *
+ *  - torus(): 2D torus — the mesh plus wraparound row/column links,
+ *    routed by wraparound XY (each dimension travels its shorter
+ *    direction, ties broken toward increasing coordinates);
+ *  - expressMesh(): mesh plus express/skip links, BFS-routed — the
+ *    link set is a supergraph of the mesh, so routes can only get
+ *    shorter (property-tested in tests/test_topology.cc);
+ *  - broadcastMesh(): mesh plus a wireless broadcast plane — a
+ *    shared-medium link class connecting every pair of plane members
+ *    in one hop. Plane links are real directed adjacency entries
+ *    (dense ids, route tables, and invariants apply unchanged) tagged
+ *    with a medium id; the comm model aggregates congestion across a
+ *    medium and prices one-to-many flows in a single shared slot
+ *    (cost/comm_model.h).
  */
 
 #ifndef SCAR_ARCH_TOPOLOGY_H
@@ -21,12 +36,55 @@ namespace scar
 /** A directed NoP link (src node, dst node). */
 using Link = std::pair<int, int>;
 
+/** Interconnect class of a topology (selects routing + pricing). */
+enum class TopologyKind
+{
+    Mesh,          ///< 2D mesh, XY routing
+    Torus,         ///< 2D torus, wraparound XY routing
+    ExpressMesh,   ///< mesh + express links, BFS routing
+    BroadcastMesh, ///< mesh + wireless broadcast plane, BFS routing
+    Generic        ///< arbitrary adjacency (triangular, custom), BFS
+};
+
+/** Display name of a topology kind ("mesh", "torus", ...). */
+const char* topologyKindName(TopologyKind kind);
+
 /** Connected NoP graph with shortest-path routing. */
 class Topology
 {
   public:
     /** Builds a width x height 2D mesh (XY-routed). */
     static Topology mesh(int width, int height);
+
+    /**
+     * Builds a width x height 2D torus: the mesh plus wraparound
+     * links per row/column (only for dimensions >= 3 — at width or
+     * height 2 the wrap would duplicate an existing mesh link).
+     * Routed by wraparound XY: each dimension travels whichever
+     * direction is shorter, ties toward increasing coordinates.
+     */
+    static Topology torus(int width, int height);
+
+    /**
+     * Builds a mesh with additional express (skip) links. Each entry
+     * adds a bidirectional link between two non-adjacent chiplets.
+     * Routing is BFS over the combined graph; since the link set is a
+     * supergraph of the mesh, every route is at most as long as the
+     * mesh route.
+     */
+    static Topology expressMesh(int width, int height,
+                                std::vector<Link> express);
+
+    /**
+     * Builds a mesh with a wireless broadcast plane over `members`
+     * (chiplet ids, ascending). Every ordered pair of distinct
+     * members that is not already mesh-adjacent gets a directed
+     * 1-hop plane link tagged with medium id 0; mesh-adjacent pairs
+     * keep their wired link (already 1 hop). Passing all nodes as
+     * members yields a package-wide plane.
+     */
+    static Topology broadcastMesh(int width, int height,
+                                  std::vector<int> members);
 
     /**
      * Builds a triangular arrangement: row i (0-based) holds
@@ -49,8 +107,8 @@ class Topology
 
     /**
      * The routed node sequence from src to dst inclusive.
-     * Mesh topologies use deterministic XY routing (paper Section V-A);
-     * other topologies use BFS shortest paths.
+     * Mesh topologies use deterministic XY routing (paper Section V-A),
+     * tori wraparound XY; other topologies use BFS shortest paths.
      */
     std::vector<int> route(int src, int dst) const;
 
@@ -82,13 +140,41 @@ class Topology
      */
     const std::vector<int>& routeLinkIds(int src, int dst) const;
 
-    /** True for XY-routed meshes. */
-    bool isMesh() const { return meshWidth_ > 0; }
+    /** The interconnect class. */
+    TopologyKind kind() const { return kind_; }
 
-    /** Mesh width (0 when not a mesh). */
+    /** True for XY-routed meshes (not tori/express/broadcast). */
+    bool isMesh() const { return kind_ == TopologyKind::Mesh; }
+
+    /** Grid width (0 for triangular/custom topologies). */
     int meshWidth() const { return meshWidth_; }
-    /** Mesh height (0 when not a mesh). */
+    /** Grid height (0 for triangular/custom topologies). */
     int meshHeight() const { return meshHeight_; }
+
+    // ---- Shared-medium (broadcast plane) links -------------------
+
+    /**
+     * Medium id of a link: -1 for point-to-point wired links, >= 0
+     * for shared-medium (wireless plane) links. All links of one
+     * medium contend with each other, not per-link (the comm model
+     * aggregates their load; see cost/comm_model.h).
+     */
+    int linkMedium(int id) const;
+
+    /** Number of shared media (0 without a broadcast plane, else 1). */
+    int numMedia() const { return broadcastMembers_.empty() ? 0 : 1; }
+
+    /** True when a wireless broadcast plane is present. */
+    bool hasBroadcastPlane() const { return !broadcastMembers_.empty(); }
+
+    /** Plane member chiplet ids, ascending (empty without a plane). */
+    const std::vector<int>& broadcastMembers() const
+    {
+        return broadcastMembers_;
+    }
+
+    /** The express link endpoints (empty for non-express meshes). */
+    const std::vector<Link>& expressLinks() const { return expressLinks_; }
 
   private:
     Topology() = default;
@@ -97,15 +183,22 @@ class Topology
     void computeRouteTables();
     std::vector<int> bfsPath(int src, int dst) const;
 
+    static Topology meshSkeleton(int width, int height);
+
     std::vector<std::vector<int>> adj_;
     std::vector<std::vector<int>> hopMatrix_;
+    TopologyKind kind_ = TopologyKind::Generic;
     int meshWidth_ = 0;
     int meshHeight_ = 0;
 
     std::vector<Link> links_;     ///< dense id -> directed link
     std::vector<int> linkIndex_;  ///< src * n + dst -> id (or -1)
+    std::vector<int> linkMedium_; ///< dense id -> medium (-1 wired)
     // All-pairs route cache (link ids per pair), indexed src * n + dst.
     std::vector<std::vector<int>> routeLinkIds_;
+
+    std::vector<int> broadcastMembers_;
+    std::vector<Link> expressLinks_;
 };
 
 } // namespace scar

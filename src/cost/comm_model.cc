@@ -1,9 +1,81 @@
 #include "cost/comm_model.h"
 
+#include <algorithm>
+
+#include "common/error.h"
 #include "common/units.h"
 
 namespace scar
 {
+
+namespace
+{
+
+/** Utilization cap keeping the M/D/1 curve finite (factor <= 10.5). */
+constexpr double kMaxUtilization = 0.95;
+
+} // namespace
+
+const char*
+commPhaseName(CommPhase phase)
+{
+    switch (phase) {
+      case CommPhase::WeightLoad: return "weight";
+      case CommPhase::Activation: return "act";
+      case CommPhase::Spill:      return "spill";
+    }
+    return "unknown";
+}
+
+PhasedLinkTable::PhasedLinkTable(const Topology& topo)
+    : topo_(&topo),
+      linkLoads_(static_cast<std::size_t>(kNumCommPhases) *
+                     topo.numLinks(),
+                 0.0),
+      mediumLoads_(static_cast<std::size_t>(kNumCommPhases) *
+                       topo.numMedia(),
+                   0.0)
+{
+}
+
+void
+PhasedLinkTable::addFlow(CommPhase phase,
+                         const std::vector<int>& linkIds, double bytes)
+{
+    if (bytes <= 0.0)
+        return;
+    const int p = static_cast<int>(phase);
+    for (const int id : linkIds) {
+        linkLoads_[static_cast<std::size_t>(p) * topo_->numLinks() +
+                   id] += bytes;
+        const int medium = topo_->linkMedium(id);
+        if (medium >= 0)
+            mediumLoads_[static_cast<std::size_t>(p) *
+                             topo_->numMedia() +
+                         medium] += bytes;
+    }
+}
+
+double
+PhasedLinkTable::load(CommPhase phase, int linkId) const
+{
+    const int p = static_cast<int>(phase);
+    const int medium = topo_->linkMedium(linkId);
+    if (medium >= 0)
+        return mediumLoads_[static_cast<std::size_t>(p) *
+                                topo_->numMedia() +
+                            medium];
+    return linkLoads_[static_cast<std::size_t>(p) *
+                          topo_->numLinks() +
+                      linkId];
+}
+
+void
+PhasedLinkTable::clear()
+{
+    std::fill(linkLoads_.begin(), linkLoads_.end(), 0.0);
+    std::fill(mediumLoads_.begin(), mediumLoads_.end(), 0.0);
+}
 
 CommModel::CommModel(const Mcm& mcm)
     : mcm_(mcm),
@@ -12,6 +84,36 @@ CommModel::CommModel(const Mcm& mcm)
       nopBpc_(gbpsToBytesPerCycle(mcm.params().bwNopGBps)),
       offchipBpc_(gbpsToBytesPerCycle(mcm.params().bwOffchipGBps))
 {
+    const Topology& topo = mcm.topology();
+    if (!topo.hasBroadcastPlane())
+        return;
+    broadcastBpc_ = gbpsToBytesPerCycle(mcm.params().bwBroadcastGBps);
+
+    // Per-pair bottleneck bandwidth and summed per-bit energy over the
+    // routed links: a route mixing wired and plane hops drains at the
+    // slowest link and pays each link's own energy. numNodes^2 doubles,
+    // built once per (scenario, MCM) with the CostDb.
+    const int n = topo.numNodes();
+    pairBpc_.assign(static_cast<std::size_t>(n) * n, nopBpc_);
+    pairEnergyPjPerBit_.assign(static_cast<std::size_t>(n) * n, 0.0);
+    for (int src = 0; src < n; ++src) {
+        for (int dst = 0; dst < n; ++dst) {
+            if (src == dst)
+                continue;
+            double bpc = nopBpc_;
+            double pjPerBit = 0.0;
+            for (const int id : topo.routeLinkIds(src, dst)) {
+                const bool plane = topo.linkMedium(id) >= 0;
+                bpc = std::min(bpc, plane ? broadcastBpc_ : nopBpc_);
+                pjPerBit += plane
+                                ? mcm.params().broadcastEnergyPjPerBit
+                                : mcm.params().nopEnergyPjPerBit;
+            }
+            pairBpc_[static_cast<std::size_t>(src) * n + dst] = bpc;
+            pairEnergyPjPerBit_[static_cast<std::size_t>(src) * n +
+                                dst] = pjPerBit;
+        }
+    }
 }
 
 double
@@ -20,6 +122,13 @@ CommModel::nopLatencyCycles(double bytes, int src, int dst) const
     if (src == dst || bytes <= 0.0)
         return 0.0;
     const int hops = mcm_.topology().hops(src, dst);
+    if (!pairBpc_.empty()) {
+        const double bpc =
+            pairBpc_[static_cast<std::size_t>(src) *
+                         mcm_.topology().numNodes() +
+                     dst];
+        return bytes / bpc + hops * hopCycles_;
+    }
     return bytes / nopBpc_ + hops * hopCycles_;
 }
 
@@ -28,6 +137,13 @@ CommModel::nopEnergyNj(double bytes, int src, int dst) const
 {
     if (src == dst || bytes <= 0.0)
         return 0.0;
+    if (!pairEnergyPjPerBit_.empty()) {
+        const double pjPerBit =
+            pairEnergyPjPerBit_[static_cast<std::size_t>(src) *
+                                    mcm_.topology().numNodes() +
+                                dst];
+        return pjToNj(bytes * 8.0 * pjPerBit);
+    }
     const int hops = mcm_.topology().hops(src, dst);
     return pjToNj(bytes * 8.0 * mcm_.params().nopEnergyPjPerBit * hops);
 }
@@ -50,6 +166,75 @@ CommModel::dramEnergyNj(double bytes, int chiplet) const
         pjToNj(bytes * 8.0 * mcm_.params().dramEnergyPjPerBit);
     return dramNj +
            nopEnergyNj(bytes, mcm_.nearestMemInterface(chiplet), chiplet);
+}
+
+bool
+CommModel::planeCovers(int src, const std::vector<int>& dsts) const
+{
+    const Topology& topo = mcm_.topology();
+    if (!topo.hasBroadcastPlane())
+        return false;
+    const std::vector<int>& members = topo.broadcastMembers();
+    auto isMember = [&members](int node) {
+        return std::binary_search(members.begin(), members.end(), node);
+    };
+    if (!isMember(src))
+        return false;
+    for (const int d : dsts) {
+        if (d != src && !isMember(d))
+            return false;
+    }
+    return true;
+}
+
+double
+CommModel::broadcastLatencyCycles(double bytes, int src,
+                                  const std::vector<int>& dsts) const
+{
+    if (bytes <= 0.0 || dsts.empty())
+        return 0.0;
+    if (planeCovers(src, dsts))
+        // One shared-medium slot: a single transmission reaches every
+        // plane member in one hop, however many destinations listed.
+        return bytes / broadcastBpc_ + hopCycles_;
+    double total = 0.0;
+    for (const int d : dsts)
+        total += nopLatencyCycles(bytes, src, d);
+    return total;
+}
+
+double
+CommModel::broadcastEnergyNj(double bytes, int src,
+                             const std::vector<int>& dsts) const
+{
+    if (bytes <= 0.0 || dsts.empty())
+        return 0.0;
+    if (planeCovers(src, dsts))
+        return pjToNj(bytes * 8.0 *
+                      mcm_.params().broadcastEnergyPjPerBit);
+    double total = 0.0;
+    for (const int d : dsts)
+        total += nopEnergyNj(bytes, src, d);
+    return total;
+}
+
+double
+CommModel::linkBytesPerCycle(int linkId) const
+{
+    return mcm_.topology().linkMedium(linkId) >= 0 ? broadcastBpc_
+                                                   : nopBpc_;
+}
+
+double
+CommModel::queueingFactor(double loadBytes, double windowCycles,
+                          int linkId) const
+{
+    if (loadBytes <= 0.0 || windowCycles <= 0.0)
+        return 1.0;
+    const double capacity = linkBytesPerCycle(linkId) * windowCycles;
+    const double rho =
+        std::min(loadBytes / capacity, kMaxUtilization);
+    return 1.0 + rho / (2.0 * (1.0 - rho));
 }
 
 } // namespace scar

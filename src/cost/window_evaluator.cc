@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "common/error.h"
 #include "obs/solve_profile.h"
@@ -147,6 +148,13 @@ WindowEvaluator::evalModel(const WindowPlacement& placement,
         const double intraEnergy = db_.segmentEnergyNj(
             mp.modelIdx, bIdx, df, seg.range.first, seg.range.last);
 
+        // DRAM-side transfers route between the chiplet and its
+        // nearest memory interface; the phased contention factor
+        // charges them against their phase's link loads (the static
+        // factor returns 1 for non-activation phases, so these sites
+        // multiply by 1 — bit-identical to the pre-phase code).
+        const int mem = mcm.nearestMemInterface(c);
+
         // Input side: DRAM or entry-chiplet NoP for the head
         // segment, inter-segment NoP otherwise.
         double ipLat = 0.0;
@@ -156,10 +164,12 @@ WindowEvaluator::evalModel(const WindowPlacement& placement,
             const int entry = entryOf(placement, mp.modelIdx);
             if (entry >= 0) {
                 ipLat = comm_.nopLatencyCycles(
-                    bytes * factor(entry, c), entry, c);
+                    bytes * factor(entry, c, CommPhase::Activation),
+                    entry, c);
                 ipEnergy = comm_.nopEnergyNj(bytes, entry, c);
             } else {
-                ipLat = comm_.dramLatencyCycles(bytes, c);
+                ipLat = comm_.dramLatencyCycles(
+                    bytes * factor(mem, c, CommPhase::Spill), c);
                 ipEnergy = comm_.dramEnergyNj(bytes, c);
             }
         } else {
@@ -168,7 +178,8 @@ WindowEvaluator::evalModel(const WindowPlacement& placement,
                 model.layers[mp.segments[k - 1].range.last];
             const double bytes = prevLast.outputBytes() * bPrime;
             ipLat = comm_.nopLatencyCycles(
-                bytes * factor(prevC, c), prevC, c);
+                bytes * factor(prevC, c, CommPhase::Activation),
+                prevC, c);
             ipEnergy = comm_.nopEnergyNj(bytes, prevC, c);
         }
 
@@ -179,14 +190,16 @@ WindowEvaluator::evalModel(const WindowPlacement& placement,
         if (k + 1 == mp.segments.size() &&
             seg.range.last == model.numLayers() - 1) {
             const double bytes = last.outputBytes() * bPrime;
-            opLat = comm_.dramLatencyCycles(bytes, c);
+            opLat = comm_.dramLatencyCycles(
+                bytes * factor(c, mem, CommPhase::Spill), c);
             opEnergy = comm_.dramEnergyNj(bytes, c);
         }
 
         const bool resident = segmentResident(mp.modelIdx, seg,
                                               bPrime);
         const double wBytes = segmentWeights(mp.modelIdx, seg);
-        const double wLat = comm_.dramLatencyCycles(wBytes, c);
+        const double wLat = comm_.dramLatencyCycles(
+            wBytes * factor(mem, c, CommPhase::WeightLoad), c);
         const double wEnergy = comm_.dramEnergyNj(wBytes, c);
 
         SegmentCost segCost;
@@ -216,7 +229,7 @@ namespace
 {
 struct NoContention
 {
-    int operator()(int, int) const { return 1; }
+    int operator()(int, int, CommPhase) const { return 1; }
 };
 } // namespace
 
@@ -237,8 +250,11 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
 
     // ---- Step 1: choose the mini-batch b' per model. Section III-E
     // leaves b' <= b free; candidates are capacity folding vs
-    // streaming, compared contention-free by latency.
+    // streaming, compared contention-free by latency. The slowest
+    // model's contention-free latency doubles as the phased model's
+    // window time base (the denominator of each link's utilization).
     std::vector<int> chosenBIdx(placement.models.size(), 0);
+    double baselineCycles = 0.0;
     for (std::size_t mi = 0; mi < placement.models.size(); ++mi) {
         const ModelPlacement& mp = placement.models[mi];
         const int numCandidates = static_cast<int>(
@@ -253,6 +269,7 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
                 chosenBIdx[mi] = bIdx;
             }
         }
+        baselineCycles = std::max(baselineCycles, bestLat);
     }
 
     // ---- Step 2: enumerate flows for the contention model. --------
@@ -278,23 +295,27 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
             // Non-resident weights re-stream once per mini-batch step.
             const double wBytes = segmentWeights(mp.modelIdx, seg) *
                                   (resident ? 1.0 : steps);
-            flows.push_back({mem, c, wBytes, true});
+            flows.push_back(
+                {mem, c, wBytes, true, CommPhase::WeightLoad});
             totalDramBytes += wBytes;
 
             if (k == 0) {
                 const double inBytes = first.inputBytes() * b;
                 const int entry = entryOf(placement, mp.modelIdx);
                 if (entry >= 0) {
-                    flows.push_back({entry, c, inBytes, false});
+                    flows.push_back({entry, c, inBytes, false,
+                                     CommPhase::Activation});
                 } else {
-                    flows.push_back({mem, c, inBytes, true});
+                    flows.push_back(
+                        {mem, c, inBytes, true, CommPhase::Spill});
                     totalDramBytes += inBytes;
                 }
             } else {
                 const PlacedSegment& prev = mp.segments[k - 1];
                 const Layer& prevLast = model.layers[prev.range.last];
-                flows.push_back(
-                    {prev.chiplet, c, prevLast.outputBytes() * b, false});
+                flows.push_back({prev.chiplet, c,
+                                 prevLast.outputBytes() * b, false,
+                                 CommPhase::Activation});
             }
             // Only the model's final layer writes results off-chip; a
             // model continuing into a later window hands its data to
@@ -303,7 +324,8 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
                 seg.range.last == model.numLayers() - 1;
             if (k + 1 == mp.segments.size() && modelEnds) {
                 const double outBytes = last.outputBytes() * b;
-                flows.push_back({c, mem, outBytes, true});
+                flows.push_back(
+                    {c, mem, outBytes, true, CommPhase::Spill});
                 totalDramBytes += outBytes;
             }
         }
@@ -325,18 +347,20 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
                 ++linkLoad[id];
         }
     }
-    // The per-flow contention factor depends only on (src, dst), so it
-    // is computed once per pair and memoized in a flat table instead
-    // of being re-derived for every segment that prices a transfer.
-    // (Empty when contention is off — the solo evaluations of the beam
-    // search never touch it.)
+    // The static per-flow contention factor depends only on
+    // (src, dst) — it applies solely to activation flows and returns
+    // 1 for the DRAM-side phases — so it is computed once per pair
+    // and memoized in a flat table instead of being re-derived for
+    // every segment that prices a transfer. (Empty when contention is
+    // off — the solo evaluations of the beam search never touch it.)
     std::vector<int> factorMemo(
         options_.contention
             ? static_cast<std::size_t>(numNodes) * numNodes
             : 0,
         0);
-    auto contentionFactor = [&](int src, int dst) {
-        if (!options_.contention || src == dst)
+    auto contentionFactor = [&](int src, int dst, CommPhase phase) {
+        if (!options_.contention || src == dst ||
+            phase != CommPhase::Activation)
             return 1;
         int& memo =
             factorMemo[static_cast<std::size_t>(src) * numNodes + dst];
@@ -349,6 +373,47 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
         return memo;
     };
 
+    // Phased fidelity: per-phase per-link byte loads (medium-
+    // aggregated on a broadcast plane) and a (src, dst, phase)-keyed
+    // memo of M/D/1 bottleneck factors. Built only when phased, so
+    // the static hot path allocates nothing new.
+    const bool phased = options_.contention &&
+                        options_.fidelity == CommFidelity::Phased;
+    std::optional<PhasedLinkTable> phaseTable;
+    std::vector<double> phasedMemo;
+    if (phased) {
+        phaseTable.emplace(topo);
+        for (const Flow& f : flows) {
+            if (f.src == f.dst || f.bytes <= 0.0)
+                continue;
+            phaseTable->addFlow(f.phase,
+                                topo.routeLinkIds(f.src, f.dst),
+                                f.bytes);
+        }
+        phasedMemo.assign(static_cast<std::size_t>(numNodes) *
+                              numNodes * kNumCommPhases,
+                          0.0);
+    }
+    auto phasedFactor = [&](int src, int dst, CommPhase phase) {
+        if (src == dst)
+            return 1.0;
+        double& memo =
+            phasedMemo[(static_cast<std::size_t>(src) * numNodes +
+                        dst) *
+                           kNumCommPhases +
+                       static_cast<int>(phase)];
+        if (memo == 0.0) {
+            double worst = 1.0;
+            for (const int id : topo.routeLinkIds(src, dst))
+                worst = std::max(
+                    worst, comm_.queueingFactor(
+                               phaseTable->load(phase, id),
+                               baselineCycles, id));
+            memo = worst;
+        }
+        return memo;
+    };
+
     // ---- Step 3: final costs with contention. ----------------------
     WindowCost window;
     window.dramBytes = totalDramBytes;
@@ -357,16 +422,21 @@ WindowEvaluator::evaluate(const WindowPlacement& placement) const
 
     for (std::size_t mi = 0; mi < placement.models.size(); ++mi) {
         ModelWindowCost modelCost =
-            options_.contention
+            !options_.contention
                 ? evalModel(placement, placement.models[mi],
-                            chosenBIdx[mi], contentionFactor)
-                : evalModel(placement, placement.models[mi],
-                            chosenBIdx[mi], noContention);
+                            chosenBIdx[mi], noContention)
+                : (phased ? evalModel(placement, placement.models[mi],
+                                      chosenBIdx[mi], phasedFactor)
+                          : evalModel(placement, placement.models[mi],
+                                      chosenBIdx[mi],
+                                      contentionFactor));
         window.latencyCycles =
             std::max(window.latencyCycles, modelCost.latencyCycles);
         window.energyNj += modelCost.energyNj;
         window.perModel.push_back(std::move(modelCost));
     }
+    for (const double f : phasedMemo)
+        window.maxQueueFactor = std::max(window.maxQueueFactor, f);
 
     if (options_.dramRoofline) {
         window.dramBoundCycles =

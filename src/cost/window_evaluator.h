@@ -19,11 +19,23 @@
  * once per window when the segment's weights fit in L2 alongside its
  * activation working set, otherwise once per sample.
  *
- * The NoP contention term delta is modeled by counting flows per
- * XY-routed link within the window and inflating each flow's
- * transmission time by the maximum number of flows sharing any of its
- * links. A package-level DRAM roofline bounds the window latency from
- * below by total off-chip bytes / off-chip bandwidth.
+ * The NoP contention term delta supports two fidelities
+ * (EvaluatorOptions::fidelity, see cost/comm_model.h):
+ *
+ *  - CommFidelity::Static (default): count flows per routed link
+ *    within the window and inflate each activation flow's
+ *    transmission time by the maximum number of flows sharing any of
+ *    its links (the paper's model);
+ *  - CommFidelity::Phased: split the window's flows into phases
+ *    (weight-load / activation-exchange / off-chip spill), accumulate
+ *    per-phase per-link byte loads into a PhasedLinkTable, and
+ *    inflate every flow — including DRAM-side weight and spill
+ *    traffic — by the M/D/1 queueing factor of its route's bottleneck
+ *    link at the window's contention-free latency, memoized per
+ *    (src, dst, phase).
+ *
+ * A package-level DRAM roofline bounds the window latency from below
+ * by total off-chip bytes / off-chip bandwidth.
  */
 
 #ifndef SCAR_COST_WINDOW_EVALUATOR_H
@@ -93,6 +105,8 @@ struct WindowCost
     double dramBytes = 0.0;         ///< total off-chip traffic
     double dramBoundCycles = 0.0;   ///< the roofline component
     int maxLinkSharers = 1;         ///< contention diagnostic
+    /** Largest M/D/1 factor applied (1.0 unless fidelity is Phased). */
+    double maxQueueFactor = 1.0;
     std::vector<ModelWindowCost> perModel;
 };
 
@@ -112,6 +126,13 @@ struct EvaluatorOptions
 {
     bool contention = true;   ///< model the NoP traffic-conflict delta
     bool dramRoofline = true; ///< apply the off-chip bandwidth bound
+    /**
+     * Contention fidelity (inert when contention is off). Static is
+     * the paper's max-sharers count and keeps every golden
+     * byte-identical by construction; Phased is the opt-in
+     * time-phased queueing estimate (cost/comm_model.h).
+     */
+    CommFidelity fidelity = CommFidelity::Static;
 };
 
 /** Evaluates window placements on one (scenario, MCM) pair. */
@@ -156,6 +177,7 @@ class WindowEvaluator
         int dst = -1;
         double bytes = 0.0;
         bool offchip = false;
+        CommPhase phase = CommPhase::Activation;
     };
 
     void validate(const WindowPlacement& placement) const;
@@ -169,12 +191,15 @@ class WindowEvaluator
 
     /**
      * Prices one model's placement at mini-batch candidate `bIdx`,
-     * inflating NoP transfers by the supplied contention factor. The
-     * factor is a templated callable, so the inner loop carries no
-     * std::function allocation or indirect call. Shared verbatim by
-     * evaluate() and evaluateSolo() — the solo fast path's
-     * bit-exactness contract rests on both going through this one
-     * function.
+     * inflating every transfer's bytes by the supplied contention
+     * factor `factor(src, dst, phase)`. The static factor returns 1
+     * for non-activation phases, so DRAM-side sites multiply by 1 —
+     * bit-identical to the pre-phase code that applied no factor
+     * there. The factor is a templated callable, so the inner loop
+     * carries no std::function allocation or indirect call. Shared
+     * verbatim by evaluate() and evaluateSolo() — the solo fast
+     * path's bit-exactness contract rests on both going through this
+     * one function.
      */
     template <typename Factor>
     ModelWindowCost evalModel(const WindowPlacement& placement,

@@ -229,6 +229,10 @@ parseMcm(std::istream& in)
     int meshH = 0;
     int pes = templates::kDatacenterPes;
     std::vector<std::vector<Dataflow>> map;
+    std::string topoKind = "mesh";
+    std::vector<Link> expressLinks;
+    std::vector<int> broadcastMembers;
+    bool broadcastAll = false;
 
     std::string raw;
     int number = 0;
@@ -254,6 +258,30 @@ parseMcm(std::istream& in)
             SCAR_REQUIRE(!line.positional.empty(), "line ", number,
                          ": pes needs a count");
             pes = std::stoi(line.positional.front());
+        } else if (line.keyword == "topology") {
+            SCAR_REQUIRE(!line.positional.empty(), "line ", number,
+                         ": topology needs a kind (mesh, torus, "
+                         "express, broadcast)");
+            topoKind = line.positional.front();
+            SCAR_REQUIRE(topoKind == "mesh" || topoKind == "torus" ||
+                             topoKind == "express" ||
+                             topoKind == "broadcast",
+                         "line ", number, ": unknown topology kind '",
+                         topoKind, "'");
+        } else if (line.keyword == "express") {
+            SCAR_REQUIRE(line.positional.size() == 2, "line ", number,
+                         ": express needs two chiplet ids");
+            expressLinks.emplace_back(std::stoi(line.positional[0]),
+                                      std::stoi(line.positional[1]));
+        } else if (line.keyword == "broadcast") {
+            SCAR_REQUIRE(!line.positional.empty(), "line ", number,
+                         ": broadcast needs 'all' or member ids");
+            if (line.positional.front() == "all") {
+                broadcastAll = true;
+            } else {
+                for (const std::string& token : line.positional)
+                    broadcastMembers.push_back(std::stoi(token));
+            }
         } else if (line.keyword == "map") {
             // Row-major dataflow map; '/' separates mesh rows.
             map.emplace_back();
@@ -299,6 +327,12 @@ parseMcm(std::istream& in)
              }},
             {"hetTriangular",
              [](int p) { return templates::hetTriangular(p); }},
+            {"hetSidesTorus3x3",
+             [](int p) { return templates::hetSidesTorus3x3(p); }},
+            {"hetSidesExpress3x3",
+             [](int p) { return templates::hetSidesExpress3x3(p); }},
+            {"hetSidesBroadcast3x3",
+             [](int p) { return templates::hetSidesBroadcast3x3(p); }},
         };
         auto it = catalog.find(templateName);
         SCAR_REQUIRE(it != catalog.end(), "unknown MCM template '",
@@ -317,7 +351,27 @@ parseMcm(std::istream& in)
                      " entries, mesh needs ", meshW);
     }
 
+    SCAR_REQUIRE(expressLinks.empty() || topoKind == "express",
+                 "'express' lines require 'topology express'");
+    SCAR_REQUIRE((broadcastMembers.empty() && !broadcastAll) ||
+                     topoKind == "broadcast",
+                 "'broadcast' lines require 'topology broadcast'");
     Topology topo = Topology::mesh(meshW, meshH);
+    if (topoKind == "torus") {
+        topo = Topology::torus(meshW, meshH);
+    } else if (topoKind == "express") {
+        topo = Topology::expressMesh(meshW, meshH,
+                                     std::move(expressLinks));
+    } else if (topoKind == "broadcast") {
+        if (broadcastAll || broadcastMembers.empty()) {
+            broadcastMembers.resize(
+                static_cast<std::size_t>(meshW) * meshH);
+            for (std::size_t i = 0; i < broadcastMembers.size(); ++i)
+                broadcastMembers[i] = static_cast<int>(i);
+        }
+        topo = Topology::broadcastMesh(meshW, meshH,
+                                       std::move(broadcastMembers));
+    }
     std::vector<Chiplet> chiplets;
     for (int y = 0; y < meshH; ++y) {
         for (int x = 0; x < meshW; ++x) {

@@ -27,6 +27,19 @@
  *   pes 4096
  * @endcode
  *
+ * Custom-mesh files (the `mesh`/`map` form) may also select an
+ * interconnect class (arch/topology.h):
+ * @code
+ *   topology torus              # mesh (default) | torus |
+ *                               # express | broadcast
+ *   express 0 8                 # one express link per line
+ *   broadcast all               # or: broadcast 0 4 8 ...
+ * @endcode
+ * `express` lines require `topology express`; `broadcast` requires
+ * `topology broadcast`. Template names additionally include the
+ * interconnect variants hetSidesTorus3x3, hetSidesExpress3x3, and
+ * hetSidesBroadcast3x3.
+ *
  * Lines starting with '#' and blank lines are ignored. Errors raise
  * FatalError with the offending line number.
  */

@@ -263,7 +263,15 @@ FleetSimulator::estimateMakespanKeyed(const std::string& key,
     // candidate templates.
     const Mcm& tpl = templates_[shard];
     const CostDb db(mix, tpl);
-    const WindowEvaluator evaluator(db);
+    // The estimate keeps the evaluator's defaults (contention +
+    // roofline on) but follows the serving configuration's comm
+    // fidelity: at CommFidelity::Phased, queueing congestion on the
+    // estimate placement's weight/spill flows is exactly what lets
+    // BestFit see a saturated interconnect that the static count
+    // ignores (gated in bench_comm_fidelity).
+    EvaluatorOptions evalOpts;
+    evalOpts.fidelity = options_.serving.scar.window.eval.fidelity;
+    const WindowEvaluator evaluator(db, evalOpts);
 
     struct ModelWork
     {

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Seeded-fuzz smoke test for the communication stack: random grid
+ * topologies across all interconnect classes, random phased-fidelity
+ * window evaluations. Properties checked:
+ *
+ *  - every latency/energy is finite and non-negative (no NaN leaks
+ *    from the queueing curve or the plane pricing);
+ *  - applied M/D/1 factors stay inside [1, 1 + 0.95/0.1];
+ *  - queueingFactor is monotone non-decreasing in link load.
+ *
+ * Seeds are fixed: a failure reproduces exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "arch/mcm.h"
+#include "arch/topology.h"
+#include "cost/comm_model.h"
+#include "cost/cost_db.h"
+#include "cost/window_evaluator.h"
+#include "workload/model_zoo.h"
+#include "workload/scenario.h"
+
+namespace scar
+{
+namespace
+{
+
+/** A random grid topology of any interconnect class. */
+Topology
+randomTopology(std::mt19937_64& rng)
+{
+    std::uniform_int_distribution<int> dimDist(2, 5);
+    const int w = dimDist(rng);
+    const int h = dimDist(rng);
+    const int n = w * h;
+    std::uniform_int_distribution<int> kindDist(0, 3);
+    switch (kindDist(rng)) {
+      case 0:
+        return Topology::mesh(w, h);
+      case 1:
+        return Topology::torus(w, h);
+      case 2: {
+        // Up to two express links between non-adjacent, distinct,
+        // not-yet-linked chiplet pairs.
+        std::vector<Link> express;
+        std::uniform_int_distribution<int> nodeDist(0, n - 1);
+        for (int tries = 0;
+             tries < 20 && static_cast<int>(express.size()) < 2;
+             ++tries) {
+            int a = nodeDist(rng);
+            int b = nodeDist(rng);
+            if (a == b)
+                continue;
+            if (a > b)
+                std::swap(a, b);
+            const int manhattan =
+                std::abs(a % w - b % w) + std::abs(a / w - b / w);
+            if (manhattan <= 1)
+                continue;
+            bool dup = false;
+            for (const Link& e : express)
+                dup = dup || (e.first == a && e.second == b);
+            if (!dup)
+                express.push_back({a, b});
+        }
+        if (express.empty())
+            return Topology::mesh(w, h);
+        return Topology::expressMesh(w, h, std::move(express));
+      }
+      default: {
+        std::vector<int> members;
+        std::bernoulli_distribution pick(0.5);
+        for (int id = 0; id < n; ++id) {
+            if (pick(rng))
+                members.push_back(id);
+        }
+        if (static_cast<int>(members.size()) < 2)
+            members = {0, n - 1};
+        return Topology::broadcastMesh(w, h, std::move(members));
+    }
+    }
+}
+
+/** Wraps a topology into a package (side columns own the DRAM ports). */
+Mcm
+packageFor(Topology topo, int seed)
+{
+    const int w = topo.meshWidth();
+    const int h = topo.meshHeight();
+    std::vector<Chiplet> chiplets;
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            Chiplet c;
+            c.id = y * w + x;
+            c.x = x;
+            c.y = y;
+            c.memInterface = (x == 0 || x == w - 1);
+            c.spec.dataflow =
+                (x + y) % 2 == 0 ? Dataflow::NvdlaWS : Dataflow::ShiOS;
+            c.spec.numPes = 256;
+            chiplets.push_back(c);
+        }
+    }
+    return Mcm("fuzz-" + std::to_string(seed), std::move(chiplets),
+               std::move(topo));
+}
+
+/** Random valid window placement: distinct chiplets, 1-2 segments. */
+WindowPlacement
+randomPlacement(const Scenario& sc, int numChiplets,
+                std::mt19937_64& rng)
+{
+    std::vector<int> chipletPool(numChiplets);
+    for (int i = 0; i < numChiplets; ++i)
+        chipletPool[i] = i;
+    std::shuffle(chipletPool.begin(), chipletPool.end(), rng);
+
+    WindowPlacement placement;
+    std::size_t next = 0;
+    for (int m = 0; m < sc.numModels(); ++m) {
+        const int layers = sc.models[m].numLayers();
+        std::uniform_int_distribution<int> segDist(1, 2);
+        const int want = std::min(segDist(rng), layers);
+        if (next + want > chipletPool.size())
+            break;
+        ModelPlacement mp;
+        mp.modelIdx = m;
+        if (want == 2) {
+            std::uniform_int_distribution<int> cutDist(1, layers - 1);
+            const int cut = cutDist(rng);
+            mp.segments.push_back({{0, cut - 1}, chipletPool[next++]});
+            mp.segments.push_back(
+                {{cut, layers - 1}, chipletPool[next++]});
+        } else {
+            mp.segments.push_back(
+                {{0, layers - 1}, chipletPool[next++]});
+        }
+        placement.models.push_back(std::move(mp));
+    }
+    return placement;
+}
+
+TEST(CommFuzz, PhasedEvaluationsStayFiniteOnRandomTopologies)
+{
+    Scenario sc;
+    sc.name = "fuzz";
+    sc.models = {zoo::eyeCod(2), zoo::handSP(1)};
+    sc.finalize();
+    constexpr double kMaxFactor = 1.0 + 0.95 / (2.0 * (1.0 - 0.95));
+
+    std::mt19937_64 rng(0xF0220808u);
+    for (int round = 0; round < 40; ++round) {
+        const Mcm mcm = packageFor(randomTopology(rng), round);
+        const CostDb db(sc, mcm);
+        EvaluatorOptions options;
+        options.fidelity = CommFidelity::Phased;
+        const WindowEvaluator evaluator(db, options);
+
+        for (int rep = 0; rep < 3; ++rep) {
+            const WindowPlacement placement =
+                randomPlacement(sc, mcm.numChiplets(), rng);
+            if (placement.models.empty())
+                continue;
+            const WindowCost cost = evaluator.evaluate(placement);
+            ASSERT_TRUE(std::isfinite(cost.latencyCycles))
+                << mcm.name();
+            ASSERT_TRUE(std::isfinite(cost.energyNj)) << mcm.name();
+            ASSERT_GE(cost.latencyCycles, 0.0) << mcm.name();
+            ASSERT_GE(cost.energyNj, 0.0) << mcm.name();
+            ASSERT_GE(cost.dramBytes, 0.0) << mcm.name();
+            ASSERT_GE(cost.maxQueueFactor, 1.0) << mcm.name();
+            ASSERT_LE(cost.maxQueueFactor, kMaxFactor + 1e-12)
+                << mcm.name();
+            for (const ModelWindowCost& mc : cost.perModel) {
+                ASSERT_TRUE(std::isfinite(mc.latencyCycles));
+                ASSERT_GE(mc.latencyCycles, 0.0);
+                for (const SegmentCost& seg : mc.segments) {
+                    ASSERT_TRUE(
+                        std::isfinite(seg.firstSampleCycles));
+                    ASSERT_GE(seg.firstSampleCycles, 0.0);
+                    ASSERT_GE(seg.steadySampleCycles, 0.0);
+                    ASSERT_GE(seg.energyNj, 0.0);
+                }
+            }
+        }
+    }
+}
+
+TEST(CommFuzz, QueueingFactorIsMonotoneInLoad)
+{
+    std::mt19937_64 rng(0xBEEF2026u);
+    for (int round = 0; round < 25; ++round) {
+        const Mcm mcm = packageFor(randomTopology(rng), 1000 + round);
+        const CommModel comm(mcm);
+        const Topology& topo = mcm.topology();
+        std::uniform_int_distribution<int> linkDist(
+            0, topo.numLinks() - 1);
+        std::uniform_real_distribution<double> windowDist(1.0, 1.0e7);
+        const int linkId = linkDist(rng);
+        const double windowCycles = windowDist(rng);
+
+        double prev = comm.queueingFactor(0.0, windowCycles, linkId);
+        ASSERT_DOUBLE_EQ(prev, 1.0);
+        for (double load = 1.0; load <= 1.0e15; load *= 10.0) {
+            const double f =
+                comm.queueingFactor(load, windowCycles, linkId);
+            ASSERT_TRUE(std::isfinite(f));
+            ASSERT_GE(f, prev)
+                << "load " << load << " on " << mcm.name();
+            prev = f;
+        }
+    }
+}
+
+} // namespace
+} // namespace scar

@@ -163,6 +163,61 @@ TEST(HetFleet, DifferentTemplatesNeverShareACachedSchedule)
         << "the shared store holds one entry per package";
 }
 
+/**
+ * Interconnect-only variants must never alias. The four Het-Sides
+ * packages share every chiplet spec and memory-interface position —
+ * they differ in nothing but the topology (torus wrap links, express
+ * diagonals, a broadcast plane) — so only the topology prefix of
+ * Mcm::signature() keeps their schedule-cache keys apart.
+ */
+TEST(HetFleet, InterconnectVariantsGetDistinctSignatures)
+{
+    const std::vector<Mcm> variants = {
+        templates::hetSides3x3(templates::kArvrPes),
+        templates::hetSidesTorus3x3(templates::kArvrPes),
+        templates::hetSidesExpress3x3(templates::kArvrPes),
+        templates::hetSidesBroadcast3x3(templates::kArvrPes)};
+    for (std::size_t a = 0; a < variants.size(); ++a) {
+        for (std::size_t b = a + 1; b < variants.size(); ++b)
+            EXPECT_NE(variants[a].signature(), variants[b].signature())
+                << variants[a].name() << " vs " << variants[b].name();
+    }
+}
+
+/**
+ * The fleet-level consequence: two shards whose packages differ only
+ * in interconnect must each get their own solve through one shared
+ * cache — a schedule searched on the mesh is wrong on the torus even
+ * though every chiplet matches.
+ */
+TEST(HetFleet, InterconnectOnlyShardsNeverShareACachedSchedule)
+{
+    const auto catalog = singleModelCatalog();
+    const auto trace =
+        traceFromArrivals(catalog, {{0.0, 0}, {10.0, 0}});
+
+    FleetOptions options;
+    options.shardTemplates = {
+        templates::hetSides3x3(templates::kArvrPes),
+        templates::hetSidesTorus3x3(templates::kArvrPes)};
+    options.routing = RoutingPolicy::RoundRobin;
+    options.sharedCache = true;
+    FleetSimulator fleet(catalog,
+                         templates::hetSides3x3(templates::kArvrPes),
+                         options);
+    const ServingReport report = fleet.run(trace);
+
+    EXPECT_EQ(report.completed, 2);
+    ASSERT_EQ(report.shards.size(), 2u);
+    EXPECT_EQ(report.shards[0].dispatches, 1);
+    EXPECT_EQ(report.shards[1].dispatches, 1);
+    EXPECT_EQ(report.cache.misses, 2)
+        << "mesh and torus shards must solve separately";
+    EXPECT_EQ(report.cache.hits, 0);
+    EXPECT_EQ(report.uniqueMixes, 2)
+        << "one shared-store entry per interconnect";
+}
+
 /** The homogeneous counterpart: identical shards behind a shared
  *  cache still deduplicate — the second shard replays the first
  *  shard's schedule. */

@@ -5,6 +5,10 @@
  * over all node pairs).
  */
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/error.h"
@@ -177,6 +181,182 @@ TEST(TopologyRouteTable, CachedRoutesMatchRouting)
             }
         }
     }
+}
+
+// ---- Interconnect classes: torus, express, broadcast ---------------
+
+/** Shared route invariants every topology class must satisfy. */
+void
+expectRouteInvariants(const Topology& t)
+{
+    for (int a = 0; a < t.numNodes(); ++a) {
+        for (int b = 0; b < t.numNodes(); ++b) {
+            const auto path = t.route(a, b);
+            ASSERT_FALSE(path.empty());
+            EXPECT_EQ(path.front(), a);
+            EXPECT_EQ(path.back(), b);
+            EXPECT_EQ(static_cast<int>(path.size()) - 1, t.hops(a, b));
+            const auto& links = t.routeLinks(a, b);
+            const auto& ids = t.routeLinkIds(a, b);
+            ASSERT_EQ(links.size(), path.size() - 1);
+            ASSERT_EQ(ids.size(), links.size());
+            for (std::size_t i = 0; i < links.size(); ++i) {
+                EXPECT_EQ(links[i].first, path[i]);
+                EXPECT_EQ(links[i].second, path[i + 1]);
+                EXPECT_EQ(t.linkById(ids[i]), links[i]);
+                EXPECT_EQ(t.linkId(links[i].first, links[i].second),
+                          ids[i]);
+            }
+        }
+    }
+}
+
+TEST(TopologyTorus, WrapLinksAndKind)
+{
+    const Topology t = Topology::torus(3, 3);
+    EXPECT_EQ(t.kind(), TopologyKind::Torus);
+    EXPECT_FALSE(t.isMesh());
+    EXPECT_EQ(t.numNodes(), 9);
+    // Every torus node has exactly 4 neighbours (wraparound rows and
+    // columns close the mesh edges).
+    for (int n = 0; n < t.numNodes(); ++n)
+        EXPECT_EQ(t.neighbors(n).size(), 4u) << "node " << n;
+    // Opposite corners are 2 hops via the wraps, not 4.
+    EXPECT_EQ(t.hops(0, 8), 2);
+}
+
+TEST(TopologyTorus, RoutesNeverExceedMeshHops)
+{
+    for (const auto& [w, h] :
+         {std::pair{3, 3}, std::pair{4, 3}, std::pair{5, 4},
+          std::pair{2, 4}}) {
+        const Topology torus = Topology::torus(w, h);
+        const Topology mesh = Topology::mesh(w, h);
+        for (int a = 0; a < torus.numNodes(); ++a) {
+            for (int b = 0; b < torus.numNodes(); ++b) {
+                EXPECT_LE(torus.hops(a, b), mesh.hops(a, b))
+                    << a << "->" << b << " on " << w << "x" << h;
+            }
+        }
+        expectRouteInvariants(torus);
+    }
+}
+
+TEST(TopologyTorus, Width2HasNoDuplicateLinks)
+{
+    // A dimension of 2 must not add wrap links on top of the mesh
+    // links joining the same nodes.
+    const Topology t = Topology::torus(2, 4);
+    for (int n = 0; n < t.numNodes(); ++n) {
+        std::vector<int> nbrs = t.neighbors(n);
+        std::sort(nbrs.begin(), nbrs.end());
+        EXPECT_EQ(std::adjacent_find(nbrs.begin(), nbrs.end()),
+                  nbrs.end())
+            << "duplicate adjacency at node " << n;
+    }
+}
+
+TEST(TopologyExpress, LinksOnlyShortenPaths)
+{
+    const Topology mesh = Topology::mesh(3, 3);
+    const Topology express =
+        Topology::expressMesh(3, 3, {{0, 8}, {2, 6}});
+    EXPECT_EQ(express.kind(), TopologyKind::ExpressMesh);
+    EXPECT_EQ(express.expressLinks().size(), 2u);
+    bool somewhereShorter = false;
+    for (int a = 0; a < 9; ++a) {
+        for (int b = 0; b < 9; ++b) {
+            EXPECT_LE(express.hops(a, b), mesh.hops(a, b));
+            somewhereShorter |= express.hops(a, b) < mesh.hops(a, b);
+        }
+    }
+    EXPECT_TRUE(somewhereShorter);
+    EXPECT_EQ(express.hops(0, 8), 1);
+    expectRouteInvariants(express);
+}
+
+TEST(TopologyExpress, RejectsDuplicateOfMeshLink)
+{
+    EXPECT_THROW(Topology::expressMesh(3, 3, {{0, 1}}), FatalError);
+    EXPECT_THROW(Topology::expressMesh(3, 3, {{4, 4}}), FatalError);
+}
+
+TEST(TopologyBroadcast, PlaneLinksAreOneHopAndTagged)
+{
+    std::vector<int> all(9);
+    for (int i = 0; i < 9; ++i)
+        all[i] = i;
+    const Topology t = Topology::broadcastMesh(3, 3, all);
+    EXPECT_EQ(t.kind(), TopologyKind::BroadcastMesh);
+    EXPECT_TRUE(t.hasBroadcastPlane());
+    EXPECT_EQ(t.numMedia(), 1);
+    // Every pair is now at most 1 hop apart.
+    for (int a = 0; a < 9; ++a)
+        for (int b = 0; b < 9; ++b)
+            EXPECT_EQ(t.hops(a, b), a == b ? 0 : 1);
+    // Mesh links stay wired (-1); the non-mesh pairs ride the plane.
+    EXPECT_EQ(t.linkMedium(t.linkId(0, 1)), -1);
+    EXPECT_GE(t.linkId(0, 8), 0);
+    EXPECT_EQ(t.linkMedium(t.linkId(0, 8)), 0);
+    expectRouteInvariants(t);
+}
+
+TEST(TopologyBroadcast, PartialPlaneMembership)
+{
+    // Plane over the four corners only.
+    const Topology t = Topology::broadcastMesh(3, 3, {0, 2, 6, 8});
+    EXPECT_EQ(t.hops(0, 8), 1);
+    EXPECT_EQ(t.hops(2, 6), 1);
+    // Non-members keep mesh distances.
+    EXPECT_EQ(t.hops(1, 7), 2);
+    // Corner-to-center is unchanged: the plane only joins members.
+    EXPECT_EQ(t.hops(0, 4), 2);
+    expectRouteInvariants(t);
+}
+
+TEST(TopologyBroadcast, EachDestinationTouchedExactlyOnce)
+{
+    // A broadcast from a plane member reaches each destination over
+    // exactly one plane (or wired) hop: for every destination, the
+    // route is a single link, and distinct destinations use distinct
+    // links — the "touch each destination exactly once" invariant of
+    // the one-to-many flow class.
+    std::vector<int> all(9);
+    for (int i = 0; i < 9; ++i)
+        all[i] = i;
+    const Topology t = Topology::broadcastMesh(3, 3, all);
+    const int src = 4;
+    std::vector<int> seenLinks;
+    for (int dst = 0; dst < 9; ++dst) {
+        if (dst == src)
+            continue;
+        const auto& ids = t.routeLinkIds(src, dst);
+        ASSERT_EQ(ids.size(), 1u) << "dst " << dst;
+        seenLinks.push_back(ids.front());
+    }
+    std::sort(seenLinks.begin(), seenLinks.end());
+    EXPECT_EQ(std::adjacent_find(seenLinks.begin(), seenLinks.end()),
+              seenLinks.end());
+    EXPECT_EQ(seenLinks.size(), 8u);
+}
+
+TEST(TopologyBroadcast, RejectsBadMembers)
+{
+    EXPECT_THROW(Topology::broadcastMesh(3, 3, {0}), FatalError);
+    EXPECT_THROW(Topology::broadcastMesh(3, 3, {0, 0}), FatalError);
+    EXPECT_THROW(Topology::broadcastMesh(3, 3, {2, 0}), FatalError);
+    EXPECT_THROW(Topology::broadcastMesh(3, 3, {0, 9}), FatalError);
+}
+
+TEST(TopologyKindNames, AreStable)
+{
+    EXPECT_STREQ(topologyKindName(TopologyKind::Mesh), "mesh");
+    EXPECT_STREQ(topologyKindName(TopologyKind::Torus), "torus");
+    EXPECT_STREQ(topologyKindName(TopologyKind::ExpressMesh),
+                 "express-mesh");
+    EXPECT_STREQ(topologyKindName(TopologyKind::BroadcastMesh),
+                 "broadcast-mesh");
+    EXPECT_STREQ(topologyKindName(TopologyKind::Generic), "generic");
 }
 
 } // namespace
