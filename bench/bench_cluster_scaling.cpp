@@ -23,13 +23,28 @@
  *    bench exits nonzero if the two differ by a byte, and CI cmp's
  *    the dumps again.
  *
- * Scale knobs (CI shrinks both): SCAR_BENCH_REQUESTS (default 1M)
- * and SCAR_BENCH_SHARDS (default 512). The full-size sweep
- * (SCAR_BENCH_SHARDS=1024 SCAR_BENCH_REQUESTS=2000000) replays two
- * million requests on a thousand shards in minutes.
+ * Scale knobs (CI shrinks both): SCAR_BENCH_REQUESTS (default 1M
+ * for the AR/VR mode) and SCAR_BENCH_SHARDS (default 512). The
+ * full-size sweep (SCAR_BENCH_SHARDS=1024
+ * SCAR_BENCH_REQUESTS=2000000) replays two million requests on a
+ * thousand shards in minutes.
  *
- * Raw series: bench_results/cluster_scaling.csv (columns documented
- * in bench/README.md).
+ * SCAR_BENCH_CLUSTER_MODE selects the workload the sweep replays:
+ *  - "arvr" (default): the 8-model AR/VR catalog above.
+ *  - "llm": a continuous-batching chat catalog (llmPoissonTrace) —
+ *    the epoch engine's join/release bound terms on the hot path.
+ *  - "preempt": the AR/VR catalog with tight SLOs and boundary
+ *    preemption on — the urgency bound term on the hot path.
+ * Non-default modes suffix the CSV and the report dumps (e.g.
+ * cluster_scaling_llm.csv, cluster_scaling_report_llm_serial.txt)
+ * so one build can emit all three series side by side.
+ *
+ * Raw series: bench_results/cluster_scaling*.csv (columns documented
+ * in bench/README.md). Every row carries the host's hardware
+ * concurrency and a single-core marker: the Speedup column measures
+ * host-side parallelism, so rows recorded on a 1-core host tie
+ * serial by construction and must be read as determinism (not
+ * performance) evidence.
  */
 
 #include <chrono>
@@ -47,6 +62,7 @@
 #include "eval/reporter.h"
 #include "runtime/fleet.h"
 #include "workload/model_zoo.h"
+#include "workload/transformer_builder.h"
 
 namespace
 {
@@ -85,13 +101,71 @@ baseCatalog()
     return catalog;
 }
 
+/** Chat-style continuous-batching catalog for the "llm" mode: one
+ *  small decoder whose per-request cost is a prefill plus a handful
+ *  of decode rounds, so the join/release epoch bound terms sit on
+ *  the hot path of every shard. */
 std::vector<ServedModel>
-scaledCatalog(double rateScale)
+llmBaseCatalog()
 {
-    std::vector<ServedModel> catalog = baseCatalog();
-    for (ServedModel& sm : catalog)
-        sm.rateRps *= rateScale;
+    TransformerConfig cfg;
+    cfg.name = "chat";
+    cfg.numBlocks = 2;
+    cfg.dModel = 128;
+    cfg.dFf = 256;
+    cfg.vocab = 0;
+    std::vector<ServedModel> catalog(1);
+    catalog[0].model = buildTransformer(cfg);
+    catalog[0].model.batch = 8;
+    catalog[0].rateRps = 30.0;
+    catalog[0].sloSec = 2.0;
+    catalog[0].llm.autoregressive = true;
+    catalog[0].llm.decoder = cfg;
+    catalog[0].llm.promptBucket = 64;
+    catalog[0].llm.contextBucket = 256;
+    catalog[0].llm.maxDecodeSteps = 32;
+    catalog[0].llm.meanOutputTokens = 24.0;
+    catalog[0].llm.maxOutputTokens = 96;
+    catalog[0].llm.maxPromptTokens = 128;
     return catalog;
+}
+
+/** Workload variant selected by SCAR_BENCH_CLUSTER_MODE. */
+struct ClusterMode
+{
+    std::string name = "arvr";
+    bool llm = false;
+    bool preempt = false;
+
+    /** "" for the default mode, "_llm" / "_preempt" otherwise, so
+     *  the default artifacts keep their established paths. */
+    std::string suffix() const
+    {
+        return name == "arvr" ? std::string() : "_" + name;
+    }
+};
+
+std::vector<ServedModel>
+scaledCatalog(const ClusterMode& mode, double rateScale)
+{
+    std::vector<ServedModel> catalog =
+        mode.llm ? llmBaseCatalog() : baseCatalog();
+    for (ServedModel& sm : catalog) {
+        sm.rateRps *= rateScale;
+        // Tight SLOs put the urgency crossing ahead of replay ends
+        // so the preempt sweep actually preempts.
+        if (mode.preempt)
+            sm.sloSec *= 0.2;
+    }
+    return catalog;
+}
+
+std::vector<Request>
+modeTrace(const ClusterMode& mode,
+          const std::vector<ServedModel>& catalog, int requests)
+{
+    return mode.llm ? llmPoissonTrace(catalog, requests, /*seed=*/7)
+                    : poissonTrace(catalog, requests, /*seed=*/7);
 }
 
 struct CellResult
@@ -102,7 +176,8 @@ struct CellResult
 };
 
 CellResult
-runCell(const std::vector<ServedModel>& catalog,
+runCell(const ClusterMode& mode,
+        const std::vector<ServedModel>& catalog,
         const std::vector<Request>& trace, int shards,
         int engineThreads, ThreadPool& servingPool)
 {
@@ -114,6 +189,13 @@ runCell(const std::vector<ServedModel>& catalog,
     options.serving.modeledSolveSec = 0.01;
     options.serving.switchOverheadSec = 0.002;
     options.serving.admission.maxQueueDelaySec = 0.02;
+    if (mode.llm)
+        options.serving.admission.llmBatching =
+            LlmBatchingMode::Continuous;
+    if (mode.preempt) {
+        options.serving.preemption.enabled = true;
+        options.serving.preemption.slackThresholdSec = 0.02;
+    }
     FleetSimulator fleet(catalog, templates::hetSides3x3(templates::kArvrPes),
                          options);
 
@@ -123,7 +205,12 @@ runCell(const std::vector<ServedModel>& catalog,
     cell.wallMs =
         std::chrono::duration<double, std::milli>(Clock::now() - t0)
             .count();
-    cell.rendered = describeServingReport(cell.report);
+    // Pin the reporter's engineThreads render gate so the
+    // serial-vs-parallel dump comparison also covers the epoch
+    // statistics (identical at every thread count by contract).
+    ServingReport normalized = cell.report;
+    normalized.engineThreads = 8;
+    cell.rendered = describeServingReport(normalized);
     return cell;
 }
 
@@ -140,20 +227,41 @@ writeText(const std::string& path, const std::string& text)
 int
 main()
 {
-    const int kRequests = bench::envInt("SCAR_BENCH_REQUESTS", 1000000);
-    const int kShards = bench::envInt("SCAR_BENCH_SHARDS", 512);
+    ClusterMode mode;
+    mode.name = bench::envStr("SCAR_BENCH_CLUSTER_MODE", "arvr");
+    mode.llm = mode.name == "llm";
+    mode.preempt = mode.name == "preempt";
+    if (!mode.llm && !mode.preempt && mode.name != "arvr") {
+        std::cerr << "unknown SCAR_BENCH_CLUSTER_MODE '" << mode.name
+                  << "' (expected arvr | llm | preempt)\n";
+        return 1;
+    }
+    // LLM requests cost a prefill plus several decode rounds each, so
+    // the default stream is an order of magnitude shorter.
+    const int kRequests = bench::envInt(
+        "SCAR_BENCH_REQUESTS", mode.llm ? 100000 : 1000000);
+    const int kShards =
+        bench::envInt("SCAR_BENCH_SHARDS", mode.llm ? 64 : 512);
+
+    // The Speedup column only moves with physical parallelism; the
+    // marker keeps 1-core rows (every thread count ties serial)
+    // honest in aggregated CSVs.
+    const unsigned hostConcurrency =
+        std::thread::hardware_concurrency();
+    const bool singleCoreHost = hostConcurrency <= 1;
 
     ThreadPool servingPool(0); // solver workers, default concurrency
 
     TextTable table({"Sweep", "Shards", "Eng thr", "Wall (ms)",
                      "Speedup", "Events/s", "Virt req/s", "p99 (s)",
                      "Solves"});
-    CsvWriter csv(bench::csvPath("cluster_scaling"),
+    CsvWriter csv(bench::csvPath("cluster_scaling" + mode.suffix()),
                   {"sweep", "shards", "engine_threads", "requests",
                    "wall_ms", "speedup", "events_per_s",
                    "virt_throughput_rps", "p99_s", "slo_miss_rate",
                    "searches", "contested_routes",
-                   "cost_optimal_routes"});
+                   "cost_optimal_routes", "host_hw_concurrency",
+                   "single_core_host"});
 
     auto addRow = [&](const char* sweep, int shards, int threads,
                       const CellResult& cell, double speedup,
@@ -183,21 +291,24 @@ main()
                     TextTable::num(cell.report.sloViolationRate, 6),
                     std::to_string(cell.report.cache.misses),
                     std::to_string(cell.report.contestedRoutes),
-                    std::to_string(cell.report.costOptimalRoutes)});
+                    std::to_string(cell.report.costOptimalRoutes),
+                    std::to_string(hostConcurrency),
+                    singleCoreHost ? "1" : "0"});
     };
 
     // ---- engine-thread sweep at full fleet size ------------------
     const auto catalog =
-        scaledCatalog(static_cast<double>(kShards));
+        scaledCatalog(mode, static_cast<double>(kShards));
     const std::vector<Request> trace =
-        poissonTrace(catalog, kRequests, /*seed=*/7);
+        modeTrace(mode, catalog, kRequests);
 
     std::string serialReport;
     std::string parallelReport;
     double serialWallMs = 0.0;
     for (const int threads : {1, 2, 4, 8}) {
-        const CellResult cell =
-            runCell(catalog, trace, kShards, threads, servingPool);
+        const CellResult cell = runCell(mode, catalog, trace,
+                                        kShards, threads,
+                                        servingPool);
         if (threads == 1) {
             serialWallMs = cell.wallMs;
             serialReport = cell.rendered;
@@ -217,10 +328,11 @@ main()
         const int requests =
             static_cast<int>(static_cast<long>(kRequests) * shards /
                              kShards);
-        const auto cat = scaledCatalog(static_cast<double>(shards));
-        const auto tr = poissonTrace(cat, requests, /*seed=*/7);
+        const auto cat =
+            scaledCatalog(mode, static_cast<double>(shards));
+        const auto tr = modeTrace(mode, cat, requests);
         const CellResult cell =
-            runCell(cat, tr, shards, 8, servingPool);
+            runCell(mode, cat, tr, shards, 8, servingPool);
         const double wallPerReq = cell.wallMs / requests;
         if (shardBaseWallPerReq == 0.0)
             shardBaseWallPerReq = wallPerReq;
@@ -228,14 +340,17 @@ main()
                shardBaseWallPerReq / wallPerReq, requests);
     }
 
-    std::cout << "Cluster scaling sweep: " << kRequests
-              << " Poisson requests over " << kShards
-              << " shards (8-model AR/VR catalog, BestFit routing,\n"
-                 "shared striped cache, modeled solve 0.01 s, switch "
-                 "overhead 0.002 s)\n"
-              << "Host concurrency: "
-              << std::thread::hardware_concurrency()
-              << " (engine speedup is bounded by physical cores; on "
+    std::cout << "Cluster scaling sweep (" << mode.name
+              << " mode): " << kRequests << " Poisson requests over "
+              << kShards << " shards ("
+              << (mode.llm ? "continuous-batching chat catalog"
+                           : "8-model AR/VR catalog")
+              << (mode.preempt ? ", boundary preemption on" : "")
+              << ",\nBestFit routing, shared striped cache, modeled "
+                 "solve 0.01 s, switch overhead 0.002 s)\n"
+              << "Host concurrency: " << hostConcurrency
+              << (singleCoreHost ? " (SINGLE-CORE HOST: " : " (")
+              << "engine speedup is bounded by physical cores; on "
                  "a 1-core host every row ties serial)\n\n";
     std::cout << table.render();
     std::cout << "\nEngine rows replay the identical virtual stream; "
@@ -244,15 +359,18 @@ main()
                  "base wall-per-request / row's\n(flat = O(log N) "
                  "routing). Virtual columns never move across engine "
                  "threads.\n";
-    std::cout << "\nCSV: " << bench::csvPath("cluster_scaling")
+    std::cout << "\nCSV: "
+              << bench::csvPath("cluster_scaling" + mode.suffix())
               << "\n";
 
     // ---- determinism gate ----------------------------------------
     // csvPath() above already created bench_results/.
     const std::string serialPath =
-        "bench_results/cluster_scaling_report_serial.txt";
+        "bench_results/cluster_scaling_report" + mode.suffix() +
+        "_serial.txt";
     const std::string parallelPath =
-        "bench_results/cluster_scaling_report_parallel.txt";
+        "bench_results/cluster_scaling_report" + mode.suffix() +
+        "_parallel.txt";
     if (!writeText(serialPath, serialReport) ||
         !writeText(parallelPath, parallelReport)) {
         std::cerr << "FAILED to write report dumps\n";

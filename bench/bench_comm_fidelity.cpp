@@ -304,8 +304,15 @@ main()
                  "decision — OK\n";
 
     // ---- Part 3: phased determinism across engine threads ----------
-    const std::string serialReport = describeServingReport(phasedRun);
-    const std::string parallelReport = describeServingReport(
+    // Pin the reporter's engineThreads render gate on both sides so
+    // the byte comparison also covers the epoch statistics
+    // (identical at every thread count by contract).
+    const auto renderPinned = [](ServingReport report) {
+        report.engineThreads = 8;
+        return describeServingReport(report);
+    };
+    const std::string serialReport = renderPinned(phasedRun);
+    const std::string parallelReport = renderPinned(
         runFleet(catalog, trace, CommFidelity::Phased, 8));
 
     const std::string serialPath =

@@ -118,7 +118,12 @@ runCell(const std::vector<ServedModel>& catalog,
     cell.wallMs =
         std::chrono::duration<double, std::milli>(Clock::now() - t0)
             .count();
-    cell.rendered = describeServingReport(cell.report);
+    // Pin the reporter's engineThreads render gate so the
+    // serial-vs-parallel dump comparison also covers the epoch
+    // statistics (identical at every thread count by contract).
+    ServingReport normalized = cell.report;
+    normalized.engineThreads = 8;
+    cell.rendered = describeServingReport(normalized);
     return cell;
 }
 

@@ -21,6 +21,7 @@
 #include "runtime/fleet.h"
 #include "workload/layer.h"
 #include "workload/model_zoo.h"
+#include "workload/transformer_builder.h"
 
 using namespace scar;
 using namespace scar::runtime;
@@ -94,6 +95,100 @@ BM_FleetEngineEvents(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * requests);
 }
 BENCHMARK(BM_FleetEngineEvents)->Arg(4)->Arg(16);
+
+/**
+ * The LLM counterpart of BM_FleetEngineEvents: continuous-batching
+ * chat traffic on a warm cache, so the timed loop covers the decode
+ * queue, the join/release epoch bound terms, and per-sequence
+ * retirement on top of the plain event machinery.
+ */
+void
+BM_FleetEngineEventsLlm(benchmark::State& state)
+{
+    const int shards = static_cast<int>(state.range(0));
+    const int requests = 25 * shards;
+
+    TransformerConfig cfg;
+    cfg.name = "chat";
+    cfg.numBlocks = 2;
+    cfg.dModel = 128;
+    cfg.dFf = 256;
+    cfg.vocab = 0;
+    std::vector<ServedModel> catalog(1);
+    catalog[0].model = buildTransformer(cfg);
+    catalog[0].model.batch = 8;
+    catalog[0].rateRps = 30.0 * shards;
+    catalog[0].sloSec = 2.0;
+    catalog[0].llm.autoregressive = true;
+    catalog[0].llm.decoder = cfg;
+    catalog[0].llm.promptBucket = 64;
+    catalog[0].llm.contextBucket = 256;
+    catalog[0].llm.maxDecodeSteps = 32;
+    catalog[0].llm.meanOutputTokens = 24.0;
+    catalog[0].llm.maxOutputTokens = 96;
+    catalog[0].llm.maxPromptTokens = 128;
+    const std::vector<Request> trace =
+        llmPoissonTrace(catalog, requests, /*seed=*/11);
+
+    ThreadPool pool(1);
+    FleetOptions options;
+    options.shards = shards;
+    options.routing = RoutingPolicy::BestFit;
+    options.serving.pool = &pool;
+    options.serving.modeledSolveSec = 0.0;
+    options.serving.admission.llmBatching =
+        LlmBatchingMode::Continuous;
+    FleetSimulator fleet(catalog, templates::hetSides3x3(templates::kArvrPes),
+                         options);
+    fleet.run(trace); // warm the schedule cache
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fleet.run(trace));
+    }
+    state.SetItemsProcessed(state.iterations() * requests);
+}
+BENCHMARK(BM_FleetEngineEventsLlm)->Arg(4);
+
+/**
+ * Batched tick commits in isolation: a deep fleet whose shards all
+ * replay multi-window schedules with arrivals absorbed, so almost
+ * every epoch commits long same-shard runs through the merge set.
+ * The contrast with BM_FleetEngineEvents (mostly short batches) is
+ * the per-tick erase/insert saving the batching buys; the regression
+ * gate holds the absolute event rate.
+ */
+void
+BM_FleetEngineCommitBatched(benchmark::State& state)
+{
+    const int shards = 8;
+    const int requests = 600;
+
+    // One model, huge batch cap: dispatches carry many requests, so
+    // replays are long and boundary ticks dominate arrivals.
+    std::vector<ServedModel> catalog(1);
+    catalog[0].model = zoo::eyeCod(8);
+    catalog[0].rateRps = 160.0 * shards;
+    catalog[0].sloSec = 5.0;
+    const std::vector<Request> trace =
+        poissonTrace(catalog, requests, /*seed=*/13);
+
+    ThreadPool pool(1);
+    FleetOptions options;
+    options.shards = shards;
+    options.routing = RoutingPolicy::BestFit;
+    options.serving.pool = &pool;
+    options.serving.modeledSolveSec = 0.0;
+    options.serving.admission.maxQueueDelaySec = 0.05;
+    FleetSimulator fleet(catalog, templates::hetSides3x3(templates::kArvrPes),
+                         options);
+    fleet.run(trace); // warm the schedule cache
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fleet.run(trace));
+    }
+    state.SetItemsProcessed(state.iterations() * requests);
+}
+BENCHMARK(BM_FleetEngineCommitBatched);
 
 } // namespace
 

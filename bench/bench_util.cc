@@ -154,5 +154,13 @@ envDouble(const char* name, double fallback)
                                               : fallback;
 }
 
+std::string
+envStr(const char* name, const std::string& fallback)
+{
+    const char* value = std::getenv(name);
+    return value != nullptr && *value != '\0' ? std::string(value)
+                                              : fallback;
+}
+
 } // namespace bench
 } // namespace scar

@@ -90,6 +90,7 @@ std::vector<std::string> microBenchArgs(const std::string& name,
  *  bench-smoke CI job shrinks sweep sizes through these. */
 int envInt(const char* name, int fallback);
 double envDouble(const char* name, double fallback);
+std::string envStr(const char* name, const std::string& fallback);
 
 } // namespace bench
 } // namespace scar

@@ -1,5 +1,7 @@
 #include "runtime/executor.h"
 
+#include <limits>
+
 #include "common/error.h"
 
 namespace scar
@@ -102,6 +104,35 @@ ReplayExecutor::drainUntil(double boundSec,
         ++ticks;
     }
     return ticks;
+}
+
+double
+ReplayExecutor::boundaryInstantSec(std::size_t j) const
+{
+    double t = windowEndSec_;
+    for (std::size_t w = window_ + 1; w <= j; ++w)
+        t += schedule_->windowSec[w];
+    return t;
+}
+
+double
+ReplayExecutor::nextStepBoundarySec(int windowsPerStep) const
+{
+    SCAR_REQUIRE(busy_, "executor: nextStepBoundarySec while idle");
+    SCAR_REQUIRE(windowsPerStep > 0,
+                 "executor: non-positive step grid");
+    const std::size_t step = static_cast<std::size_t>(windowsPerStep);
+    const std::size_t n = schedule_->windowSec.size();
+    double t = windowEndSec_;
+    // Walk boundary instants forward on advance()'s accumulated
+    // clock; the final boundary (w == n - 1) is dispatchDone, not a
+    // cut point, so the loop excludes it.
+    for (std::size_t w = window_; w + 1 < n; ++w) {
+        if ((w + 1) % step == 0)
+            return t;
+        t += schedule_->windowSec[w + 1];
+    }
+    return std::numeric_limits<double>::infinity();
 }
 
 std::size_t

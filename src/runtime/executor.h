@@ -28,9 +28,11 @@
 #ifndef SCAR_RUNTIME_EXECUTOR_H
 #define SCAR_RUNTIME_EXECUTOR_H
 
+#include <limits>
 #include <memory>
 #include <vector>
 
+#include "common/error.h"
 #include "runtime/admission.h"
 #include "runtime/schedule_cache.h"
 
@@ -121,6 +123,49 @@ class ReplayExecutor
     double finalBoundarySec() const;
 
     /**
+     * Epoch-bound probe for continuous-batching joins: the absolute
+     * instant of the next *step-aligned, non-final* window boundary —
+     * the earliest place the fleet's join-cut rule
+     * ((windowIdx + 1) % windowsPerStep == 0 on a non-dispatchDone
+     * tick) could cut this decode round to merge fresh waiters.
+     * Accumulated forward from the next boundary in advance()'s exact
+     * rounding order, so the returned instant equals the matching
+     * tick's timeSec bit for bit and a drainUntil() at this bound
+     * stops strictly before the cut. Returns +infinity when no such
+     * boundary remains. Requires busy().
+     */
+    double nextStepBoundarySec(int windowsPerStep) const;
+
+    /**
+     * Epoch-bound probe for mid-replay completions: the earliest
+     * boundary instant at which any dispatch group selected by
+     * `pred(groupIdx)` replays its last window (and so completes its
+     * requests mid-replay — for autoregressive groups that completion
+     * enqueues decode waiters, a routing-decision source the epoch
+     * bound must not cross). Same exact accumulation as
+     * nextStepBoundarySec(). Returns +infinity when no selected group
+     * completes at or after the next boundary. Requires busy().
+     */
+    template <typename Pred>
+    double earliestGroupEndSec(Pred pred) const
+    {
+        SCAR_REQUIRE(busy_,
+                     "executor: earliestGroupEndSec while idle");
+        // Window durations are non-negative, so the earliest ending
+        // window index is also the earliest ending instant.
+        int firstEnd = std::numeric_limits<int>::max();
+        for (std::size_t m = 0; m < dispatch_.groups.size(); ++m) {
+            const int last = schedule_->lastWindow[m];
+            if (last >= static_cast<int>(window_) && last < firstEnd &&
+                pred(m))
+                firstEnd = last;
+        }
+        if (firstEnd == std::numeric_limits<int>::max())
+            return std::numeric_limits<double>::infinity();
+        return boundaryInstantSec(static_cast<std::size_t>(firstEnd));
+    }
+
+    /**
      * Windows not yet fully replayed, the upcoming one included.
      * Requires busy(). 1 means the replay ends at the next boundary —
      * preempting then is a no-op (the package frees anyway), which is
@@ -162,6 +207,14 @@ class ReplayExecutor
     const Dispatch& dispatch() const;
 
   private:
+    /**
+     * Exact boundary instant of window j >= window_: windowEndSec_
+     * plus the durations of windows (window_, j], accumulated left to
+     * right — the same rounding sequence advance() applies, so the
+     * result matches the future tick's timeSec bit for bit.
+     */
+    double boundaryInstantSec(std::size_t j) const;
+
     bool busy_ = false;
     std::shared_ptr<const CachedSchedule> schedule_;
     Dispatch dispatch_;

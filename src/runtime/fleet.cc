@@ -192,13 +192,51 @@ FleetSimulator::FleetSimulator(std::vector<ServedModel> catalog,
     // Epoch engine concurrency: 1 drains inline, 0 borrows the
     // serving pool, > 1 owns a dedicated pool. Output is identical
     // at every setting.
-    if (options_.engineThreads == 0)
+    if (options_.engineThreads == 0) {
         enginePool_ = pool_;
-    else if (options_.engineThreads > 1) {
+        engineMode_ = EngineMode::Borrowed;
+    } else if (options_.engineThreads > 1) {
         ownedEnginePool_ =
             std::make_unique<ThreadPool>(options_.engineThreads);
         enginePool_ = ownedEnginePool_.get();
+        engineMode_ = EngineMode::Dedicated;
     }
+    debug("fleet: epoch engine ", engineModeDescription(), ", ",
+          shards_.size(), " shards, indexedRouting=",
+          options_.indexedRouting ? "on" : "off",
+          llmEnabled_ ? ", llm bound terms armed" : "",
+          options_.serving.preemption.enabled
+              ? ", urgency bound term armed"
+              : "");
+}
+
+const char*
+engineModeName(EngineMode mode)
+{
+    switch (mode) {
+    case EngineMode::Inline: return "inline";
+    case EngineMode::Borrowed: return "borrowed-pool";
+    case EngineMode::Dedicated: return "dedicated-pool";
+    }
+    return "?";
+}
+
+std::string
+FleetSimulator::engineModeDescription() const
+{
+    switch (engineMode_) {
+    case EngineMode::Inline:
+        return "inline (engineThreads = 1: epoch drains run on the "
+               "event thread)";
+    case EngineMode::Borrowed:
+        return "borrowed serving pool (engineThreads = 0: " +
+               std::to_string(pool_->concurrency()) +
+               "-way shared pool)";
+    case EngineMode::Dedicated:
+        return "dedicated pool (" +
+               std::to_string(options_.engineThreads) + " threads)";
+    }
+    return "?";
 }
 
 const AsyncScheduleCache&
@@ -1001,6 +1039,7 @@ FleetSimulator::run(const std::vector<Request>& trace)
     llmDecodeRounds_ = 0;
     llmJoins_ = 0;
     llmBoardedSum_ = 0;
+    epochStats_ = EpochStats{};
     std::fill(llmStreams_.begin(), llmStreams_.end(), 0);
     // Flight recorder: rec == nullptr is the disabled state, and every
     // hook below sits behind that check — a disabled run does no
@@ -1658,22 +1697,37 @@ FleetSimulator::run(const std::vector<Request>& trace)
             commitArrival();
         } else if (tBoundary <= tPending && tBoundary <= tTimer &&
                    tBoundary <= tUrgent) {
-            // Epoch drain. Without preemption and with no dispatch
-            // deferred, the serial loop's steps 0-3 are provably
-            // no-ops strictly before the conservative bound
-            //   B = min(tArrival, tPending, tTimer,
-            //           earliest final boundary, speculation guard)
-            // (tArrival drops out of B when arrivals are absorbed —
-            // see absorbArrivals below):
-            //  - no suspensions exist, so step 0 never fires;
+            // Epoch drain. The serial loop's steps 0-3 are provably
+            // no-ops strictly before the conservative bound B — the
+            // min over every next-possible-routing-decision term
+            // (docs/ARCHITECTURE.md tabulates each with its proof
+            // sketch):
+            //  - no suspension is parked (the gate below), so step 0
+            //    never fires;
             //  - no parked schedule comes due before tPending >= B;
             //  - no shard frees mid-epoch (a dispatch-done tick lands
             //    at its final boundary >= B), so the candidate set is
-            //    frozen and step 2 cannot dispatch before the timer
-            //    or an arrival, both >= B;
+            //    frozen and steps 1.5/2 cannot dispatch before the
+            //    timer or an arrival, both >= B;
             //  - step 3 already speculated on the current queue
             //    epoch, or the guard caps B at the forced-dispatch
-            //    instant where ready() could newly turn true.
+            //    instant where ready() could newly turn true;
+            //  - under preemption, B <= the next urgency crossing U:
+            //    for every tick t < U the per-tick urgency predicate
+            //    (t >= deadline - slack, the same FP expression as
+            //    U) is false bit-for-bit, so the preempt check after
+            //    each committed tick is a no-op — and the queued
+            //    deadlines cannot change inside the epoch because
+            //    arrivals are never absorbed under preemption;
+            //  - on LLM fleets, B stops strictly before the earliest
+            //    step-aligned boundary where a decode round with
+            //    already-queued waiters could take a join cut, and
+            //    before the earliest mid-replay autoregressive
+            //    completion (it enqueues decode waiters, moving the
+            //    decode queues / queue epoch) — so decode queues,
+            //    llmStreams_, and the join-cut predicate stay frozen
+            //    across every committed tick, and the per-tick join
+            //    check is a provable no-op.
             // So every window tick strictly before B commits with no
             // interleaved routing decision, and the busy shards can
             // drain their tick runs in parallel. Commit order — a
@@ -1684,13 +1738,14 @@ FleetSimulator::run(const std::vector<Request>& trace)
             // serial loop head does, so report, metrics, and trace
             // come out byte-identical at any engine-thread count.
             bool epochDone = false;
-            // LLM catalogs disable the epoch engine entirely: decode
-            // requeues and join cuts make every window boundary a
-            // potential routing decision, which breaks the epoch's
-            // no-interleaved-decision premise. The single-tick path
-            // commits on the event thread and is therefore trivially
-            // engine-thread-count deterministic.
-            if (!preemption.enabled && !deferred && !llmEnabled_) {
+            // Per-event serial fallbacks: a deferred dispatch
+            // re-routes after every tick, and a preemptive fleet
+            // with a parked suspension (step 0 resumes re-check
+            // per tick) or an already-urgent queue (the very next
+            // boundary suspends) stays on the single-tick path.
+            if (!deferred &&
+                (!preemption.enabled ||
+                 (suspendedCount_ == 0 && !urgent))) {
                 // With no free shard (and none freeing before the
                 // bound), no urgency, and speculation off, an
                 // arrival strictly inside the epoch can only
@@ -1701,23 +1756,92 @@ FleetSimulator::run(const std::vector<Request>& trace)
                 // serial branch order) instead of capping the epoch.
                 // This is what lets a saturated fleet's epochs span
                 // whole replay windows rather than one inter-arrival
-                // gap.
+                // gap. Preemption disables absorption: an absorbed
+                // arrival could carry an earlier deadline and move
+                // the urgency crossing into the epoch's past.
                 const bool absorbArrivals =
                     freeShards_.empty() &&
-                    !options_.speculativeSolve;
-                double bound =
-                    absorbArrivals
-                        ? std::min(tPending, tTimer)
-                        : std::min({tArrival, tPending, tTimer});
+                    !options_.speculativeSolve &&
+                    !preemption.enabled;
+                // Fold the bound terms cheapest-first, remembering
+                // which term capped the epoch (ties keep the first —
+                // the attribution priority in EpochBoundTerm order).
+                double bound = kInf;
+                int cap = kEpochCapReplayEnd;
+                auto consider = [&](double t, int term) {
+                    if (t < bound) {
+                        bound = t;
+                        cap = term;
+                    }
+                };
                 if (!busyEndQueue_.empty())
-                    bound = std::min(bound,
-                                     busyEndQueue_.begin()->first);
+                    consider(busyEndQueue_.begin()->first,
+                             kEpochCapReplayEnd);
+                consider(tPending, kEpochCapParked);
+                if (!absorbArrivals)
+                    consider(tArrival, kEpochCapArrival);
+                consider(tTimer, kEpochCapTimer);
                 if (options_.speculativeSolve &&
                     options_.serving.modeledSolveSec > 0.0 &&
                     admission.queuedCount() > 0 &&
                     queueEpoch != lastSpeculativeEpoch)
-                    bound = std::min(
-                        bound, admission.nextForcedDispatchSec());
+                    consider(admission.nextForcedDispatchSec(),
+                             kEpochCapSpeculation);
+                // Preemption-aware term: the next urgency crossing,
+                // on the same FP expression as the urgency timer —
+                // unconditioned on candidate availability, because a
+                // crossing is a routing decision either way (with a
+                // candidate step 2 dispatches the urgent batch; with
+                // none the next boundary tick suspends a replay).
+                if (preemption.enabled &&
+                    admission.queuedCount() > 0)
+                    consider(admission.earliestDeadlineSec() -
+                                 preemption.slackThresholdSec,
+                             kEpochCapUrgency);
+                // Join-aware LLM terms, per busy shard.
+                if (llmEnabled_) {
+                    const bool continuous =
+                        options_.serving.admission.llmBatching ==
+                        LlmBatchingMode::Continuous;
+                    for (const auto& [tb, si] : boundaryQueue_) {
+                        (void)tb;
+                        const Shard& sh = shards_[si];
+                        const Dispatch& running =
+                            sh.executor.dispatch();
+                        if (running.llmDecodeSteps > 0) {
+                            // Decode round: riders retire only at
+                            // the round's final boundary — the
+                            // replay-end term already covers that
+                            // slot release — so the in-epoch hazard
+                            // is a join cut at the next step-aligned
+                            // boundary once waiters are queued for
+                            // the round's model.
+                            if (continuous &&
+                                admission.decodeQueuedCount(
+                                    running.catalogIdx.front()) > 0)
+                                consider(
+                                    sh.executor.nextStepBoundarySec(
+                                        sh.llmWindowsPerStep),
+                                    kEpochCapJoin);
+                        } else {
+                            // Prefill/mixed replay: an autoregressive
+                            // group completing mid-replay enqueues
+                            // decode waiters (commitTick bumps the
+                            // decode queue and the queue epoch — a
+                            // routing-decision source), so the bound
+                            // stops strictly before the earliest
+                            // such completion.
+                            consider(
+                                sh.executor.earliestGroupEndSec(
+                                    [&](std::size_t m) {
+                                        return catalog_
+                                            [running.catalogIdx[m]]
+                                                .llm.autoregressive;
+                                    }),
+                                kEpochCapRelease);
+                        }
+                    }
+                }
                 if (tBoundary < bound) {
                     // Only the prefix with a next boundary inside the
                     // epoch has ticks to drain.
@@ -1762,32 +1886,82 @@ FleetSimulator::run(const std::vector<Request>& trace)
                             nowSec = trace[next].arrivalSec;
                             commitArrival();
                             fireSamples();
+                            ++epochStats_.absorbedArrivals;
                             continue;
                         }
                         const auto [t, si, i] = *heads.begin();
                         heads.erase(heads.begin());
-                        WindowTick& tick = ticks[i][cur[i]];
-                        ++cur[i];
-                        nowSec = tick.timeSec;
-                        commitTick(si, tick);
-                        fireSamples();
-                        ++committed;
+                        // Batched commit: every consecutive tick of
+                        // this shard that precedes the next other-
+                        // shard head in (timeSec, shardIdx) order —
+                        // and any absorbable arrival — commits as
+                        // one run without re-touching the merge set.
+                        // The committed sequence is exactly the
+                        // per-tick merge's (the loop conditions
+                        // replicate the set's ordering and the
+                        // arrival-wins-ties branch above), so
+                        // artifacts stay byte-identical; what
+                        // batching removes is the per-tick
+                        // erase/insert — the serial commit work the
+                        // saturated shard sweep decays on.
+                        double tOther = kInf;
+                        int siOther =
+                            std::numeric_limits<int>::max();
+                        if (!heads.empty()) {
+                            tOther = std::get<0>(*heads.begin());
+                            siOther = std::get<1>(*heads.begin());
+                        }
+                        long batch = 0;
+                        for (;;) {
+                            WindowTick& tick = ticks[i][cur[i]];
+                            ++cur[i];
+                            ++batch;
+                            nowSec = tick.timeSec;
+                            commitTick(si, tick);
+                            fireSamples();
+                            ++committed;
+                            if (cur[i] >= ticks[i].size())
+                                break;
+                            const double tn =
+                                ticks[i][cur[i]].timeSec;
+                            if (tn > tOther ||
+                                (tn == tOther && si > siOther))
+                                break;
+                            if (absorbArrivals &&
+                                next < trace.size() &&
+                                trace[next].arrivalSec < bound &&
+                                trace[next].arrivalSec <= tn)
+                                break;
+                        }
                         if (cur[i] < ticks[i].size())
                             heads.insert(
                                 {ticks[i][cur[i]].timeSec, si, i});
+                        ++epochStats_.commitBatches;
+                        epochStats_.maxCommitBatch = std::max(
+                            epochStats_.maxCommitBatch, batch);
+                        if (rec)
+                            rec->metrics()
+                                .histogram("epoch.commit_batch",
+                                           {1.0, 2.0, 16})
+                                .record(static_cast<double>(batch));
                     }
                     if (committed > 0) {
                         for (const int si : busyIdx)
                             syncShard(static_cast<std::size_t>(si));
                         epochDone = true;
+                        ++epochStats_.epochs;
+                        epochStats_.ticks +=
+                            static_cast<long>(committed);
+                        ++epochStats_.caps[cap];
                     }
                 }
             }
             if (!epochDone) {
-                // Single-tick path: preemptive fleets, a pending
-                // deferral, or an epoch whose bound already sits at
-                // the head boundary (e.g. a shard in its final
-                // window).
+                // Single-tick path: a pending deferral, a parked
+                // suspension or already-urgent queue, or an epoch
+                // whose bound already sits at the head boundary
+                // (e.g. a shard in its final window, a join cut, a
+                // mid-replay LLM release, an urgency crossing).
                 Shard& sh = shards_[boundaryShard];
                 WindowTick tick = sh.executor.advance();
                 commitTick(boundaryShard, tick);
@@ -1956,6 +2130,25 @@ FleetSimulator::run(const std::vector<Request>& trace)
     }
     report.preemptionEnabled = options_.serving.preemption.enabled;
     report.llmEnabled = llmEnabled_;
+    // Epoch-engine statistics. The numbers are identical at every
+    // engineThreads value (the epoch path runs at all of them —
+    // inline at 1); the reporter renders them only when != 1, so
+    // default runs stay byte-identical.
+    report.engineThreads = options_.engineThreads;
+    report.epochs = epochStats_.epochs;
+    report.epochTicks = epochStats_.ticks;
+    report.epochCommitBatches = epochStats_.commitBatches;
+    report.epochMaxCommitBatch = epochStats_.maxCommitBatch;
+    report.epochAbsorbedArrivals = epochStats_.absorbedArrivals;
+    report.epochCapReplayEnd = epochStats_.caps[kEpochCapReplayEnd];
+    report.epochCapParked = epochStats_.caps[kEpochCapParked];
+    report.epochCapArrival = epochStats_.caps[kEpochCapArrival];
+    report.epochCapTimer = epochStats_.caps[kEpochCapTimer];
+    report.epochCapSpeculation =
+        epochStats_.caps[kEpochCapSpeculation];
+    report.epochCapUrgency = epochStats_.caps[kEpochCapUrgency];
+    report.epochCapJoin = epochStats_.caps[kEpochCapJoin];
+    report.epochCapRelease = epochStats_.caps[kEpochCapRelease];
     if (llmEnabled_) {
         report.llmDecodeRounds = llmDecodeRounds_;
         report.llmJoins = llmJoins_;
@@ -1976,6 +2169,17 @@ FleetSimulator::run(const std::vector<Request>& trace)
         rec->metrics()
             .gauge("batch_occupancy")
             .set(report.batchOccupancy);
+        // Epoch-engine counters (the per-batch size histogram was
+        // recorded inline). Deterministic at any engineThreads.
+        rec->metrics().counter("epoch.epochs").inc(
+            epochStats_.epochs);
+        rec->metrics().counter("epoch.ticks").inc(epochStats_.ticks);
+        rec->metrics()
+            .counter("epoch.commit_batches")
+            .inc(epochStats_.commitBatches);
+        rec->metrics()
+            .counter("epoch.absorbed_arrivals")
+            .inc(epochStats_.absorbedArrivals);
     }
     report.contestedRoutes = contestedRoutes_;
     report.costOptimalRoutes = costOptimalRoutes_;

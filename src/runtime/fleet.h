@@ -60,22 +60,30 @@
  * wall-clock solve speed affects how long run() takes, never what it
  * returns.
  *
- * Parallel epoch engine: between two consecutive *state-changing*
- * events (an arrival, a parked solve coming ready, a batching-timer
- * or speculation instant, or the earliest replay end), the only
- * events in the fleet are window-boundary crossings — pure replay
- * bookkeeping that touches one shard each. run() exploits that: it
- * computes the conservative lookahead bound B = min(next arrival,
- * min parked-solve ready, batching timer, speculation instant,
- * earliest busy shard's replay end), lets every busy shard drain all
- * its boundaries strictly before B concurrently (engineThreads), and
- * then commits the ticks in (time, shard index) order — exactly the
- * order the serial loop would have produced, including the
- * flight-recorder trace and sampler rows, so the report and trace
- * are byte-identical at any engineThreads value. Epochs are only
- * formed when preemption is off and no dispatch is deferred (both
- * re-inspect the fleet after every tick, so they stay on the
- * serial path).
+ * Parallel epoch engine: between two consecutive *routing-decision*
+ * events, the only events in the fleet are window-boundary crossings
+ * — pure replay bookkeeping that touches one shard each. run()
+ * exploits that: it computes the conservative lookahead bound B as
+ * the min over every next-possible-routing-decision term — next
+ * arrival, min parked-solve ready, batching timer, speculation
+ * instant, earliest busy shard's replay end, plus (LLM fleets) the
+ * earliest step-aligned join cut a decode replay with fresh waiters
+ * could take and the earliest mid-replay autoregressive completion
+ * (it enqueues decode waiters), plus (preemptive fleets) the next
+ * urgency crossing on the same FP expression as the urgency timer —
+ * lets every busy shard drain all its boundaries strictly before B
+ * concurrently (engineThreads), and then commits the ticks in
+ * (time, shard index) order — exactly the order the serial loop
+ * would have produced, including the flight-recorder trace and
+ * sampler rows, so the report and trace are byte-identical at any
+ * engineThreads value. Runs of consecutive same-shard ticks that
+ * precede every other shard's head in that order commit as one
+ * batch (a single merge-set update per run; syncShard already runs
+ * once per shard per epoch). Epochs are skipped only around a
+ * deferred dispatch and while a preempted replay awaits its resume
+ * (both re-inspect the fleet after every tick, so they stay on the
+ * serial path); docs/ARCHITECTURE.md tabulates every bound term
+ * with its conservativeness argument.
  *
  * Event calendar: the per-event O(shards) scans of the serial loop
  * (next boundary, next parked-ready, candidate checks) are replaced
@@ -283,6 +291,17 @@ struct FleetOptions
      * setting — the engine only parallelizes provably independent
      * per-shard replay bookkeeping and commits it in the serial
      * event order.
+     *
+     * Interactions: the setting is independent of `indexedRouting`
+     * (routing picks shards at epoch edges; the engine only drains
+     * between them — enable both for large fleets). LLM fleets and
+     * preemptive fleets run under the engine too (join-aware /
+     * urgency-aware bound terms); nothing disables the resolved
+     * engine mode, only per-event serial fallbacks (deferred
+     * dispatch, suspended replay awaiting resume) shorten epochs.
+     * The resolved mode is queryable via engineMode() and logged at
+     * LogLevel::Debug by the constructor, so A/B sweeps cannot
+     * silently run serial.
      */
     int engineThreads = 1;
     /**
@@ -318,6 +337,19 @@ struct FleetOptions
      */
     obs::FlightRecorder* recorder = nullptr;
 };
+
+/**
+ * The resolved concurrency mode of the parallel epoch engine (from
+ * FleetOptions::engineThreads; see engineModeName for rendering).
+ */
+enum class EngineMode
+{
+    Inline,    ///< engineThreads == 1: drains run on the event thread
+    Borrowed,  ///< engineThreads == 0: drains on the serving pool
+    Dedicated, ///< engineThreads > 1: drains on an owned engine pool
+};
+
+const char* engineModeName(EngineMode mode);
 
 /** Simulates serving one request stream on a fleet of MCMs. */
 class FleetSimulator
@@ -358,6 +390,20 @@ class FleetSimulator
     /** The package template of a shard (shard 0 by default, which is
      *  the constructor template in a homogeneous fleet). */
     const Mcm& mcm(int shard = 0) const;
+
+    /**
+     * The resolved epoch-engine concurrency mode. Nothing disables
+     * the engine outright — LLM and preemptive fleets run under it
+     * with join-/urgency-aware bound terms — but per-event serial
+     * fallbacks (a deferred dispatch, a suspended replay awaiting
+     * resume) can shorten or skip individual epochs. The constructor
+     * also logs the resolution at LogLevel::Debug.
+     */
+    EngineMode engineMode() const { return engineMode_; }
+
+    /** Human-readable engine-mode resolution, e.g.
+     *  "dedicated pool (8 threads)". */
+    std::string engineModeDescription() const;
 
     /**
      * The completion-cost estimate BestFit uses for a mix on a
@@ -603,6 +649,35 @@ class FleetSimulator
     // --- Epoch engine ---
     ThreadPool* enginePool_ = nullptr; ///< nullptr = inline drain
     std::unique_ptr<ThreadPool> ownedEnginePool_;
+    EngineMode engineMode_ = EngineMode::Inline;
+
+    /** Which bound term capped an epoch (per-run statistics; the
+     *  order is the attribution priority on exact ties). */
+    enum EpochBoundTerm
+    {
+        kEpochCapReplayEnd = 0, ///< earliest busy replay's final end
+        kEpochCapParked,        ///< earliest parked-solve ready
+        kEpochCapArrival,       ///< next unabsorbed arrival
+        kEpochCapTimer,         ///< batching-timer maturity
+        kEpochCapSpeculation,   ///< speculative-solve guard
+        kEpochCapUrgency,       ///< next preemption urgency crossing
+        kEpochCapJoin,          ///< earliest step-aligned join cut
+        kEpochCapRelease,       ///< earliest mid-replay LLM release
+        kEpochBoundTermCount,
+    };
+
+    /** Per-run epoch-engine statistics (reset by run(); surfaced in
+     *  ServingReport and, behind the recorder, obs/ metrics). */
+    struct EpochStats
+    {
+        long epochs = 0;
+        long ticks = 0;             ///< boundary ticks committed in epochs
+        long commitBatches = 0;     ///< same-shard runs committed as one
+        long maxCommitBatch = 0;
+        long absorbedArrivals = 0;
+        long caps[kEpochBoundTermCount] = {};
+    };
+    EpochStats epochStats_;
 
     /** Memoized WindowEvaluator makespan estimates, keyed like the
      *  schedule caches by (mix, package) signature. */
@@ -614,10 +689,11 @@ class FleetSimulator
     // --- Autoregressive serving (continuous batching) ---
     /** Any catalog entry has LlmProfile::autoregressive set. Gates
      *  every LLM code path (a catalog without LLM entries runs the
-     *  pre-LLM event loop byte-for-byte) and disables the epoch
-     *  engine: decode requeues and join cuts are event-loop decisions
-     *  at every window boundary, so ticks must commit one at a time.
-     */
+     *  pre-LLM event loop byte-for-byte) and arms the epoch engine's
+     *  join-cut and mid-replay-release bound terms: decode requeues
+     *  and join cuts are event-loop decisions, so the epoch bound
+     *  stops strictly before the first boundary where one could
+     *  occur and leaves that tick to the serial path. */
     bool llmEnabled_ = false;
     /** In-flight decode rounds (parked or replaying) per catalog
      *  model. Continuous batching dispatches a second concurrent

@@ -2,9 +2,11 @@
  * @file
  * Tests for the planet-scale serving additions: the parallel epoch
  * engine (serial-vs-parallel byte identity of the report, metrics,
- * samples, and trace export at several engine-thread counts), the
- * conservative epoch bound (drainUntil never crosses it and never
- * emits a dispatch-done tick inside an epoch), the hierarchical
+ * samples, and trace export at several engine-thread counts — on
+ * plain, preemptive, and LLM continuous/static fleets), the
+ * generalized conservative epoch bound (drainUntil never crosses
+ * it, the join/urgency terms land ticks exactly on their cuts, and
+ * the bound-term attribution statistics), the hierarchical
  * cluster -> pod -> shard routing index (identical decisions and
  * routing-quality counters to the flat BestFit scan on small
  * fleets), and the signature-striped AsyncScheduleCache (exactly
@@ -14,7 +16,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "arch/mcm_templates.h"
@@ -22,8 +26,10 @@
 #include "common/thread_pool.h"
 #include "eval/reporter.h"
 #include "obs/flight_recorder.h"
+#include "runtime/arrival.h"
 #include "runtime/fleet.h"
 #include "workload/model_zoo.h"
+#include "workload/transformer_builder.h"
 
 namespace scar
 {
@@ -66,21 +72,39 @@ struct RunArtifacts
 
 RunArtifacts
 runFleet(FleetOptions options, const std::vector<ServedModel>& catalog,
-         int requests, unsigned seed)
+         const std::vector<Request>& trace,
+         ServingReport* reportOut = nullptr)
 {
     obs::FlightRecorder rec;
     options.recorder = &rec;
     FleetSimulator fleet(catalog,
                          templates::hetSides3x3(templates::kArvrPes),
                          options);
-    const auto trace = poissonTrace(catalog, requests, seed);
     RunArtifacts out;
-    out.report = describeServingReport(fleet.run(trace));
+    ServingReport report = fleet.run(trace);
+    if (reportOut)
+        *reportOut = report;
+    // Normalize the render gate before formatting: the epoch-stats
+    // section is keyed on engineThreads (so default reports keep the
+    // pre-engine format), but the statistics themselves are identical
+    // at every thread count. Pinning the field to one off-default
+    // value on both sides makes every byte-equality below also cover
+    // the epoch counters.
+    report.engineThreads = 8;
+    out.report = describeServingReport(report);
     out.traceJson = rec.trace().toJson();
     out.metricsJson = rec.metrics().toJson();
     out.metricsCsv = rec.metrics().toCsv();
     out.samplesCsv = rec.samples().toCsv();
     return out;
+}
+
+RunArtifacts
+runFleet(FleetOptions options, const std::vector<ServedModel>& catalog,
+         int requests, unsigned seed, ServingReport* reportOut = nullptr)
+{
+    return runFleet(std::move(options), catalog,
+                    poissonTrace(catalog, requests, seed), reportOut);
 }
 
 /** A 4-shard heterogeneous BestFit fleet exercising every epoch
@@ -135,19 +159,196 @@ TEST(ParallelFleet, SingleShardServingPathIsUnchanged)
     EXPECT_TRUE(serial == parallel);
 }
 
-TEST(ParallelFleet, PreemptiveFleetsIgnoreEngineThreads)
+TEST(ParallelFleet, PreemptiveFleetsMatchSerialAtEveryThreadCount)
 {
-    // Preemption keeps the single-tick path; engineThreads must be
-    // inert there, not break it.
+    // Preemptive fleets drain in urgency-capped epochs now (the bound
+    // stops strictly before the next deadline-slack crossing, and no
+    // epoch forms while a replay is suspended). Full artifacts must
+    // stay byte-identical to the serial engine, and the workload must
+    // actually exercise both epochs and urgency crossings — a bound
+    // that silently excluded every tick would pass a bare equality
+    // check.
     const auto catalog = twoModelCatalog();
     FleetOptions options = epochFleetOptions();
     options.serving.preemption.enabled = true;
     options.serving.preemption.slackThresholdSec = 0.004;
     options.engineThreads = 1;
-    const RunArtifacts serial = runFleet(options, catalog, 300, 29);
-    options.engineThreads = 8;
-    const RunArtifacts parallel = runFleet(options, catalog, 300, 29);
-    EXPECT_TRUE(serial == parallel);
+    ServingReport serialReport;
+    const RunArtifacts serial =
+        runFleet(options, catalog, 300, 29, &serialReport);
+    EXPECT_GT(serialReport.epochs, 0)
+        << "preemptive fleets must form epochs";
+    EXPECT_GT(serialReport.preemptions, 0)
+        << "the trace must still exercise urgency crossings";
+    for (const int threads : {0, 4, 8}) {
+        options.engineThreads = threads;
+        const RunArtifacts parallel =
+            runFleet(options, catalog, 300, 29);
+        EXPECT_TRUE(serial == parallel)
+            << "engineThreads = " << threads
+            << " diverged under preemption";
+    }
+}
+
+TEST(ParallelFleet, UrgencyCrossingCapsTheEpoch)
+{
+    // Regression for the urgency bound term: with queued work and a
+    // tight SLO, at least one epoch must end at the deadline-slack
+    // crossing (cap attribution kEpochCapUrgency), i.e. crossings are
+    // not swallowed into longer epochs and then noticed late. A tight
+    // SLO puts the crossing in front of the next replay end and the
+    // batching timer, so the urgency term is the binding one.
+    auto catalog = twoModelCatalog();
+    catalog[0].sloSec = 0.006;
+    catalog[1].sloSec = 0.006;
+    FleetOptions options = epochFleetOptions();
+    options.serving.preemption.enabled = true;
+    options.serving.preemption.slackThresholdSec = 0.002;
+    ServingReport report;
+    (void)runFleet(options, catalog, 300, 29, &report);
+    EXPECT_GT(report.preemptions, 0);
+    EXPECT_GT(report.epochCapUrgency, 0)
+        << "no epoch was capped by the urgency term";
+}
+
+/** One-model LLM catalog around a deliberately small decoder. */
+std::vector<ServedModel>
+llmChatCatalog(int batchCap)
+{
+    TransformerConfig cfg;
+    cfg.name = "chat";
+    cfg.numBlocks = 2;
+    cfg.dModel = 128;
+    cfg.dFf = 256;
+    cfg.vocab = 0;
+    std::vector<ServedModel> catalog(1);
+    catalog[0].model = buildTransformer(cfg);
+    catalog[0].model.batch = batchCap;
+    catalog[0].rateRps = 100.0;
+    catalog[0].llm.autoregressive = true;
+    catalog[0].llm.decoder = cfg;
+    catalog[0].llm.promptBucket = 64;
+    catalog[0].llm.contextBucket = 256;
+    catalog[0].llm.maxDecodeSteps = 32;
+    return catalog;
+}
+
+TEST(ParallelFleet, LlmFleetsMatchSerialAtEveryThreadCount)
+{
+    // LLM fleets no longer bypass the epoch engine: the join term
+    // caps epochs at the next step-aligned cut while decode waiters
+    // exist, and the release term at the earliest mid-replay
+    // autoregressive completion. Continuous and Static batching must
+    // both stay byte-identical to the serial engine across every
+    // engine mode (inline / borrowed / dedicated).
+    const auto catalog = llmChatCatalog(/*batchCap=*/4);
+    const auto trace = llmPoissonTrace(catalog, 80, 7);
+    for (const LlmBatchingMode mode :
+         {LlmBatchingMode::Continuous, LlmBatchingMode::Static}) {
+        FleetOptions options;
+        options.shards = 2;
+        options.serving.modeledSolveSec = 0.002;
+        options.serving.admission.maxQueueDelaySec = 0.001;
+        options.serving.admission.llmBatching = mode;
+        options.engineThreads = 1;
+        ServingReport serialReport;
+        const RunArtifacts serial =
+            runFleet(options, catalog, trace, &serialReport);
+        EXPECT_GT(serialReport.epochs, 0)
+            << "LLM fleets must form epochs";
+        EXPECT_GT(serialReport.llmDecodeRounds, 0);
+        for (const int threads : {0, 4, 8}) {
+            options.engineThreads = threads;
+            const RunArtifacts parallel =
+                runFleet(options, catalog, trace);
+            EXPECT_TRUE(serial == parallel)
+                << "engineThreads = " << threads << ", mode "
+                << static_cast<int>(mode)
+                << " diverged on the LLM fleet";
+        }
+    }
+}
+
+TEST(ParallelFleet, JoinLandsExactlyOnTheStepCut)
+{
+    // Regression for the join bound term: B's prefill finishes while
+    // A decodes a long stream, so the join must land on a step-aligned
+    // boundary of A's in-flight round — under every engine mode, with
+    // the join count intact and all artifacts byte-identical. An
+    // off-by-one-ulp join probe would either commit the cut tick
+    // inside an epoch (losing the join) or cut a step early.
+    auto catalog = llmChatCatalog(/*batchCap=*/4);
+    auto trace =
+        traceFromArrivals(catalog, {{0.0, 0}, {0.001, 0}});
+    trace[0].promptTokens = 16;
+    trace[0].outputTokens = 200; // long generation: many rounds
+    trace[1].promptTokens = 16;
+    trace[1].outputTokens = 8;
+
+    FleetOptions options;
+    options.shards = 2;
+    options.serving.admission.llmBatching =
+        LlmBatchingMode::Continuous;
+    options.serving.admission.maxQueueDelaySec = 0.0002;
+    options.engineThreads = 1;
+    ServingReport serialReport;
+    const RunArtifacts serial =
+        runFleet(options, catalog, trace, &serialReport);
+    EXPECT_GE(serialReport.llmJoins, 1)
+        << "B must join A's in-flight decode stream";
+    for (const int threads : {0, 4, 8}) {
+        options.engineThreads = threads;
+        ServingReport report;
+        const RunArtifacts parallel =
+            runFleet(options, catalog, trace, &report);
+        EXPECT_EQ(report.llmJoins, serialReport.llmJoins);
+        EXPECT_TRUE(serial == parallel)
+            << "engineThreads = " << threads
+            << " diverged around the join cut";
+    }
+}
+
+TEST(ParallelFleet, EpochSectionRendersOnlyOffDefault)
+{
+    // The reporter's epoch-statistics section is gated on the
+    // engineThreads knob: a default run keeps the pre-engine report
+    // format byte for byte; any off-default value renders the stats.
+    const auto catalog = twoModelCatalog();
+    FleetOptions options = epochFleetOptions();
+    FleetSimulator fleet(catalog,
+                         templates::hetSides3x3(templates::kArvrPes),
+                         options);
+    ServingReport report = fleet.run(poissonTrace(catalog, 100, 5));
+    EXPECT_EQ(report.engineThreads, 1);
+    EXPECT_GT(report.epochs, 0);
+    const std::string serial = describeServingReport(report);
+    EXPECT_EQ(serial.find("Epoch ticks"), std::string::npos);
+    report.engineThreads = 8;
+    const std::string parallel = describeServingReport(report);
+    EXPECT_NE(parallel.find("Engine threads"), std::string::npos);
+    EXPECT_NE(parallel.find("Epoch ticks"), std::string::npos);
+    EXPECT_NE(parallel.find("Commit batches"), std::string::npos);
+}
+
+TEST(ParallelFleet, EngineModeResolutionIsQueryable)
+{
+    const auto catalog = twoModelCatalog();
+    const auto modeOf = [&](int threads) {
+        FleetOptions options;
+        options.engineThreads = threads;
+        FleetSimulator fleet(
+            catalog, templates::hetSides3x3(templates::kArvrPes),
+            options);
+        return fleet.engineMode();
+    };
+    EXPECT_EQ(modeOf(1), EngineMode::Inline);
+    EXPECT_EQ(modeOf(0), EngineMode::Borrowed);
+    EXPECT_EQ(modeOf(8), EngineMode::Dedicated);
+    EXPECT_STREQ(engineModeName(EngineMode::Inline), "inline");
+    EXPECT_STREQ(engineModeName(EngineMode::Borrowed),
+                 "borrowed-pool");
+    EXPECT_STREQ(engineModeName(EngineMode::Dedicated),
+                 "dedicated-pool");
 }
 
 TEST(ParallelFleet, DrainUntilStopsStrictlyBeforeBound)
@@ -210,6 +411,83 @@ TEST(ParallelFleet, DrainUntilStopsStrictlyBeforeBound)
     ASSERT_EQ(ticks.size(), 2u);
     EXPECT_TRUE(ticks[1].dispatchDone);
     EXPECT_FALSE(executor.busy());
+}
+
+TEST(ParallelFleet, BoundaryProbesAreUlpExact)
+{
+    // The join/release bound terms only work if the probes reproduce
+    // advance()'s boundary instants bit for bit: a probe one ulp
+    // early commits the cut tick inside the epoch, one ulp late cuts
+    // a window short. Awkward window durations make naive
+    // start-plus-prefix-sum arithmetic diverge from the executor's
+    // left-to-right accumulation.
+    CachedSchedule entry;
+    Scenario mix;
+    mix.name = "mix";
+    mix.models = {zoo::eyeCod(1)};
+    entry.mix = mix;
+    ModelPlacement mp;
+    mp.modelIdx = 0;
+    mp.segments.push_back(
+        {LayerRange{0, mix.models[0].numLayers() - 1}, 0});
+    for (const double cycles :
+         {333.3e6, 77.7e6, 123.456e6, 98.7e6, 55.5e6, 222.2e6}) {
+        ScheduledWindow w;
+        w.placement.models = {mp};
+        w.cost.latencyCycles = cycles;
+        entry.result.windows.push_back(w);
+    }
+    buildReplayView(entry);
+
+    Dispatch dispatch;
+    dispatch.mix = entry.mix;
+    dispatch.catalogIdx = {0};
+    BatchGroup g;
+    g.catalogIdx = 0;
+    g.batch = 1;
+    Request r;
+    r.id = 0;
+    r.modelIdx = 0;
+    r.arrivalSec = 0.0;
+    g.requests = {r};
+    dispatch.groups = {g};
+
+    ReplayExecutor executor;
+    executor.start(std::make_shared<CachedSchedule>(entry), dispatch,
+                   0.1234567);
+
+    // With 2 windows per step, the step-aligned cuts follow windows 1
+    // and 3; window 5 is the final boundary and must never be a cut.
+    const double cut1 = executor.nextStepBoundarySec(2);
+    std::vector<WindowTick> ticks;
+    EXPECT_EQ(executor.drainUntil(cut1, ticks), 1u)
+        << "the cut tick itself must stay outside the epoch";
+    WindowTick tick = executor.advance();
+    EXPECT_EQ(tick.windowIdx, 1);
+    EXPECT_EQ(tick.timeSec, cut1)
+        << "join probe must match the tick instant bit for bit";
+
+    const double cut2 = executor.nextStepBoundarySec(2);
+    EXPECT_GT(cut2, cut1);
+    ticks.clear();
+    EXPECT_EQ(executor.drainUntil(cut2, ticks), 1u);
+    tick = executor.advance();
+    EXPECT_EQ(tick.windowIdx, 3);
+    EXPECT_EQ(tick.timeSec, cut2);
+
+    // Past the last step-aligned cut only the final (dispatch-done)
+    // boundary remains, which the replay-end term already covers.
+    EXPECT_EQ(executor.nextStepBoundarySec(2),
+              std::numeric_limits<double>::infinity());
+
+    // The release probe lands on the group's last-window boundary on
+    // the same exact clock, and an empty predicate selects nothing.
+    EXPECT_EQ(executor.earliestGroupEndSec(
+                  [](std::size_t) { return true; }),
+              executor.finalBoundarySec());
+    EXPECT_EQ(executor.earliestGroupEndSec(
+                  [](std::size_t) { return false; }),
+              std::numeric_limits<double>::infinity());
 }
 
 TEST(ParallelFleet, IndexedRoutingMatchesFlatBestFit)
